@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: associativity.  Table 1 uses full associativity; the paper
+ * says of the VAX 11/780's 2-way design that "the effect of the latter
+ * on the miss ratio should be small."  This bench quantifies the gap
+ * between direct-mapped, 2/4/8-way and fully associative caches.
+ */
+
+#include "bench_util.hh"
+
+#include "cache/cache.hh"
+#include "sim/run.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Ablation — associativity",
+           "LRU, copy-back, demand fetch, 16-byte lines, no purges; "
+           "miss ratio vs ways at 1K and 16K");
+
+    const std::vector<std::uint32_t> ways = {1, 2, 4, 8, 0};
+    TraceCorpus corpus;
+    const std::vector<const TraceProfile *> sample = {
+        findTraceProfile("MVS1"),   findTraceProfile("FGO1"),
+        findTraceProfile("VCCOM"),  findTraceProfile("VSPICE"),
+        findTraceProfile("ZVI"),    findTraceProfile("TWOD1"),
+        findTraceProfile("LISP1"),  findTraceProfile("PLO")};
+
+    for (std::uint64_t size : {std::uint64_t{1024}, std::uint64_t{16384}}) {
+        TextTable table("Cache " + formatSize(size) +
+                        ": miss ratio (%) by associativity");
+        std::vector<std::string> header = {"trace"};
+        for (std::uint32_t w : ways)
+            header.push_back(w == 0 ? "full" : std::to_string(w) + "-way");
+        header.push_back("full/direct");
+        table.setHeader(header);
+        std::vector<TextTable::Align> align(header.size(),
+                                            TextTable::Align::Right);
+        align[0] = TextTable::Align::Left;
+        table.setAlignment(align);
+
+        Summary two_way_gap;
+        for (const TraceProfile *p : sample) {
+            const Trace &t = corpus.get(*p);
+            std::vector<std::string> row = {p->name};
+            double direct = 0, full = 0, two = 0;
+            for (std::uint32_t w : ways) {
+                CacheConfig cfg = table1Config(size);
+                cfg.associativity = w;
+                Cache cache(cfg);
+                const double miss = runTrace(t, cache).missRatio();
+                row.push_back(pct(miss));
+                if (w == 1)
+                    direct = miss;
+                if (w == 2)
+                    two = miss;
+                if (w == 0)
+                    full = miss;
+            }
+            row.push_back(
+                formatFixed(direct > 0 ? full / direct : 1.0, 2));
+            if (full > 0)
+                two_way_gap.add(two / full);
+            table.addRow(row);
+        }
+        std::cout << table;
+        std::cout << "2-way vs fully associative miss-ratio factor "
+                     "(paper: 'the effect ... should be small'): mean "
+                  << formatFixed(two_way_gap.mean(), 2) << "\n\n";
+    }
+    return 0;
+}

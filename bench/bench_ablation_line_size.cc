@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: line-size sweep.  The paper states "In the range of memory
+ * sizes from 16K to 64K, the miss ratio drops rapidly with increasing
+ * line size" and, for the Clark comparison, that at 8 KB "the miss
+ * ratio can usually be halved by changing to 16 byte lines" from
+ * 8-byte lines.  This bench sweeps line sizes 4-64 bytes at several
+ * cache sizes and also reports the traffic cost (larger lines move
+ * more bytes per miss).
+ */
+
+#include "bench_util.hh"
+
+#include "cache/cache.hh"
+#include "sim/run.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Ablation — line size",
+           "fully associative LRU, copy-back, demand fetch, no purges; "
+           "miss ratio and traffic vs line size");
+
+    const std::vector<std::uint32_t> line_sizes = {4, 8, 16, 32, 64};
+    const std::vector<std::uint64_t> cache_sizes = {1024, 8192, 16384,
+                                                    65536};
+    TraceCorpus corpus;
+    const std::vector<const TraceProfile *> sample = {
+        findTraceProfile("MVS1"), findTraceProfile("FGO1"),
+        findTraceProfile("VCCOM"), findTraceProfile("VSPICE"),
+        findTraceProfile("ZVI"), findTraceProfile("TWOD1"),
+        findTraceProfile("LISP1")};
+
+    for (std::uint64_t size : cache_sizes) {
+        TextTable table("Cache " + formatSize(size) +
+                        ": miss ratio (%) by line size");
+        std::vector<std::string> header = {"trace"};
+        for (std::uint32_t ls : line_sizes)
+            header.push_back(std::to_string(ls) + "B");
+        header.push_back("traffic@16B/64B");
+        table.setHeader(header);
+        std::vector<TextTable::Align> align(header.size(),
+                                            TextTable::Align::Right);
+        align[0] = TextTable::Align::Left;
+        table.setAlignment(align);
+
+        Summary halved; // 8B -> 16B miss-ratio ratio at this size
+        for (const TraceProfile *p : sample) {
+            const Trace &t = corpus.get(*p);
+            std::vector<std::string> row = {p->name};
+            double miss8 = 0, miss16 = 0;
+            std::uint64_t traffic16 = 0, traffic64 = 0;
+            for (std::uint32_t ls : line_sizes) {
+                CacheConfig cfg = table1Config(size);
+                cfg.lineBytes = ls;
+                Cache cache(cfg);
+                const CacheStats s = runTrace(t, cache);
+                row.push_back(pct(s.missRatio()));
+                if (ls == 8)
+                    miss8 = s.missRatio();
+                if (ls == 16) {
+                    miss16 = s.missRatio();
+                    traffic16 = s.trafficBytes();
+                }
+                if (ls == 64)
+                    traffic64 = s.trafficBytes();
+            }
+            if (miss8 > 0)
+                halved.add(miss16 / miss8);
+            row.push_back(formatFixed(
+                traffic16 ? static_cast<double>(traffic64) /
+                        static_cast<double>(traffic16)
+                          : 0.0,
+                2));
+            table.addRow(row);
+        }
+        std::cout << table;
+        std::cout << "8B -> 16B line miss-ratio factor (paper @8K: ~0.5): "
+                  << formatFixed(halved.mean(), 2) << "\n\n";
+    }
+    return 0;
+}

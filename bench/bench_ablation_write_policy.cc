@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: write policy.  Section 3.3 describes the traffic
+ * trade-off: under write-through "the write frequency is usually just
+ * the frequency in the trace of stores"; under copy-back it is "the
+ * miss ratio times the probability that a line to be pushed is dirty"
+ * times the line size.  This bench measures write traffic to memory
+ * under the four policy combinations.
+ */
+
+#include "bench_util.hh"
+
+#include "cache/cache.hh"
+#include "sim/run.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Ablation — write policy",
+           "16K unified cache, purge every 20,000 refs; bytes written "
+           "to memory per 1000 references under each policy");
+
+    struct Policy
+    {
+        const char *name;
+        WritePolicy write;
+        WriteMissPolicy miss;
+    };
+    const Policy policies[] = {
+        {"copy-back + fetch-on-write", WritePolicy::CopyBack,
+         WriteMissPolicy::FetchOnWrite},
+        {"copy-back + no-allocate", WritePolicy::CopyBack,
+         WriteMissPolicy::NoAllocate},
+        {"write-through + allocate", WritePolicy::WriteThrough,
+         WriteMissPolicy::FetchOnWrite},
+        {"write-through + no-allocate", WritePolicy::WriteThrough,
+         WriteMissPolicy::NoAllocate},
+    };
+
+    TraceCorpus corpus;
+    const std::vector<const TraceProfile *> sample = {
+        findTraceProfile("MVS1"),   findTraceProfile("FGO1"),
+        findTraceProfile("VSPICE"), findTraceProfile("VPUZZLE"),
+        findTraceProfile("CCOMP1"), findTraceProfile("TWOD1")};
+
+    TextTable table("Write traffic (bytes to memory per 1000 refs)");
+    std::vector<std::string> header = {"trace"};
+    for (const Policy &p : policies)
+        header.push_back(p.name);
+    header.push_back("miss CB/WT");
+    table.setHeader(header);
+    std::vector<TextTable::Align> align(header.size(),
+                                        TextTable::Align::Right);
+    align[0] = TextTable::Align::Left;
+    table.setAlignment(align);
+
+    for (const TraceProfile *p : sample) {
+        const Trace &t = corpus.get(*p);
+        std::vector<std::string> row = {p->name};
+        double miss_cb = 0, miss_wt = 0;
+        for (const Policy &policy : policies) {
+            CacheConfig cfg = table1Config(16384);
+            cfg.writePolicy = policy.write;
+            cfg.writeMiss = policy.miss;
+            Cache cache(cfg);
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p->group);
+            const CacheStats s = runTrace(t, cache, run);
+            row.push_back(formatFixed(
+                1000.0 * static_cast<double>(s.bytesToMemory) /
+                    static_cast<double>(s.totalAccesses()),
+                1));
+            if (policy.write == WritePolicy::CopyBack &&
+                policy.miss == WriteMissPolicy::FetchOnWrite)
+                miss_cb = s.missRatio();
+            if (policy.write == WritePolicy::WriteThrough &&
+                policy.miss == WriteMissPolicy::FetchOnWrite)
+                miss_wt = s.missRatio();
+        }
+        row.push_back(formatFixed(miss_cb, 3) + "/" +
+                      formatFixed(miss_wt, 3));
+        table.addRow(row);
+    }
+    std::cout << table << "\n"
+              << "Section 3.3's model: copy-back write traffic = miss "
+                 "ratio x P(dirty push) x line size; write-through "
+                 "traffic = store frequency x store size.  Traces with "
+                 "concentrated stores (e.g. CCOMP1) favor copy-back; "
+                 "spread stores narrow the gap.\n";
+    return 0;
+}

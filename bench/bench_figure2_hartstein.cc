@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Figure 2: the [Hard80] supervisor-state and
+ * problem-state miss ratios for an IBM 370/MVS workload, as modeled
+ * from the hit ratios the paper quotes (see src/analytic/hartstein.hh
+ * for the reconstruction).  Also compares our MVS trace simulations
+ * against the supervisor curve, as the paper does in section 3.1.
+ */
+
+#include "bench_util.hh"
+
+#include "analytic/hartstein.hh"
+#include "cache/cache.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Figure 2 — [Hard80] supervisor/problem state miss ratios",
+           "power-law fit through the quoted hit ratios; 32-byte lines "
+           "in the original measurements");
+
+    TextTable fig("Figure 2: modeled [Hard80] miss ratio (%)");
+    fig.setHeader({"cache", "supervisor", "problem", "73% supervisor mix"});
+    fig.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                      TextTable::Align::Right, TextTable::Align::Right});
+    for (std::uint64_t size = 2048; size <= 131072; size *= 2) {
+        fig.addRow({formatSize(size),
+                    pct(hard80MissRatio(ExecState::Supervisor, size)),
+                    pct(hard80MissRatio(ExecState::Problem, size)),
+                    pct(hard80MixedMissRatio(0.73, size))});
+    }
+    std::cout << fig << "\n";
+
+    TextTable anchors("Model vs paper-quoted hit ratios");
+    anchors.setHeader({"point", "paper hit", "model hit"});
+    anchors.setAlignment({TextTable::Align::Left, TextTable::Align::Right,
+                          TextTable::Align::Right});
+    struct Anchor
+    {
+        ExecState state;
+        std::uint64_t size;
+        double hit;
+    };
+    for (const Anchor &a : {Anchor{ExecState::Supervisor, 16384, 0.925},
+                            Anchor{ExecState::Supervisor, 32768, 0.948},
+                            Anchor{ExecState::Supervisor, 65536, 0.964},
+                            Anchor{ExecState::Problem, 16384, 0.982},
+                            Anchor{ExecState::Problem, 32768, 0.984},
+                            Anchor{ExecState::Problem, 65536, 0.980}}) {
+        const char *name =
+            a.state == ExecState::Supervisor ? "supervisor" : "problem";
+        anchors.addRow({std::string(name) + " @ " + formatSize(a.size),
+                        formatFixed(a.hit, 3),
+                        formatFixed(1.0 - hard80MissRatio(a.state, a.size),
+                                    3)});
+    }
+    std::cout << anchors << "\n";
+
+    // Section 3.1: "The MVS2 trace corresponds fairly well with the
+    // MVS trace miss ratios from [Hard80], although the line size for
+    // [Hard80] is 32 bytes as compared with 16 bytes here."
+    TraceCorpus corpus;
+    TextTable cmp("MVS traces (16 B lines) vs [Hard80] supervisor curve "
+                  "(32 B lines)");
+    cmp.setHeader({"cache", "MVS1", "MVS2", "Hard80 supervisor"});
+    cmp.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                      TextTable::Align::Right, TextTable::Align::Right});
+    const std::vector<std::uint64_t> sizes = {4096, 8192, 16384, 32768,
+                                              65536};
+    const auto mvs1 = sweepUnified(corpus.get(*findTraceProfile("MVS1")),
+                                   sizes, table1Config(32));
+    const auto mvs2 = sweepUnified(corpus.get(*findTraceProfile("MVS2")),
+                                   sizes, table1Config(32));
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        cmp.addRow({formatSize(sizes[i]), pct(mvs1[i].stats.missRatio()),
+                    pct(mvs2[i].stats.missRatio()),
+                    pct(hard80MissRatio(ExecState::Supervisor, sizes[i]))});
+    }
+    std::cout << cmp << "\n";
+    return 0;
+}

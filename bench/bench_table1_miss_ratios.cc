@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates Table 1 / Figure 1: overall miss ratios for all 57
+ * traces on a fully associative LRU cache with demand fetch, copy-back
+ * with fetch-on-write, 16-byte lines, and no task-switch purges, for
+ * cache sizes 32 bytes through 64 Kbytes.
+ *
+ * Prints the per-trace table (Table 1), per-group average series
+ * (the curves of Figure 1), and the measured-vs-paper group anchors
+ * from section 3.1.
+ */
+
+#include "bench_util.hh"
+
+#include "cache/cache.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Table 1 / Figure 1 — overall miss ratios, 57 traces",
+           "fully associative, LRU, demand fetch, copy-back + "
+           "fetch-on-write, 16-byte lines, no purges; sizes 32 B - 64 KB");
+
+    const auto &sizes = paperCacheSizes();
+    TraceCorpus corpus;
+
+    TextTable table("Table 1: miss ratio (%) by cache size");
+    std::vector<std::string> header = {"trace", "group"};
+    for (std::uint64_t s : sizes)
+        header.push_back(formatSize(s));
+    table.setHeader(header);
+    std::vector<TextTable::Align> align(header.size(),
+                                        TextTable::Align::Right);
+    align[0] = TextTable::Align::Left;
+    align[1] = TextTable::Align::Left;
+    table.setAlignment(align);
+
+    // Per-group, per-size averages for the Figure 1 series.
+    std::map<TraceGroup, std::vector<Summary>> group_curves;
+    for (TraceGroup g : allTraceGroups())
+        group_curves[g].resize(sizes.size());
+
+    TraceGroup last_group = allTraceProfiles().front().group;
+    for (const TraceProfile &profile : allTraceProfiles()) {
+        if (profile.group != last_group) {
+            table.addRule();
+            last_group = profile.group;
+        }
+        const Trace &trace = corpus.get(profile);
+        const auto points = sweepUnified(trace, sizes, table1Config(32));
+        std::vector<std::string> row = {profile.name,
+                                        std::string(toString(profile.group))};
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            row.push_back(pct(points[i].stats.missRatio()));
+            group_curves[profile.group][i].add(points[i].stats.missRatio());
+        }
+        table.addRow(row);
+    }
+    std::cout << table << "\n";
+
+    TextTable fig("Figure 1: per-group average miss ratio (%) vs cache "
+                  "size");
+    fig.setHeader(header);
+    align[0] = TextTable::Align::Left;
+    fig.setAlignment(align);
+    for (TraceGroup g : allTraceGroups()) {
+        std::vector<std::string> row = {std::string(toString(g)), ""};
+        for (const Summary &s : group_curves[g])
+            row.push_back(pct(s.mean()));
+        fig.addRow(row);
+    }
+    std::cout << fig << "\n";
+
+    // Section 3.1's quoted anchors.
+    TextTable cmp("Paper vs measured (section 3.1 anchors)");
+    cmp.setHeader({"anchor", "paper", "measured"});
+    cmp.setAlignment({TextTable::Align::Left, TextTable::Align::Right,
+                      TextTable::Align::Right});
+    auto at = [&](TraceGroup g, std::uint64_t size) {
+        for (std::size_t i = 0; i < sizes.size(); ++i)
+            if (sizes[i] == size)
+                return group_curves[g][i].mean();
+        return 0.0;
+    };
+    cmp.addRow({"M68000 avg @ 1K", "1.7%", pct(at(TraceGroup::M68000, 1024)) + "%"});
+    cmp.addRow({"Z8000 avg @ 1K", "3.1%", pct(at(TraceGroup::Z8000, 1024)) + "%"});
+    cmp.addRow({"VAX (non-Lisp) avg @ 1K", "4.8%",
+                pct(at(TraceGroup::VAX, 1024)) + "%"});
+    cmp.addRow({"370/360 avg @ 1K", "17%",
+                pct(0.5 * (at(TraceGroup::IBM370, 1024) +
+                           at(TraceGroup::IBM360_91, 1024))) + "%"});
+    cmp.addRow({"Lisp avg @ 1K", "11.1%",
+                pct(at(TraceGroup::VaxLisp, 1024)) + "%"});
+    cmp.addRow({"Lisp avg @ 4K", "5.5%",
+                pct(at(TraceGroup::VaxLisp, 4096)) + "%"});
+    cmp.addRow({"Lisp avg @ 16K", "2.4%",
+                pct(at(TraceGroup::VaxLisp, 16384)) + "%"});
+    cmp.addRow({"Lisp avg @ 64K", "1.55%",
+                pct(at(TraceGroup::VaxLisp, 65536)) + "%"});
+    std::cout << cmp << "\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Table 5: the design-target miss ratios.  The paper picks
+ * each number "towards the worst of the values observed, perhaps at
+ * the 85th percentile or so" over its trace corpus; this bench
+ * computes the 85th percentile of our per-trace miss ratios (unified,
+ * instruction, data — the latter two from the purged split runs) and
+ * prints them next to the paper's proposed targets.
+ */
+
+#include "bench_util.hh"
+
+#include <cmath>
+
+#include "analytic/design_target.hh"
+#include "cache/organization.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+int
+main()
+{
+    banner("Table 5 — design target miss ratios",
+           "paper targets vs the 85th percentile of our 57-trace corpus; "
+           "unified (no purge, Table 1 setup), instruction & data "
+           "(split, purged, Figures 3-4 setup); 16-byte lines");
+
+    const auto &sizes = paperCacheSizes();
+    TraceCorpus corpus;
+
+    std::vector<Summary> unified(sizes.size()), instr(sizes.size()),
+        data(sizes.size());
+
+    for (const TraceProfile &p : allTraceProfiles()) {
+        const Trace &t = corpus.get(p);
+        const auto u = sweepUnified(t, sizes, table1Config(32));
+        RunConfig run;
+        run.purgeInterval = purgeIntervalFor(p.group);
+        const auto s = sweepSplit(t, sizes, table1Config(32), run);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            unified[i].add(u[i].stats.missRatio());
+            instr[i].add(s[i].icache.missRatio(AccessKind::IFetch));
+            data[i].add(s[i].dcache.dataMissRatio());
+        }
+    }
+
+    TextTable table("Table 5: design target miss ratios (paper | measured "
+                    "85th pct)");
+    table.setHeader({"cache", "unified", "meas", "instr", "meas", "data",
+                     "meas"});
+    table.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        table.addRow(
+            {formatSize(sizes[i]),
+             formatFixed(designTargetMissRatio(sizes[i], CacheKind::Unified),
+                         3),
+             formatFixed(unified[i].percentile(kDesignTargetPercentile), 3),
+             formatFixed(
+                 designTargetMissRatio(sizes[i], CacheKind::Instruction), 3),
+             formatFixed(instr[i].percentile(kDesignTargetPercentile), 3),
+             formatFixed(designTargetMissRatio(sizes[i], CacheKind::Data),
+                         3),
+             formatFixed(data[i].percentile(kDesignTargetPercentile), 3)});
+    }
+    std::cout << table << "\n";
+
+    // The paper's summary scaling rules.
+    auto doubling = [&](std::vector<Summary> &col, std::size_t from,
+                        std::size_t to) {
+        const double m_from = col[from].percentile(kDesignTargetPercentile);
+        const double m_to = col[to].percentile(kDesignTargetPercentile);
+        const double doublings =
+            std::log2(static_cast<double>(sizes[to]) /
+                      static_cast<double>(sizes[from]));
+        return 1.0 - std::pow(m_to / m_from, 1.0 / doublings);
+    };
+    std::size_t i512 = 0;
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        if (sizes[i] == 512)
+            i512 = i;
+    TextTable cuts("Miss-ratio cut per cache doubling (unified)");
+    cuts.setHeader({"range", "paper", "measured"});
+    cuts.setAlignment({TextTable::Align::Left, TextTable::Align::Right,
+                       TextTable::Align::Right});
+    cuts.addRow({"32B - 512B", "~14%",
+                 pct(doubling(unified, 0, i512)) + "%"});
+    cuts.addRow({"512B - 64K", "~27%",
+                 pct(doubling(unified, i512, sizes.size() - 1)) + "%"});
+    cuts.addRow({"overall", "~23%",
+                 pct(doubling(unified, 0, sizes.size() - 1)) + "%"});
+    std::cout << cuts << "\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator kernels: cache
+ * access throughput across organizations and policies, workload
+ * generation speed, and the trace analyzer.  These guard the
+ * performance that makes the full-corpus sweeps (171M+ accesses for
+ * Table 1 alone) practical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "cache/sector_cache.hh"
+#include "sim/experiments.hh"
+#include "trace/analyzer.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+const Trace &
+benchTrace()
+{
+    static const Trace trace =
+        generateTrace(*findTraceProfile("VSPICE"), 100000);
+    return trace;
+}
+
+void
+BM_CacheAccessFullyAssociative(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    Cache cache(table1Config(static_cast<std::uint64_t>(state.range(0))));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(t[i]));
+        if (++i == t.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessFullyAssociative)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void
+BM_CacheAccessSetAssociative(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    CacheConfig cfg = table1Config(16384);
+    cfg.associativity = static_cast<std::uint32_t>(state.range(0));
+    Cache cache(cfg);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(t[i]));
+        if (++i == t.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessSetAssociative)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_CacheAccessPrefetchAlways(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    Cache cache(table1Config(16384, FetchPolicy::PrefetchAlways));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(t[i]));
+        if (++i == t.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessPrefetchAlways);
+
+void
+BM_SectorCacheAccess(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    SectorCacheConfig cfg;
+    cfg.sizeBytes = 16384;
+    cfg.sectorBytes = 16;
+    cfg.subblockBytes = static_cast<std::uint32_t>(state.range(0));
+    SectorCache cache(cfg);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(t[i]));
+        if (++i == t.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SectorCacheAccess)->Arg(4)->Arg(16);
+
+void
+BM_CachePurge(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    Cache cache(table1Config(16384));
+    for (const MemoryRef &ref : t)
+        cache.access(ref);
+    for (auto _ : state) {
+        cache.purge();
+        // Refill a little so purges are not free.
+        for (std::size_t i = 0; i < 256; ++i)
+            cache.access(t[i]);
+    }
+}
+BENCHMARK(BM_CachePurge);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const TraceProfile &p = *findTraceProfile("VSPICE");
+    for (auto _ : state) {
+        Trace t = generateTrace(p, 50000);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_TraceAnalyzer(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    for (auto _ : state) {
+        const TraceCharacteristics c = analyzeTrace(t);
+        benchmark::DoNotOptimize(c.aspaceBytes);
+    }
+    state.SetItemsProcessed(state.iterations() * benchTrace().size());
+}
+BENCHMARK(BM_TraceAnalyzer);
+
+} // namespace
+} // namespace cachelab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Each bench regenerates one table or figure of the paper (see
+ * DESIGN.md's experiment index): it generates the trace corpus, runs
+ * the experiment, prints the paper-style table, and where the paper
+ * gives numbers prints a measured-vs-paper comparison.
+ */
+
+#ifndef CACHELAB_BENCH_BENCH_UTIL_HH
+#define CACHELAB_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiments.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "trace/trace.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab::bench
+{
+
+/**
+ * Lazily generated, cached traces for the whole corpus.  A bench
+ * binary typically touches each trace several times (one sweep per
+ * cache configuration); caching keeps generation out of the loop.
+ */
+class TraceCorpus
+{
+  public:
+    /** @param max_refs 0 = full published length per profile. */
+    explicit TraceCorpus(std::uint64_t max_refs = 0) : maxRefs_(max_refs) {}
+
+    const Trace &
+    get(const TraceProfile &profile)
+    {
+        auto it = cache_.find(profile.name);
+        if (it == cache_.end()) {
+            Trace t = maxRefs_ ? generateTrace(profile, maxRefs_)
+                               : generateTrace(profile);
+            it = cache_.emplace(profile.name, std::move(t)).first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::uint64_t maxRefs_;
+    std::map<std::string, Trace> cache_;
+};
+
+/** Print a bench banner naming the table/figure being regenerated. */
+inline void
+banner(const std::string &what, const std::string &setup)
+{
+    std::cout << "\n" << std::string(72, '=') << "\n"
+              << what << "\n"
+              << setup << "\n"
+              << std::string(72, '=') << "\n\n";
+}
+
+/** Percentage with one decimal, e.g. "12.3". */
+inline std::string
+pct(double ratio)
+{
+    return formatFixed(ratio * 100.0, 1);
+}
+
+/** Ratio with two decimals, e.g. "1.41". */
+inline std::string
+ratio2(double r)
+{
+    return formatFixed(r, 2);
+}
+
+} // namespace cachelab::bench
+
+#endif // CACHELAB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Regenerates the paper's section 4.1 validation arguments:
+ *
+ *  1. [Clar83] VAX 11/780 comparison: an 8 KB 2-way set-associative
+ *     cache with 8-byte lines (and the 4 KB halved-cache experiment)
+ *     simulated over our VAX traces, next to Clark's hardware-monitor
+ *     numbers.
+ *
+ *  2. [Alpe83] Z80000 critique: the 256-byte sector cache (16-byte
+ *     sectors; 2/4/16-byte fetch blocks) simulated over Z8000-style
+ *     traces (the vendor's methodology) and over 32-bit Z80000-style
+ *     traces (the paper's correction), plus the fudge-factor chain.
+ *
+ *  3. Section 3.4's Motorola 68020 prediction: 256-byte, 4-byte-block
+ *     instruction cache, predicted miss ratio 0.2-0.6.
+ */
+
+#include "bench_util.hh"
+
+#include "analytic/fudge.hh"
+#include "analytic/published.hh"
+#include "cache/organization.hh"
+#include "cache/sector_cache.hh"
+#include "sim/run.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+namespace
+{
+
+/** Clark-style split simulation: per-side size, 2-way, 8 B lines. */
+void
+clarkComparison(TraceCorpus &corpus)
+{
+    TextTable table("[Clar83] VAX 11/780 comparison (2-way, 8-byte "
+                    "lines, purged split caches)");
+    table.setHeader({"configuration", "metric", "Clark", "our VAX traces"});
+    table.setAlignment({TextTable::Align::Left, TextTable::Align::Left,
+                        TextTable::Align::Right, TextTable::Align::Right});
+
+    for (const auto &[size, d_paper, i_paper] :
+         std::vector<std::tuple<std::uint64_t, double, double>>{
+             {8192, kClark83DataMissRatio, kClark83InstrMissRatio},
+             {4096, kClark83HalvedDataMissRatio,
+              kClark83HalvedInstrMissRatio}}) {
+        Summary imiss, dmiss;
+        for (const TraceProfile *p : profilesInGroup(TraceGroup::VAX)) {
+            CacheConfig cfg;
+            cfg.sizeBytes = size;
+            cfg.lineBytes = 8;
+            cfg.associativity = 2;
+            SplitCache split(cfg, cfg);
+            RunConfig run;
+            run.purgeInterval = kPurgeInterval;
+            runTrace(corpus.get(*p), split, run);
+            imiss.add(split.icache().stats().missRatio(AccessKind::IFetch));
+            dmiss.add(split.dcache().stats().dataMissRatio());
+        }
+        const std::string name = formatSize(size) + " per side";
+        table.addRow({name, "instruction miss", pct(i_paper) + "%",
+                      pct(imiss.mean()) + "%"});
+        table.addRow({name, "data miss", pct(d_paper) + "%",
+                      pct(dmiss.mean()) + "%"});
+    }
+    std::cout << table << "\n"
+              << "(Clark's machine has an instruction buffer and a "
+                 "write-through cache; the paper itself notes the "
+                 "comparison 'do[es] not represent exactly [the] same "
+                 "thing'.)\n\n";
+}
+
+/** Z80000 sector-cache study. */
+void
+z80000Comparison()
+{
+    TextTable table("[Alpe83] Z80000 256-byte sector cache: projected vs "
+                    "simulated hit ratios");
+    table.setHeader({"fetch block", "Alpe83 (from Z8000 traces)",
+                     "ours on Z8000-like", "ours on 32-bit workload",
+                     "paper's view"});
+    table.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Left});
+
+    const double published[] = {kAlpert83HitRatioBlock2,
+                                kAlpert83HitRatioBlock4,
+                                kAlpert83HitRatioBlock16};
+    const std::uint32_t blocks[] = {2, 4, 16};
+
+    // Vendor methodology: 16-bit Z8000 utility traces.
+    WorkloadParams z8000 = findTraceProfile("ZGREP")->params;
+    z8000.refCount = 250000;
+    const Trace z8000_trace = generateWorkload(z8000, "z8000-like");
+
+    // The paper's correction: a 32-bit workload (more powerful
+    // instructions, lower ifetch share, larger footprint).
+    WorkloadParams z80000 = z8000;
+    z80000.machine = Machine::Z80000;
+    z80000.codeBytes = z8000.codeBytes * 2;
+    z80000.dataBytes = z8000.dataBytes * 2;
+    const Trace z80000_trace = generateWorkload(z80000, "z80000-like");
+
+    const char *views[] = {"", "", "paper predicts ~30% miss (0.70 hit)"};
+    for (int i = 0; i < 3; ++i) {
+        SectorCacheConfig cfg;
+        cfg.sizeBytes = 256;
+        cfg.sectorBytes = 16;
+        cfg.subblockBytes = blocks[i];
+        SectorCache on_z8000(cfg);
+        for (const MemoryRef &ref : z8000_trace)
+            on_z8000.access(ref);
+        SectorCache on_z80000(cfg);
+        for (const MemoryRef &ref : z80000_trace)
+            on_z80000.access(ref);
+        table.addRow({std::to_string(blocks[i]) + "B",
+                      formatFixed(published[i], 2),
+                      formatFixed(1.0 - on_z8000.stats().missRatio(), 2),
+                      formatFixed(1.0 - on_z80000.stats().missRatio(), 2),
+                      views[i]});
+    }
+    std::cout << table << "\n";
+
+    const double fudged = scaleMissRatio(1.0 - kAlpert83HitRatioBlock16,
+                                         Machine::Z8000, Machine::Z80000);
+    std::cout << "Fudge-factor chain (section 4): Alpe83's 12% miss on "
+                 "Z8000 traces scales to "
+              << pct(fudged) << "% for the 32-bit Z80000 — the paper "
+              << "predicts ~" << pct(kPaperZ80000MissPrediction) << "%.\n\n";
+}
+
+/** Section 3.4's 68020 instruction-cache prediction. */
+void
+m68020Prediction(TraceCorpus &corpus)
+{
+    TextTable table("Motorola 68020 I-cache (256 B, 4-byte blocks): "
+                    "predicted 0.2 - 0.6 miss ratio");
+    table.setHeader({"workload", "measured I-miss"});
+    table.setAlignment({TextTable::Align::Left, TextTable::Align::Right});
+    Summary all;
+    for (const char *name : {"PLO", "MATCH", "SORT", "STAT", "VCCOM",
+                             "FGO1", "WATEX"}) {
+        const TraceProfile *p = findTraceProfile(name);
+        CacheConfig cfg;
+        cfg.sizeBytes = 256;
+        cfg.lineBytes = 4;
+        SplitCache split(cfg, cfg);
+        RunConfig run;
+        run.purgeInterval = purgeIntervalFor(p->group);
+        runTrace(corpus.get(*p), split, run);
+        const double miss =
+            split.icache().stats().missRatio(AccessKind::IFetch);
+        all.add(miss);
+        table.addRow({name, formatFixed(miss, 2)});
+    }
+    table.addRule();
+    table.addRow({"mean", formatFixed(all.mean(), 2)});
+    std::cout << table << "\n"
+              << "Paper band: [" << formatFixed(kPaper68020MissLow, 2)
+              << ", " << formatFixed(kPaper68020MissHigh, 2) << "]\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Section 4.1 validation — published figures vs simulation",
+           "[Clar83] VAX 11/780, [Alpe83] Z80000, 68020 prediction");
+    TraceCorpus corpus;
+    clarkComparison(corpus);
+    z80000Comparison();
+    m68020Prediction(corpus);
+
+    TextTable reg("Published-figure registry (excerpt)");
+    reg.setHeader({"source", "system", "metric", "value"});
+    reg.setAlignment({TextTable::Align::Left, TextTable::Align::Left,
+                      TextTable::Align::Left, TextTable::Align::Right});
+    for (const PublishedFigure &f : publishedFigures()) {
+        if (f.source == "[Clar83]" || f.source == "[Hat83]") {
+            reg.addRow({std::string(f.source), std::string(f.system),
+                        std::string(f.metric), formatFixed(f.value, 4)});
+        }
+    }
+    std::cout << reg << "\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Calibration report: for every trace profile, print the measured
+ * trace characteristics (Table 2 columns) and miss ratios at a few
+ * cache sizes, next to the group targets from the paper.  Used while
+ * tuning the workload model; kept as an example because it shows the
+ * analyzer and sweep APIs end to end.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "sim/experiments.hh"
+#include "sim/sweep.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "trace/analyzer.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+using namespace cachelab;
+
+int
+main()
+{
+    TextTable table("Calibration: measured trace characteristics and "
+                    "miss ratios");
+    table.setHeader({"trace", "group", "%IF", "%R", "%W", "%br", "Ilines",
+                     "Dlines", "Aspace", "m@1K", "m@4K", "m@16K", "m@64K"});
+    table.setAlignment({TextTable::Align::Left, TextTable::Align::Left,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right});
+
+    const std::vector<std::uint64_t> sizes = {1024, 4096, 16384, 65536};
+
+    TraceGroup last = TraceGroup::IBM370;
+    bool first = true;
+    struct GroupAgg
+    {
+        Summary miss1k, aspace;
+    };
+    std::map<TraceGroup, GroupAgg> agg;
+
+    for (const TraceProfile &p : allTraceProfiles()) {
+        if (!first && p.group != last)
+            table.addRule();
+        first = false;
+        last = p.group;
+
+        const Trace trace = generateTrace(p);
+        AnalyzerConfig acfg;
+        acfg.mergedFetch = archProfile(p.params.machine).mergedFetch;
+        const TraceCharacteristics c = analyzeTrace(trace, acfg);
+
+        const auto points = sweepUnified(trace, sizes, table1Config(1024));
+        agg[p.group].miss1k.add(points[0].stats.missRatio());
+        agg[p.group].aspace.add(static_cast<double>(c.aspaceBytes));
+
+        table.addRow({p.name, std::string(toString(p.group)),
+                      formatFixed(c.ifetchFraction * 100, 1),
+                      formatFixed(c.readFraction * 100, 1),
+                      formatFixed(c.writeFraction * 100, 1),
+                      formatFixed(c.branchFraction * 100, 1),
+                      std::to_string(c.ilines), std::to_string(c.dlines),
+                      std::to_string(c.aspaceBytes),
+                      formatPercent(points[0].stats.missRatio(), 1),
+                      formatPercent(points[1].stats.missRatio(), 1),
+                      formatPercent(points[2].stats.missRatio(), 1),
+                      formatPercent(points[3].stats.missRatio(), 1)});
+    }
+    std::cout << table.render() << '\n';
+
+    TextTable gt("Group aggregates vs paper targets (miss @ 1K, A-space)");
+    gt.setHeader({"group", "miss@1K", "target", "Aspace", "target"});
+    struct Target
+    {
+        TraceGroup group;
+        double miss1k;
+        double aspace;
+    };
+    const Target targets[] = {
+        {TraceGroup::IBM370, 0.17, 58439},
+        {TraceGroup::IBM360_91, 0.15, 28396},
+        {TraceGroup::VAX, 0.048, 23032},
+        {TraceGroup::VaxLisp, 0.111, 61598},
+        {TraceGroup::Z8000, 0.031, 11351},
+        {TraceGroup::CDC6400, 0.08, 21305},
+        {TraceGroup::M68000, 0.017, 2868},
+    };
+    for (const Target &t : targets) {
+        gt.addRow({std::string(toString(t.group)),
+                   formatPercent(agg[t.group].miss1k.mean(), 1),
+                   formatPercent(t.miss1k, 1),
+                   formatFixed(agg[t.group].aspace.mean(), 0),
+                   formatFixed(t.aspace, 0)});
+        // row vector built from std::string values only
+    }
+    std::cout << gt.render() << '\n';
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Prefetch trade-off: miss ratio vs bus traffic.  Section 3.5.2: "In
+ * a microprocessor based system with a shared bus, the traffic
+ * capacity of the bus limits the number of microprocessors that can be
+ * used, and thus although prefetching cuts the miss ratio of each
+ * processor ... the increase in traffic can lower the maximum possible
+ * system performance level."
+ *
+ * This example sizes a shared-bus multiprocessor: given a bus budget
+ * in bytes per 1000 references per processor, how many processors fit
+ * with and without prefetching, and what is each processor's miss
+ * ratio?
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "stats/table.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+using namespace cachelab;
+
+int
+main()
+{
+    const Trace trace = generateTrace(*findTraceProfile("VCCOM"));
+    // Total bus capacity in bytes per 1000 references of one processor's
+    // issue rate (an abstract budget; only ratios matter here).
+    const double bus_capacity = 4000.0;
+
+    TextTable table("Shared-bus sizing: per-CPU miss ratio and traffic, "
+                    "and CPUs that fit the bus");
+    table.setHeader({"cache", "fetch", "miss", "traffic/1000 refs",
+                     "CPUs on bus", "bus-limited throughput"});
+    table.setAlignment({TextTable::Align::Right, TextTable::Align::Left,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right});
+
+    for (std::uint64_t size : {1024u, 4096u, 16384u}) {
+        for (FetchPolicy fetch :
+             {FetchPolicy::Demand, FetchPolicy::PrefetchAlways}) {
+            Cache cache(table1Config(size, fetch));
+            RunConfig run;
+            run.purgeInterval = kPurgeInterval;
+            const CacheStats s = runTrace(trace, cache, run);
+            const double traffic = 1000.0 *
+                static_cast<double>(s.trafficBytes()) /
+                static_cast<double>(s.totalAccesses());
+            const double cpus =
+                traffic > 0 ? bus_capacity / traffic : 1e9;
+            // Per-CPU speed ~ 1 / (1 + miss * penalty); system
+            // throughput = cpus * per-CPU speed.
+            const double per_cpu = 1.0 / (1.0 + s.missRatio() * 10.0);
+            table.addRow({formatSize(size),
+                          fetch == FetchPolicy::Demand ? "demand"
+                                                       : "prefetch",
+                          formatPercent(s.missRatio()),
+                          formatFixed(traffic, 0),
+                          formatFixed(cpus, 1),
+                          formatFixed(cpus * per_cpu, 2)});
+        }
+        table.addRule();
+    }
+    std::cout << table << "\n"
+              << "Prefetching raises each processor's speed (lower miss "
+                 "ratio) but\nshrinks how many processors the bus can "
+                 "feed — at small cache sizes\nthe demand-fetch system "
+                 "wins on total throughput, exactly the\ncaution of "
+                 "section 3.5.2.\n";
+    return 0;
+}

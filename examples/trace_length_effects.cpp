@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace-length effects — the paper's section 3.2 caution, made
+ * visible.  "These trace runs extend at most to 500,000 memory
+ * references ... it makes little sense to estimate miss ratios for
+ * caches over 32K with this data."
+ *
+ * For a large cache, the cumulative miss ratio is still dominated by
+ * the cold-start transient when a short trace ends, so a designer
+ * reading the number off a short run would overestimate the miss
+ * ratio — this example prints what you would have concluded at each
+ * prefix length, per cache size, plus the per-interval timeline that
+ * shows when each cache actually warms up.
+ */
+
+#include <iostream>
+
+#include "sim/experiments.hh"
+#include "sim/timeline.hh"
+#include "stats/table.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+using namespace cachelab;
+
+int
+main()
+{
+    const TraceProfile *profile = findTraceProfile("FCOMP1");
+    const Trace trace = generateTrace(*profile);
+    std::cout << "workload: " << trace.name() << " ("
+              << profile->description << "), " << trace.size()
+              << " refs\n\n";
+
+    constexpr std::uint64_t kBucket = 25000;
+
+    TextTable table("Cumulative miss ratio (%) you would report after N "
+                    "references");
+    std::vector<std::string> header = {"cache"};
+    for (std::uint64_t n = kBucket; n <= trace.size(); n += kBucket)
+        header.push_back(formatCount(n / 1000) + "k");
+    table.setHeader(header);
+    std::vector<TextTable::Align> align(header.size(),
+                                        TextTable::Align::Right);
+    align[0] = TextTable::Align::Left;
+    table.setAlignment(align);
+
+    TextTable warm("Per-interval miss ratio (%) — when does each cache "
+                   "warm up?");
+    warm.setHeader(header);
+    warm.setAlignment(align);
+
+    for (std::uint64_t size : {1024u, 8192u, 32768u, 65536u}) {
+        Cache cache(table1Config(size));
+        const auto buckets = missRatioTimeline(trace, cache, kBucket);
+        const auto cumulative = cumulativeMissRatio(buckets);
+        std::vector<std::string> crow = {formatSize(size)};
+        std::vector<std::string> wrow = {formatSize(size)};
+        for (std::size_t i = 0; i < buckets.size(); ++i) {
+            crow.push_back(formatFixed(100.0 * cumulative[i], 1));
+            wrow.push_back(formatFixed(100.0 * buckets[i].missRatio(), 1));
+        }
+        table.addRow(crow);
+        warm.addRow(wrow);
+    }
+    std::cout << table << "\n" << warm << "\n";
+
+    std::cout
+        << "Reading guide: for the small cache the cumulative column is\n"
+           "flat almost immediately — any prefix gives the steady-state\n"
+           "answer.  For 32K-64K the number is still falling at the end\n"
+           "of the trace: a short trace reports the cold-start\n"
+           "transient, not the cache.  That is why the paper warns\n"
+           "against estimating miss ratios for caches over 32K from\n"
+           "250k-reference traces (and why Table 1's large-cache points\n"
+           "are read as bounds, not estimates).\n";
+    return 0;
+}

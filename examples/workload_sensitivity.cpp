@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Workload sensitivity — the paper's central thesis, as a runnable
+ * demonstration.  The same cache design is evaluated under workloads
+ * from different machines/environments, and the conclusions a
+ * designer would draw differ dramatically.  This is the Z80000 story
+ * (section 1.2): Zilog projected a 0.88 hit ratio for its 256-byte
+ * cache from Z8000 utility traces; against a mature 32-bit workload
+ * the same design looks far worse.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "cache/sector_cache.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "stats/table.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+using namespace cachelab;
+
+int
+main()
+{
+    // The design under evaluation: a small on-chip cache, 256 bytes,
+    // 16-byte lines (the Z80000's sector geometry with full-sector
+    // fetch), plus a larger 8K alternative.
+    TextTable table("One design, many workloads: hit ratio of small "
+                    "caches by evaluation workload");
+    table.setHeader({"workload", "group", "256B hit", "1K hit", "8K hit",
+                     "verdict at 256B"});
+    table.setAlignment({TextTable::Align::Left, TextTable::Align::Left,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Left});
+
+    const char *names[] = {"ZGREP", "ZOD",  "PLO",    "VCCOM",
+                           "VSPICE", "LISP1", "FCOMP1", "MVS1"};
+    for (const char *name : names) {
+        const TraceProfile *p = findTraceProfile(name);
+        const Trace t = generateTrace(*p);
+        double hit[3];
+        int i = 0;
+        for (std::uint64_t size : {256u, 1024u, 8192u}) {
+            Cache cache(table1Config(size));
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p->group);
+            hit[i++] = 1.0 - runTrace(t, cache, run).missRatio();
+        }
+        const char *verdict = hit[0] >= 0.85 ? "ship it!"
+            : hit[0] >= 0.70               ? "marginal"
+                                           : "inadequate";
+        table.addRow({name, std::string(toString(p->group)),
+                      formatFixed(hit[0], 3), formatFixed(hit[1], 3),
+                      formatFixed(hit[2], 3), verdict});
+    }
+    std::cout << table << "\n";
+
+    std::cout
+        << "The same 256-byte design earns 'ship it' on small 16-bit\n"
+           "utility traces and 'inadequate' on a mature operating-system\n"
+           "workload.  \"Making the 'best' choices ... depends greatly\n"
+           "on the workload to be expected.\" (section 1)\n\n";
+
+    // The sector-cache variant Zilog actually built, evaluated both
+    // ways (cf. bench_validation for the full comparison).
+    TextTable sector("Z80000 sector cache (256B, 16B sectors): hit ratio "
+                     "by fetch block and workload");
+    sector.setHeader({"fetch block", "Z8000 utility trace",
+                      "370 compiler trace"});
+    sector.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                         TextTable::Align::Right});
+    const Trace z = generateTrace(*findTraceProfile("ZGREP"));
+    const Trace big = generateTrace(*findTraceProfile("FCOMP1"));
+    for (std::uint32_t block : {2u, 4u, 16u}) {
+        SectorCacheConfig cfg;
+        cfg.sizeBytes = 256;
+        cfg.sectorBytes = 16;
+        cfg.subblockBytes = block;
+        SectorCache a(cfg), b(cfg);
+        for (const MemoryRef &ref : z)
+            a.access(ref);
+        for (const MemoryRef &ref : big)
+            b.access(ref);
+        sector.addRow({std::to_string(block) + "B",
+                       formatFixed(1.0 - a.stats().missRatio(), 2),
+                       formatFixed(1.0 - b.stats().missRatio(), 2)});
+    }
+    std::cout << sector << "\n"
+              << "[Alpe83] projected 0.62 / 0.75 / 0.88 from Z8000 "
+                 "traces; the paper predicted ~0.70 at 16B blocks for "
+                 "real 32-bit workloads.\n";
+    return 0;
+}

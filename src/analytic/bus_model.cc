@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Implementation of the shared-bus contention model.
+ */
+
+#include "analytic/bus_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+double
+BusModel::cyclesPerRef(double miss_ratio, double rho) const
+{
+    CACHELAB_ASSERT(rho >= 0.0 && rho < 1.0, "utilization must be in [0,1)");
+    return baseCyclesPerRef +
+        miss_ratio * missPenaltyCycles / (1.0 - rho);
+}
+
+double
+BusModel::utilization(double processors, double traffic_bytes_per_ref,
+                      double miss_ratio) const
+{
+    CACHELAB_ASSERT(processors > 0.0, "need at least one processor");
+    if (traffic_bytes_per_ref <= 0.0)
+        return 0.0;
+    // Self-consistency: rho = P * T / (B * c(rho)).  The right-hand
+    // side is decreasing in rho (contention slows the processors), so
+    // the fixed point is found by bisection.  When even rho -> 1
+    // cannot shed enough load, the bus is saturated.
+    auto excess = [&](double rho) {
+        return processors * traffic_bytes_per_ref /
+            (busBytesPerCycle * cyclesPerRef(miss_ratio, rho)) -
+            rho;
+    };
+    constexpr double kMaxRho = 0.999;
+    if (excess(kMaxRho) > 0.0)
+        return kMaxRho; // saturated
+    double lo = 0.0, hi = kMaxRho;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (excess(mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+BusModel::systemThroughput(double processors, double miss_ratio,
+                           double traffic_bytes_per_ref) const
+{
+    const double rho =
+        utilization(processors, traffic_bytes_per_ref, miss_ratio);
+    if (rho >= 0.999) {
+        // Saturated: the bus is the pipe; aggregate reference
+        // throughput equals its byte rate over the per-reference load.
+        return busBytesPerCycle / traffic_bytes_per_ref;
+    }
+    return processors / cyclesPerRef(miss_ratio, rho);
+}
+
+double
+BusModel::processorsAtKnee(double miss_ratio,
+                           double traffic_bytes_per_ref,
+                           double fraction, double limit) const
+{
+    CACHELAB_ASSERT(fraction > 0.0 && fraction < 1.0,
+                    "knee fraction must be in (0,1)");
+    if (traffic_bytes_per_ref <= 0.0)
+        return limit; // the bus never binds
+    const double cap = busBytesPerCycle / traffic_bytes_per_ref;
+    for (double p = 1.0; p <= limit; p += 0.25) {
+        if (systemThroughput(p, miss_ratio, traffic_bytes_per_ref) >=
+            fraction * cap) {
+            return p;
+        }
+    }
+    return limit;
+}
+
+} // namespace cachelab

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared-bus contention model.
+ *
+ * Section 3.5.2's warning — prefetch traffic "can lower the maximum
+ * possible system performance level" of a bus-based multiprocessor —
+ * needs a queueing model to be made quantitative.  This module
+ * provides the standard M/M/1-style treatment: each processor offers
+ * bus traffic; as total utilization rises, the effective miss penalty
+ * inflates by 1 / (1 - rho), and system throughput peaks at some
+ * processor count.
+ */
+
+#ifndef CACHELAB_ANALYTIC_BUS_MODEL_HH
+#define CACHELAB_ANALYTIC_BUS_MODEL_HH
+
+#include <cstdint>
+
+namespace cachelab
+{
+
+/** Parameters of the shared-bus multiprocessor model. */
+struct BusModel
+{
+    /** Bus bandwidth in bytes per (CPU) cycle. */
+    double busBytesPerCycle = 4.0;
+
+    /** Uncontended miss penalty in cycles. */
+    double missPenaltyCycles = 10.0;
+
+    /** Base cycles per reference with a perfect cache. */
+    double baseCyclesPerRef = 1.0;
+
+    /**
+     * Bus utilization offered by @p processors CPUs, each moving
+     * @p traffic_bytes_per_ref bytes per reference, accounting for the
+     * slowdown contention itself imposes (fixed-point solution).
+     * @return utilization in [0, 1).
+     */
+    double utilization(double processors,
+                       double traffic_bytes_per_ref,
+                       double miss_ratio) const;
+
+    /** Effective per-reference cycles at @p miss_ratio under the
+     *  utilization @p rho (penalty inflated by 1/(1-rho)). */
+    double cyclesPerRef(double miss_ratio, double rho) const;
+
+    /**
+     * System throughput (references per cycle, all CPUs) for
+     * @p processors processors.
+     */
+    double systemThroughput(double processors, double miss_ratio,
+                            double traffic_bytes_per_ref) const;
+
+    /**
+     * The knee of the scaling curve: the smallest processor count
+     * reaching @p fraction (default 95%) of the bus-saturated
+     * throughput.  Beyond the knee, added processors mostly queue.
+     * @return processor count in [1, limit].
+     */
+    double processorsAtKnee(double miss_ratio,
+                            double traffic_bytes_per_ref,
+                            double fraction = 0.95,
+                            double limit = 256.0) const;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_BUS_MODEL_HH

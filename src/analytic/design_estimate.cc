@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the design-estimate bundle.
+ */
+
+#include "analytic/design_estimate.hh"
+
+#include <sstream>
+
+#include "analytic/design_target.hh"
+#include "analytic/fudge.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+DesignEstimate
+designEstimate(Machine machine, std::uint64_t cache_bytes)
+{
+    const ArchProfile &arch = archProfile(machine);
+
+    DesignEstimate est;
+    est.machine = machine;
+    est.cacheBytes = cache_bytes;
+    est.lineBytes = 16;
+
+    // Table 5 is stated for a generic 32-bit architecture with a
+    // mature OS; the projected Z80000 profile plays that baseline
+    // role, and scaleMissRatio applies the section 4 fudge chain.
+    est.unifiedMiss = scaleMissRatio(
+        designTargetMissRatio(cache_bytes, CacheKind::Unified),
+        Machine::Z80000, machine);
+    est.instructionMiss = scaleMissRatio(
+        designTargetMissRatio(cache_bytes, CacheKind::Instruction),
+        Machine::Z80000, machine);
+    est.dataMiss = scaleMissRatio(
+        designTargetMissRatio(cache_bytes, CacheKind::Data),
+        Machine::Z80000, machine);
+
+    // Section 4.3: instruction : (load+store) from the complexity
+    // interpolation; reads : writes = 2 : 1 within data references.
+    const double i_to_d = estimatedInstrToDataRatio(machine);
+    est.ifetchFraction = i_to_d / (i_to_d + 1.0);
+    est.readFraction = (1.0 - est.ifetchFraction) * (2.0 / 3.0);
+    est.writeFraction = (1.0 - est.ifetchFraction) * (1.0 / 3.0);
+    est.branchFraction = estimatedBranchFraction(complexityRank(machine));
+    est.refsPerInstruction = 1.0 / est.ifetchFraction;
+    est.dirtyPushProbability = dirtyPushProbability();
+
+    // Traffic models of section 3.3.  Copy-back: every miss fetches a
+    // line; a matching push occurs per fetch in steady state, dirty
+    // with the rule-of-thumb probability.
+    est.copyBackTrafficPerRef = est.unifiedMiss * est.lineBytes *
+        (1.0 + est.dirtyPushProbability);
+    // Write-through: fetches (write misses don't allocate in the
+    // simplest WT design, so reads+ifetches dominate) plus each store.
+    est.writeThroughTrafficPerRef =
+        est.unifiedMiss * (1.0 - est.writeFraction) * est.lineBytes +
+        est.writeFraction * arch.wordBytes;
+
+    return est;
+}
+
+std::string
+DesignEstimate::render() const
+{
+    std::ostringstream os;
+    os << "Design estimate: " << toString(machine) << ", "
+       << formatSize(cacheBytes) << " unified cache, " << lineBytes
+       << "-byte lines\n"
+       << "  miss ratios      unified " << formatPercent(unifiedMiss)
+       << ", instruction " << formatPercent(instructionMiss) << ", data "
+       << formatPercent(dataMiss) << "\n"
+       << "  reference mix    " << formatPercent(ifetchFraction)
+       << " ifetch / " << formatPercent(readFraction) << " read / "
+       << formatPercent(writeFraction) << " write  ("
+       << formatFixed(refsPerInstruction, 2) << " refs/instr)\n"
+       << "  taken branches   " << formatPercent(branchFraction)
+       << " of ifetches\n"
+       << "  dirty pushes     " << formatPercent(dirtyPushProbability)
+       << " of pushed data lines\n"
+       << "  traffic          copy-back "
+       << formatFixed(copyBackTrafficPerRef, 2) << " B/ref, write-through "
+       << formatFixed(writeThroughTrafficPerRef, 2) << " B/ref\n";
+    return os.str();
+}
+
+} // namespace cachelab

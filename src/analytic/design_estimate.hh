@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The designer's one-call API — what section 4 of the paper promises:
+ * "some miss ratios and other parameter values which can be used by
+ * the computer architect in designing a new machine and in predicting
+ * its performance."
+ *
+ * designEstimate() bundles, for a target architecture and cache size:
+ * the Table 5 design-target miss ratios scaled by the section 4 fudge
+ * factors (Table 5 is stated for a generic 32-bit architecture), the
+ * reference-mix and branch-frequency estimates of section 4.3, the
+ * dirty-push rule of thumb of section 3.3, and the derived memory-
+ * traffic estimates for copy-back and write-through designs.
+ *
+ * Like the paper's own numbers these are planning values: "When in
+ * doubt, it is better ... to lean in the pessimistic direction and
+ * make conservative estimates."
+ */
+
+#ifndef CACHELAB_ANALYTIC_DESIGN_ESTIMATE_HH
+#define CACHELAB_ANALYTIC_DESIGN_ESTIMATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/profile.hh"
+
+namespace cachelab
+{
+
+/** The full design-planning bundle for one (machine, cache size). */
+struct DesignEstimate
+{
+    Machine machine = Machine::Z80000;
+    std::uint64_t cacheBytes = 0;
+    std::uint32_t lineBytes = 16;
+
+    /** Miss ratios (Table 5 scaled to the target architecture). */
+    double unifiedMiss = 0.0;
+    double instructionMiss = 0.0;
+    double dataMiss = 0.0;
+
+    /** Reference mix (section 4.3 instruction:data interpolation,
+     *  reads:writes = 2:1). */
+    double ifetchFraction = 0.0;
+    double readFraction = 0.0;
+    double writeFraction = 0.0;
+
+    /** Taken-branch fraction of ifetch references (section 4.3). */
+    double branchFraction = 0.0;
+
+    /** Memory references per instruction. */
+    double refsPerInstruction = 0.0;
+
+    /** P(pushed data line is dirty) — section 3.3's rule of thumb. */
+    double dirtyPushProbability = 0.5;
+
+    /** Estimated memory-traffic bytes per reference, copy-back design
+     *  (miss fetches + dirty pushes). */
+    double copyBackTrafficPerRef = 0.0;
+
+    /** ... and for a write-through design (miss fetches + all stores,
+     *  assuming word-sized stores). */
+    double writeThroughTrafficPerRef = 0.0;
+
+    /** Render a human-readable planning sheet. */
+    std::string render() const;
+};
+
+/**
+ * @return the planning bundle for @p machine with a unified cache of
+ * @p cache_bytes (one of Table 5's power-of-two sizes, 32 B - 64 KB)
+ * and 16-byte lines.
+ */
+DesignEstimate designEstimate(Machine machine, std::uint64_t cache_bytes);
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_DESIGN_ESTIMATE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's Table 5: "Design Target Miss Ratios" — the miss ratios
+ * the author proposes designers assume for a 32-bit architecture
+ * running fairly large programs and a mature operating system, with
+ * 16-byte lines.  Values are "towards the worst of the values
+ * observed, perhaps at the 85th percentile or so".
+ *
+ * Also exposes the paper's summary scaling rules: "In the range of 32
+ * bytes to 512 bytes, doubling the cache size seems to cut the miss
+ * ratio by about 14%, from 512 to 64K, by about 27%, and overall, by
+ * about 23%."
+ */
+
+#ifndef CACHELAB_ANALYTIC_DESIGN_TARGET_HH
+#define CACHELAB_ANALYTIC_DESIGN_TARGET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cachelab
+{
+
+/** Which cache a design-target number applies to. */
+enum class CacheKind
+{
+    Unified,
+    Instruction,
+    Data,
+};
+
+/** One row of Table 5. */
+struct DesignTargetRow
+{
+    std::uint64_t cacheBytes;
+    double unified;
+    double instruction;
+    double data;
+};
+
+/** The full Table 5, 32 bytes through 64 Kbytes. */
+const std::vector<DesignTargetRow> &designTargetTable();
+
+/**
+ * @return the Table 5 miss ratio for @p kind at @p cache_bytes.
+ * fatal() if @p cache_bytes is not one of the table's sizes.
+ */
+double designTargetMissRatio(std::uint64_t cache_bytes, CacheKind kind);
+
+/**
+ * Multiplicative miss-ratio reduction per size doubling implied by
+ * Table 5 between @p from_bytes and @p to_bytes (geometric mean).
+ * E.g. ~0.77 per doubling overall (a ~23% cut).
+ */
+double designTargetDoublingFactor(std::uint64_t from_bytes,
+                                  std::uint64_t to_bytes, CacheKind kind);
+
+/** Percentile of the observed distribution Table 5 aims at (~0.85). */
+inline constexpr double kDesignTargetPercentile = 0.85;
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_DESIGN_TARGET_HH

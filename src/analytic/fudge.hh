@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's "fudge factors" (section 4): rules by which statistics
+ * measured for one machine architecture under one workload can be used
+ * to estimate the corresponding parameters of another (possibly
+ * unbuilt) architecture.
+ *
+ * The rules encoded here, with their provenance:
+ *
+ *  - Instruction : (load+store) ratio ranges "from about 1:1 for
+ *    relatively complex (32 bit) architectures up to about 3:1 for
+ *    extremely simplified architectures, assuming a standard (single)
+ *    register set" (section 4.3).  We interpolate on the architecture
+ *    complexity rank.
+ *
+ *  - Reads outnumber writes about 2:1 (section 3.2).
+ *
+ *  - About half the data lines pushed from a copy-back cache are
+ *    dirty (section 3.3; mean 0.47, std 0.18, range 0.22-0.80).
+ *
+ *  - Branch frequency trends with instruction power: interpolate
+ *    between the measured per-machine branch fractions by complexity
+ *    rank (section 4.3: "That data can be used to make reasonable
+ *    estimates of branch frequencies in an as yet unimplemented
+ *    architecture by interpolating among the machines for which we
+ *    show information").
+ *
+ *  - 16-bit to 32-bit migration (the Z8000 -> Z80000 discussion,
+ *    sections 1.2 and 3.2): more powerful instructions and a more
+ *    mature compiler reduce the ifetch share, and the wider fetch
+ *    granule reduces the benefit of sequentiality, so miss ratios
+ *    rise substantially; the paper predicts ~30% at 256 bytes where
+ *    the vendor predicted 12%.
+ */
+
+#ifndef CACHELAB_ANALYTIC_FUDGE_HH
+#define CACHELAB_ANALYTIC_FUDGE_HH
+
+#include <cstdint>
+
+#include "arch/profile.hh"
+
+namespace cachelab
+{
+
+/**
+ * Estimated ratio of instruction fetches to data loads+stores for an
+ * architecture of the given complexity rank (see complexityRank()).
+ * 1.0 rank (most complex) -> ~1:1; 0.15 rank (simplest) -> ~3:1.
+ */
+double estimatedInstrToDataRatio(double complexity_rank);
+
+/** The same, for a known machine. */
+double estimatedInstrToDataRatio(Machine machine);
+
+/** Rule-of-thumb reads : writes ratio (~2.0). */
+double readsPerWrite();
+
+/** Rule-of-thumb probability a pushed data line is dirty (~0.5). */
+double dirtyPushProbability();
+
+/**
+ * Estimated taken-branch fraction (per ifetch reference) for an
+ * architecture of the given complexity rank, interpolated between the
+ * paper's per-machine measurements.
+ */
+double estimatedBranchFraction(double complexity_rank);
+
+/**
+ * Estimate the miss ratio of workload W on machine @p target given the
+ * measured miss ratio of the "same" workload on machine @p source.
+ *
+ * Captures the paper's core warning: traces from a 16-bit machine
+ * with a high ifetch share and long sequential runs understate the
+ * miss ratio of a 32-bit machine.  The scaling combines the change in
+ * sequentiality (branch fraction ratio) and the change in code
+ * density (word-size ratio); it is a heuristic with the paper's
+ * Z8000 -> Z80000 example as its calibration point (0.12 predicted by
+ * the vendor vs ~0.30 predicted by the paper at 256 bytes,
+ * 16-byte lines).
+ */
+double scaleMissRatio(double source_miss_ratio, Machine source,
+                      Machine target);
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_FUDGE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of the [Hard80] miss-ratio model.
+ */
+
+#include "analytic/hartstein.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+// Quoted hit ratios at 16K / 32K / 64K (paper section 1.2).
+constexpr double kSupMiss16K = 1.0 - 0.925;
+constexpr double kSupMiss64K = 1.0 - 0.964;
+constexpr double kProbMiss16K = 1.0 - 0.982;
+constexpr double kProbMiss32K = 1.0 - 0.984;
+constexpr double kProbMiss64K = 1.0 - 0.980;
+
+constexpr double kSize16K = 16.0 * 1024.0;
+constexpr double kSize32K = 32.0 * 1024.0;
+constexpr double kSize64K = 64.0 * 1024.0;
+
+} // namespace
+
+double
+hard80SupervisorExponent()
+{
+    // b = ln(m16/m64) / ln(64K/16K)
+    return std::log(kSupMiss16K / kSupMiss64K) / std::log(4.0);
+}
+
+double
+hard80MissRatio(ExecState state, std::uint64_t cache_bytes)
+{
+    CACHELAB_ASSERT(cache_bytes > 0, "cache size must be positive");
+    const double s = static_cast<double>(cache_bytes);
+
+    if (state == ExecState::Supervisor) {
+        const double b = hard80SupervisorExponent();
+        const double a = kSupMiss16K * std::pow(kSize16K, b);
+        return a * std::pow(s, -b);
+    }
+
+    // Problem state: piecewise log-linear through the three quoted
+    // points, clamped outside the measured range.
+    if (s <= kSize16K)
+        return kProbMiss16K;
+    if (s >= kSize64K)
+        return kProbMiss64K;
+    if (s <= kSize32K) {
+        const double t = std::log(s / kSize16K) / std::log(2.0);
+        return kProbMiss16K + t * (kProbMiss32K - kProbMiss16K);
+    }
+    const double t = std::log(s / kSize32K) / std::log(2.0);
+    return kProbMiss32K + t * (kProbMiss64K - kProbMiss32K);
+}
+
+double
+hard80MixedMissRatio(double supervisor_fraction, std::uint64_t cache_bytes)
+{
+    CACHELAB_ASSERT(supervisor_fraction >= 0.0 && supervisor_fraction <= 1.0,
+                    "supervisor fraction must be in [0,1]");
+    return supervisor_fraction *
+        hard80MissRatio(ExecState::Supervisor, cache_bytes) +
+        (1.0 - supervisor_fraction) *
+        hard80MissRatio(ExecState::Problem, cache_bytes);
+}
+
+} // namespace cachelab

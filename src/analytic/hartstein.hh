@@ -1,0 +1,57 @@
+/**
+ * @file
+ * [Hard80] hardware-monitor miss-ratio model (paper Figure 2).
+ *
+ * Harding's measurements of an IBM 370/MVS workload on machines with
+ * 32-byte lines gave supervisor-state and problem-state miss ratios as
+ * functions of cache size.  The formulas printed in the surviving text
+ * of the paper are corrupted, but the paper quotes the resulting hit
+ * ratios directly: "Supervisor and problem state hit ratios are thus
+ * approximately 0.925, 0.948, 0.964 and 0.982, 0.984, 0.980
+ * respectively at (16K, 32K, 64K) bytes."
+ *
+ * We therefore model the supervisor-state curve as a power law
+ * miss(s) = a * s^(-b) fitted through the 16K and 64K points, and the
+ * problem-state curve as interpolation through the three quoted
+ * points (it is nearly flat and non-monotone, so a power law would
+ * misrepresent it).
+ */
+
+#ifndef CACHELAB_ANALYTIC_HARTSTEIN_HH
+#define CACHELAB_ANALYTIC_HARTSTEIN_HH
+
+#include <cstdint>
+
+namespace cachelab
+{
+
+/** Execution state of the [Hard80] measurements. */
+enum class ExecState
+{
+    Supervisor, ///< operating-system execution
+    Problem,    ///< user-program execution
+};
+
+/**
+ * @return the modeled [Hard80] miss ratio at @p cache_bytes.
+ *
+ * Valid over the measured range and extrapolated (power law) outside
+ * it for the supervisor curve; the problem curve is clamped to its
+ * end points outside [16K, 64K].
+ */
+double hard80MissRatio(ExecState state, std::uint64_t cache_bytes);
+
+/** The power-law exponent b of the fitted supervisor curve. */
+double hard80SupervisorExponent();
+
+/**
+ * Miss ratio of a mixed workload spending @p supervisor_fraction of
+ * references in supervisor state ([Mil85] reports 73% of CPU cycles in
+ * supervisor state for a production machine).
+ */
+double hard80MixedMissRatio(double supervisor_fraction,
+                            std::uint64_t cache_bytes);
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_HARTSTEIN_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the CPU-performance model.
+ */
+
+#include "analytic/performance.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+double
+PerfModel::cpi(double miss_ratio) const
+{
+    CACHELAB_ASSERT(miss_ratio >= 0.0 && miss_ratio <= 1.0,
+                    "miss ratio must be in [0,1]");
+    return baseCpi + refsPerInstr * miss_ratio * missPenaltyCycles;
+}
+
+double
+PerfModel::mips(double miss_ratio) const
+{
+    return clockMhz / cpi(miss_ratio);
+}
+
+double
+PerfModel::speedup(double miss_from, double miss_to) const
+{
+    return cpi(miss_from) / cpi(miss_to);
+}
+
+double
+fitMissPenalty(double miss_a, double mips_a, double miss_b, double mips_b,
+               double base_cpi, double refs_per_instr, double clock_mhz)
+{
+    (void)base_cpi; // the penalty slope is independent of the intercept
+    if (miss_a == miss_b)
+        fatal("cannot fit a penalty from equal miss ratios");
+    if (mips_a <= 0.0 || mips_b <= 0.0)
+        fatal("MIPS observations must be positive");
+    const double cpi_a = clock_mhz / mips_a;
+    const double cpi_b = clock_mhz / mips_b;
+    return (cpi_a - cpi_b) / (refs_per_instr * (miss_a - miss_b));
+}
+
+PerfModel
+merrill370Model()
+{
+    // [Mer74]: 2.07 MIPS at hit 0.969, 2.34 MIPS at hit 0.988, on an
+    // IBM 370/168 (80 ns cycle -> 12.5 MHz).
+    constexpr double kClock = 12.5;
+    constexpr double kRefsPerInstr = 2.0;
+    constexpr double kMissA = 1.0 - 0.969;
+    constexpr double kMipsA = 2.07;
+    constexpr double kMissB = 1.0 - 0.988;
+    constexpr double kMipsB = 2.34;
+
+    PerfModel model;
+    model.clockMhz = kClock;
+    model.refsPerInstr = kRefsPerInstr;
+    model.missPenaltyCycles = fitMissPenalty(
+        kMissA, kMipsA, kMissB, kMipsB, 0.0, kRefsPerInstr, kClock);
+    model.baseCpi =
+        kClock / kMipsA - kRefsPerInstr * kMissA * model.missPenaltyCycles;
+    return model;
+}
+
+} // namespace cachelab

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CPU-performance model: translating miss ratios into machine
+ * performance, the calculus of the paper's introduction ("a cache
+ * which achieves a 99% hit ratio may cost 80% more than one which
+ * achieves 98% ... and may only boost overall CPU performance by
+ * 8%").
+ *
+ * The model is the standard one: each memory reference costs one base
+ * cycle plus a miss penalty when it misses, so
+ *
+ *   time per instruction  =  cpi0 + refs_per_instr * miss * penalty
+ *
+ * [Mer74] gives a calibration point: an IBM 370/168 ran one benchmark
+ * at 2.07 MIPS with a 0.969 hit ratio and 2.34 MIPS at 0.988.
+ */
+
+#ifndef CACHELAB_ANALYTIC_PERFORMANCE_HH
+#define CACHELAB_ANALYTIC_PERFORMANCE_HH
+
+namespace cachelab
+{
+
+/** Parameters of the linear miss-penalty performance model. */
+struct PerfModel
+{
+    /** Cycles per instruction with a perfect cache. */
+    double baseCpi = 1.0;
+
+    /** Memory references per instruction (paper rule of thumb: 2). */
+    double refsPerInstr = 2.0;
+
+    /** Additional cycles per cache miss. */
+    double missPenaltyCycles = 10.0;
+
+    /** Machine clock in MHz (only scales MIPS, not ratios). */
+    double clockMhz = 12.5;
+
+    /** @return effective cycles per instruction at @p miss_ratio. */
+    double cpi(double miss_ratio) const;
+
+    /** @return MIPS at @p miss_ratio. */
+    double mips(double miss_ratio) const;
+
+    /**
+     * @return relative speedup from improving the miss ratio from
+     * @p miss_from to @p miss_to (>1 when miss_to < miss_from).
+     */
+    double speedup(double miss_from, double miss_to) const;
+};
+
+/**
+ * Fit the miss penalty (in cycles) from two (miss ratio, MIPS)
+ * observations at fixed base CPI, refs/instruction and clock — the
+ * [Mer74] calibration.  fatal() when the observations are degenerate.
+ */
+double fitMissPenalty(double miss_a, double mips_a, double miss_b,
+                      double mips_b, double base_cpi, double refs_per_instr,
+                      double clock_mhz);
+
+/**
+ * The [Mer74] IBM 370/168 model: penalty fitted through the
+ * (0.031, 2.07 MIPS) and (0.012, 2.34 MIPS) points.
+ */
+PerfModel merrill370Model();
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_PERFORMANCE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The published-figure registry.
+ */
+
+#include "analytic/published.hh"
+
+namespace cachelab
+{
+
+const std::vector<PublishedFigure> &
+publishedFigures()
+{
+    static const std::vector<PublishedFigure> figures = {
+        {"[Mil85]", "IBM 370/165-2, VS2", "hit ratio", 0.94, 16384, 32},
+        {"[Mil85]", "IBM 370/165-2, VS2", "fetches per instruction", 1.6, 0,
+         0},
+        {"[Mil85]", "IBM 370/165-2, VS2", "supervisor-state CPU fraction",
+         0.73, 0, 0},
+        {"[Mer74]", "IBM 370/168, applications", "hit ratio (best)", 0.932,
+         16384, 32},
+        {"[Mer74]", "IBM 370/168, applications", "hit ratio (worst)", 0.907,
+         16384, 32},
+        {"[Mer74]", "IBM 370/168", "MIPS at 0.969 hit ratio", 2.07, 16384,
+         32},
+        {"[Mer74]", "IBM 370/168", "MIPS at 0.988 hit ratio", 2.34, 16384,
+         32},
+        {"[Hard80]", "IBM 370/MVS, supervisor", "hit ratio", 0.925, 16384,
+         32},
+        {"[Hard80]", "IBM 370/MVS, supervisor", "hit ratio", 0.948, 32768,
+         32},
+        {"[Hard80]", "IBM 370/MVS, supervisor", "hit ratio", 0.964, 65536,
+         32},
+        {"[Hard80]", "IBM 370/MVS, problem", "hit ratio", 0.982, 16384, 32},
+        {"[Hard80]", "IBM 370/MVS, problem", "hit ratio", 0.984, 32768, 32},
+        {"[Hard80]", "IBM 370/MVS, problem", "hit ratio", 0.980, 65536, 32},
+        {"[Hat83]", "Fujitsu M380, small scientific",
+         "misses per instruction", 0.0015, 65536, 64},
+        {"[Hat83]", "Fujitsu M380, large scientific",
+         "misses per instruction", 0.0114, 65536, 64},
+        {"[Hat83]", "Fujitsu M380, business (Cobol)",
+         "misses per instruction", 0.035, 65536, 64},
+        {"[Hat83]", "Fujitsu M380, time-sharing", "misses per instruction",
+         0.044, 65536, 64},
+        {"[Fran84]", "Synapse (M68000-based)", "hit ratio (reported floor)",
+         0.95, 16384, 16},
+        {"[Clar83]", "VAX 11/780", "data miss ratio",
+         kClark83DataMissRatio, 8192, 8},
+        {"[Clar83]", "VAX 11/780", "instruction miss ratio",
+         kClark83InstrMissRatio, 8192, 8},
+        {"[Clar83]", "VAX 11/780", "overall read miss ratio",
+         kClark83OverallReadMissRatio, 8192, 8},
+        {"[Clar83]", "VAX 11/780, halved cache", "data miss ratio",
+         kClark83HalvedDataMissRatio, 4096, 8},
+        {"[Clar83]", "VAX 11/780, halved cache", "instruction miss ratio",
+         kClark83HalvedInstrMissRatio, 4096, 8},
+        {"[Clar83]", "VAX 11/780, halved cache", "overall miss ratio",
+         kClark83HalvedOverallMissRatio, 4096, 8},
+        {"[Alpe83]", "Z80000, 2-byte blocks", "projected hit ratio",
+         kAlpert83HitRatioBlock2, 256, 2},
+        {"[Alpe83]", "Z80000, 4-byte blocks", "projected hit ratio",
+         kAlpert83HitRatioBlock4, 256, 4},
+        {"[Alpe83]", "Z80000, 16-byte blocks", "projected hit ratio",
+         kAlpert83HitRatioBlock16, 256, 16},
+    };
+    return figures;
+}
+
+} // namespace cachelab

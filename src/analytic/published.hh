@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Published hardware-monitor and simulation figures the paper cites
+ * (sections 1.2 and 4.1), recorded as named constants so the
+ * validation bench can compare our simulations against them.
+ */
+
+#ifndef CACHELAB_ANALYTIC_PUBLISHED_HH
+#define CACHELAB_ANALYTIC_PUBLISHED_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cachelab
+{
+
+/** One published measurement point. */
+struct PublishedFigure
+{
+    std::string_view source;  ///< citation key, e.g. "[Clar83]"
+    std::string_view system;  ///< machine / configuration
+    std::string_view metric;  ///< what was measured
+    double value;             ///< the published number
+    std::uint64_t cacheBytes; ///< cache size, 0 when not applicable
+    std::uint32_t lineBytes;  ///< line size, 0 when not applicable
+};
+
+/** All published figures quoted by the paper. */
+const std::vector<PublishedFigure> &publishedFigures();
+
+// Named accessors for the figures the validation bench reasons about.
+
+/** [Clar83] VAX 11/780, 8 KB cache, 8 B lines: data miss ratio. */
+inline constexpr double kClark83DataMissRatio = 0.165;
+
+/** [Clar83] instruction miss ratio under the same setup. */
+inline constexpr double kClark83InstrMissRatio = 0.086;
+
+/** [Clar83] overall read miss ratio. */
+inline constexpr double kClark83OverallReadMissRatio = 0.103;
+
+/** [Clar83] halved-cache (4 KB) data / instruction / overall. */
+inline constexpr double kClark83HalvedDataMissRatio = 0.311;
+inline constexpr double kClark83HalvedInstrMissRatio = 0.157;
+inline constexpr double kClark83HalvedOverallMissRatio = 0.175;
+
+/** [Alpe83] Z80000 projected hit ratios for 256 bytes of storage at
+ *  effective block sizes of 2, 4 and 16 bytes. */
+inline constexpr double kAlpert83HitRatioBlock2 = 0.62;
+inline constexpr double kAlpert83HitRatioBlock4 = 0.75;
+inline constexpr double kAlpert83HitRatioBlock16 = 0.88;
+
+/** The paper's counter-prediction for the 256-byte Z80000 cache with
+ *  16-byte blocks (section 4.1): ~30% miss ratio. */
+inline constexpr double kPaperZ80000MissPrediction = 0.30;
+
+/** The paper's prediction band for the Motorola 68020's 256-byte,
+ *  4-byte-block instruction cache (section 3.4). */
+inline constexpr double kPaper68020MissLow = 0.20;
+inline constexpr double kPaper68020MissHigh = 0.60;
+
+} // namespace cachelab
+
+#endif // CACHELAB_ANALYTIC_PUBLISHED_HH

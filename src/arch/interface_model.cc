@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the memory-interface model.
+ */
+
+#include "arch/interface_model.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+InterfaceModel::InterfaceModel(const MemoryInterface &interface)
+    : interface_(interface)
+{
+    CACHELAB_ASSERT(isPowerOfTwo(interface_.instrGranuleBytes),
+                    "instruction granule must be a power of two");
+    CACHELAB_ASSERT(isPowerOfTwo(interface_.dataGranuleBytes),
+                    "data granule must be a power of two");
+}
+
+void
+InterfaceModel::fetchInstruction(Addr addr, std::uint32_t length, Trace &out)
+{
+    CACHELAB_ASSERT(length > 0, "zero-length instruction");
+    const std::uint32_t granule = interface_.instrGranuleBytes;
+    const Addr first = alignDown(addr, granule);
+    const Addr last = alignDown(addr + length - 1, granule);
+    for (Addr g = first; g <= last; g += granule) {
+        if (interface_.hasMemory && haveInstrGranule_ &&
+            g == lastInstrGranule_) {
+            continue; // the interface already holds these bytes
+        }
+        out.append(g, granule, AccessKind::IFetch);
+        haveInstrGranule_ = true;
+        lastInstrGranule_ = g;
+    }
+}
+
+void
+InterfaceModel::dataAccess(Addr addr, std::uint32_t width, AccessKind kind,
+                           Trace &out)
+{
+    CACHELAB_ASSERT(kind != AccessKind::IFetch,
+                    "dataAccess cannot carry an ifetch");
+    CACHELAB_ASSERT(width > 0, "zero-width data access");
+    const std::uint32_t granule = interface_.dataGranuleBytes;
+    const Addr first = alignDown(addr, granule);
+    const Addr last = alignDown(addr + width - 1, granule);
+    for (Addr g = first; g <= last; g += granule)
+        out.append(g, granule, kind);
+}
+
+void
+InterfaceModel::reset()
+{
+    haveInstrGranule_ = false;
+}
+
+} // namespace cachelab

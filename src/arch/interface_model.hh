@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory-interface model: turns logical machine activity into the
+ * memory-reference stream a trace records.
+ *
+ * Paper section 1.1: "the number of memory references is affected by
+ * the width of the data path to memory: fetching two four-byte
+ * instructions requires 4, 2 or 1 memory reference, depending on
+ * whether the memory interface is 2, 4 or 8 bytes wide", and an
+ * interface with "memory" suppresses a refetch of a granule it already
+ * holds.  The workload generator produces *logical* events
+ * (instruction executed at address A with length L; data read/write at
+ * address A of width W) and this model expands them into MemoryRefs.
+ */
+
+#ifndef CACHELAB_ARCH_INTERFACE_MODEL_HH
+#define CACHELAB_ARCH_INTERFACE_MODEL_HH
+
+#include <cstdint>
+
+#include "arch/profile.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/**
+ * Expands logical accesses into trace references according to a
+ * MemoryInterface description.  Stateful: tracks the granule most
+ * recently delivered for instructions and for data so an interface
+ * with memory can skip redundant fetches.
+ */
+class InterfaceModel
+{
+  public:
+    explicit InterfaceModel(const MemoryInterface &interface);
+
+    /**
+     * Record the fetch of one instruction of @p length bytes at
+     * @p addr, appending the resulting ifetch references to @p out.
+     */
+    void fetchInstruction(Addr addr, std::uint32_t length, Trace &out);
+
+    /** Record a data access of @p width bytes at @p addr. */
+    void dataAccess(Addr addr, std::uint32_t width, AccessKind kind,
+                    Trace &out);
+
+    /** Forget any remembered granules (e.g. across a branch). */
+    void reset();
+
+  private:
+    MemoryInterface interface_;
+    bool haveInstrGranule_ = false;
+    Addr lastInstrGranule_ = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_ARCH_INTERFACE_MODEL_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Static architecture profile data.
+ *
+ * Sources for the constants, all from the paper:
+ *  - ifetch fractions: Table 2 aggregates quoted in section 3.2
+ *    (Z8000 75.1 %, CDC 6400 77.2 %, 370/VAX about one half).
+ *  - branch fractions: section 3.2 (VAX 17.5 %, 360/91 16 %, 370
+ *    14.0 %, Z8000 10.5 %, CDC 6400 4.2 %).
+ *  - reads : writes ~ 2 : 1 within data references (section 3.2).
+ *  - interface assumptions: section 2 trace descriptions (CDC 6400:
+ *    one 60-bit word for data, one instruction parcel with no
+ *    interface memory; 360/91: 8-byte interface, "all bytes are
+ *    discarded after each individual fetch"; M68000: 2-byte bus,
+ *    traces reflect the real implementation).
+ */
+
+#include "arch/profile.hh"
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+constexpr double
+dataSplitRead(double ifetch)
+{
+    // Reads outnumber writes about 2:1 within the data references.
+    return (1.0 - ifetch) * (2.0 / 3.0);
+}
+
+constexpr double
+dataSplitWrite(double ifetch)
+{
+    return (1.0 - ifetch) * (1.0 / 3.0);
+}
+
+const ArchProfile kProfiles[] = {
+    {
+        Machine::IBM370, "IBM 370",
+        /*wordBytes=*/4, /*meanInstrBytes=*/4.0,
+        /*minInstrBytes=*/2, /*maxInstrBytes=*/6,
+        /*interface=*/{8, 8, false},
+        /*ifetchFraction=*/0.53,
+        dataSplitRead(0.53), dataSplitWrite(0.53),
+        /*branchFraction=*/0.140,
+        /*mergedFetch=*/false,
+    },
+    {
+        Machine::IBM360_91, "IBM 360/91",
+        4, 4.0, 2, 6,
+        {8, 8, false},
+        0.55, dataSplitRead(0.55), dataSplitWrite(0.55),
+        0.160, false,
+    },
+    {
+        Machine::VAX, "DEC VAX",
+        4, 3.8, 1, 8,
+        {4, 4, false},
+        0.50, dataSplitRead(0.50), dataSplitWrite(0.50),
+        0.175, false,
+    },
+    {
+        Machine::Z8000, "Zilog Z8000",
+        2, 3.0, 2, 6,
+        {2, 2, false},
+        0.751, dataSplitRead(0.751), dataSplitWrite(0.751),
+        0.105, false,
+    },
+    {
+        Machine::CDC6400, "CDC 6400",
+        8, 4.0, 2, 4,
+        {4, 8, false},
+        0.772, dataSplitRead(0.772), dataSplitWrite(0.772),
+        0.042, false,
+    },
+    {
+        Machine::M68000, "Motorola 68000",
+        2, 3.2, 2, 6,
+        {2, 2, false},
+        0.62, dataSplitRead(0.62), dataSplitWrite(0.62),
+        0.120, true,
+    },
+    {
+        Machine::Z80000, "Zilog Z80000 (projected)",
+        4, 3.6, 2, 6,
+        {4, 4, false},
+        0.55, dataSplitRead(0.55), dataSplitWrite(0.55),
+        0.140, false,
+    },
+};
+
+} // namespace
+
+std::string_view
+toString(Machine machine)
+{
+    return archProfile(machine).name;
+}
+
+const std::vector<Machine> &
+allMachines()
+{
+    static const std::vector<Machine> all = {
+        Machine::IBM370,  Machine::IBM360_91, Machine::VAX,   Machine::Z8000,
+        Machine::CDC6400, Machine::M68000,    Machine::Z80000,
+    };
+    return all;
+}
+
+const ArchProfile &
+archProfile(Machine machine)
+{
+    for (const ArchProfile &p : kProfiles)
+        if (p.machine == machine)
+            return p;
+    panic("no profile for machine id ", static_cast<int>(machine));
+}
+
+double
+complexityRank(Machine machine)
+{
+    // Section 4.3 ordering: the VAX "is the most complicated
+    // architecture and has the most powerful instructions", the CDC
+    // 6400 "has few and simple instructions"; the 16-bit machines sit
+    // low.  Values are a unitless scale used for interpolation.
+    switch (machine) {
+      case Machine::VAX:
+        return 1.00;
+      case Machine::IBM370:
+        return 0.85;
+      case Machine::IBM360_91:
+        return 0.80;
+      case Machine::Z80000:
+        return 0.60;
+      case Machine::M68000:
+        return 0.45;
+      case Machine::Z8000:
+        return 0.35;
+      case Machine::CDC6400:
+        return 0.15;
+    }
+    panic("unreachable machine id ", static_cast<int>(machine));
+}
+
+} // namespace cachelab

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Machine-architecture profiles.
+ *
+ * The paper distinguishes the *functional* architecture (instruction
+ * set) from the *design* architecture (implementation details such as
+ * the width and "memory" of the path to memory) and notes that a trace
+ * reflects both (section 1.1).  An ArchProfile captures what the
+ * workload generator needs of each of the six traced machines — plus
+ * the hypothetical 32-bit Z80000 the paper reasons about in section 4.
+ *
+ * The reference-mix and branch-frequency constants are the Table 2 /
+ * section 3.2 aggregates:
+ *   - ifetch fraction: Z8000 75.1 %, CDC 6400 77.2 %, 370 and VAX
+ *     about one-half ("half of the memory references are instruction
+ *     fetches" rule of thumb);
+ *   - reads outnumber writes "by about 2 to 1" within data references;
+ *   - taken-branch fraction of ifetches: VAX 17.5 %, 360/91 16 %,
+ *     VAX/LISP 14.1 %, 370 14.0 %, Z8000 10.5 %, CDC 6400 4.2 %.
+ */
+
+#ifndef CACHELAB_ARCH_PROFILE_HH
+#define CACHELAB_ARCH_PROFILE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cachelab
+{
+
+/** The machine architectures of the paper's trace corpus. */
+enum class Machine : std::uint8_t
+{
+    IBM370,    ///< IBM 370 (Amdahl traces; MVS, compilers, batch)
+    IBM360_91, ///< IBM 360/91 (SLAC traces)
+    VAX,       ///< DEC VAX 11/780 (Unix traces)
+    Z8000,     ///< Zilog Z8000 (16-bit; ported Unix utilities)
+    CDC6400,   ///< CDC 6400 (Fortran batch)
+    M68000,    ///< Motorola 68000 (hardware-monitored Pascal programs)
+    Z80000,    ///< hypothetical 32-bit Zilog (paper section 4 estimate)
+};
+
+/** @return short display name, e.g. "IBM 370". */
+std::string_view toString(Machine machine);
+
+/** Number of distinct Machine values. */
+inline constexpr std::size_t kMachineCount = 7;
+
+/** All Machine values, for iteration in tests and benches. */
+const std::vector<Machine> &allMachines();
+
+/**
+ * Memory-interface (design-architecture) parameters.
+ *
+ * instrGranuleBytes is the unit in which instruction bytes arrive from
+ * memory; dataGranuleBytes likewise for data.  When hasMemory is true
+ * the interface "remembers" the last granule fetched and suppresses a
+ * refetch of the same granule on sequential access (paper's example of
+ * an 8-byte interface serving two sequential 4-byte requests with one
+ * fetch).
+ */
+struct MemoryInterface
+{
+    std::uint32_t instrGranuleBytes = 4;
+    std::uint32_t dataGranuleBytes = 4;
+    bool hasMemory = false;
+};
+
+/** Static description of one machine architecture. */
+struct ArchProfile
+{
+    Machine machine = Machine::VAX;
+    std::string_view name;
+
+    /** Natural word size in bytes (the "N-bit machine" of the paper). */
+    std::uint32_t wordBytes = 4;
+
+    /** Mean instruction length in bytes (drives sequential runs). */
+    double meanInstrBytes = 4.0;
+
+    /** Shortest / longest instruction encodable, in bytes. */
+    std::uint32_t minInstrBytes = 2;
+    std::uint32_t maxInstrBytes = 8;
+
+    MemoryInterface interface;
+
+    /** Fraction of memory references that are instruction fetches. */
+    double ifetchFraction = 0.5;
+
+    /** Fraction of memory references that are data reads. */
+    double readFraction = 0.33;
+
+    /** Fraction of memory references that are data writes. */
+    double writeFraction = 0.17;
+
+    /** Fraction of instruction fetches that are taken branches. */
+    double branchFraction = 0.14;
+
+    /**
+     * True when traces from this machine cannot distinguish reads from
+     * instruction fetches (the hardware-monitored M68000 traces).
+     */
+    bool mergedFetch = false;
+};
+
+/** @return the profile for @p machine (static storage). */
+const ArchProfile &archProfile(Machine machine);
+
+/**
+ * Architecture-complexity rank used by the fudge-factor interpolation
+ * (section 4.3): higher = more powerful instructions.  VAX > 370 >
+ * 360/91 > Z80000 > M68000 > Z8000 > CDC 6400.
+ */
+double complexityRank(Machine machine);
+
+} // namespace cachelab
+
+#endif // CACHELAB_ARCH_PROFILE_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of OPT replacement simulation.
+ */
+
+#include "cache/belady.hh"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+CacheStats
+simulateOptimal(const Trace &trace, std::uint64_t size_bytes,
+                std::uint32_t line_bytes)
+{
+    CACHELAB_ASSERT(isPowerOfTwo(size_bytes) && isPowerOfTwo(line_bytes),
+                    "cache and line sizes must be powers of two");
+    CACHELAB_ASSERT(line_bytes <= size_bytes, "line exceeds cache");
+    const std::uint64_t capacity = size_bytes / line_bytes;
+    constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+
+    // Pass 1: flatten the trace into line touches and compute, for
+    // each touch, the index of the next touch of the same line.
+    std::vector<Addr> touches;
+    touches.reserve(trace.size() + trace.size() / 8);
+    for (const MemoryRef &ref : trace) {
+        const Addr first = alignDown(ref.addr, line_bytes);
+        const Addr last = alignDown(ref.addr + ref.size - 1, line_bytes);
+        for (Addr line = first;; line += line_bytes) {
+            touches.push_back(line);
+            if (line == last)
+                break;
+        }
+    }
+    std::vector<std::uint64_t> next_use(touches.size(), kNever);
+    {
+        std::unordered_map<Addr, std::uint64_t> seen;
+        seen.reserve(touches.size() / 4);
+        for (std::uint64_t i = touches.size(); i-- > 0;) {
+            const auto it = seen.find(touches[i]);
+            if (it != seen.end())
+                next_use[i] = it->second;
+            seen[touches[i]] = i;
+        }
+    }
+
+    // Pass 2: simulate.  Residents are ordered by next use so the
+    // farthest-future line is *rbegin of the set.
+    struct LineState
+    {
+        std::uint64_t nextUse;
+        bool dirty;
+    };
+    std::unordered_map<Addr, LineState> resident;
+    resident.reserve(capacity * 2);
+    std::set<std::pair<std::uint64_t, Addr>> byNextUse;
+
+    CacheStats stats;
+    std::uint64_t touch_idx = 0;
+    for (const MemoryRef &ref : trace) {
+        const auto k = static_cast<std::size_t>(ref.kind);
+        ++stats.accesses[k];
+        const Addr first = alignDown(ref.addr, line_bytes);
+        const Addr last = alignDown(ref.addr + ref.size - 1, line_bytes);
+        bool hit = true;
+        for (Addr line = first;; line += line_bytes) {
+            const std::uint64_t nu = next_use[touch_idx++];
+            auto it = resident.find(line);
+            if (it != resident.end()) {
+                byNextUse.erase({it->second.nextUse, line});
+                it->second.nextUse = nu;
+                if (ref.kind == AccessKind::Write)
+                    it->second.dirty = true;
+                byNextUse.insert({nu, line});
+            } else {
+                hit = false;
+                if (resident.size() == capacity) {
+                    // Evict the line whose next use is farthest away.
+                    const auto victim = std::prev(byNextUse.end());
+                    const Addr victim_line = victim->second;
+                    const bool dirty = resident.at(victim_line).dirty;
+                    ++stats.replacementPushes;
+                    if (dirty) {
+                        ++stats.dirtyReplacementPushes;
+                        stats.bytesToMemory += line_bytes;
+                    }
+                    resident.erase(victim_line);
+                    byNextUse.erase(victim);
+                }
+                resident.emplace(
+                    line,
+                    LineState{nu, ref.kind == AccessKind::Write});
+                byNextUse.insert({nu, line});
+                ++stats.demandFetches;
+                stats.bytesFromMemory += line_bytes;
+            }
+            if (line == last)
+                break;
+        }
+        if (!hit)
+            ++stats.misses[k];
+    }
+    CACHELAB_ASSERT(touch_idx == touches.size(), "touch accounting skew");
+    return stats;
+}
+
+} // namespace cachelab

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Belady's optimal (OPT/MIN) replacement — an offline bound.
+ *
+ * Given the whole trace up front (exactly what a trace-driven
+ * laboratory has), OPT evicts the resident line whose next use is
+ * farthest in the future.  No demand-fetch policy can miss less, so
+ * OPT gives the floor against which LRU/FIFO/random are judged.
+ * Supports the fully associative organization of the paper's
+ * Table 1 baseline.
+ */
+
+#ifndef CACHELAB_CACHE_BELADY_HH
+#define CACHELAB_CACHE_BELADY_HH
+
+#include <cstdint>
+
+#include "cache/stats.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/**
+ * Simulate a fully associative cache with OPT replacement and demand
+ * fetch (write-allocate) over @p trace.
+ *
+ * Statistics cover hits/misses per kind, demand fetches, and traffic
+ * from memory; copy-back write traffic is also modeled (a line is
+ * pushed dirty if written since fetch).
+ *
+ * @param trace the reference stream (consumed in two passes).
+ * @param size_bytes cache capacity (power of two).
+ * @param line_bytes line size (power of two).
+ */
+CacheStats simulateOptimal(const Trace &trace, std::uint64_t size_bytes,
+                           std::uint32_t line_bytes = 16);
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_BELADY_HH

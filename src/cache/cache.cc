@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Implementation of the cache model.
+ */
+
+#include "cache/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), rng_(config.randomSeed)
+{
+    config_.validate();
+    assoc_ = config_.effectiveAssociativity();
+    sets_ = config_.setCount();
+
+    const std::uint64_t n = config_.lineCount();
+    lines_.assign(n, Line{});
+    next_.assign(n, kInvalid);
+    prev_.assign(n, kInvalid);
+    head_.assign(sets_, kInvalid);
+    tail_.assign(sets_, kInvalid);
+    index_.reserve(n * 2);
+
+    // Thread every way of every set onto that set's recency list.
+    for (std::uint64_t set = 0; set < sets_; ++set)
+        for (std::uint64_t way = 0; way < assoc_; ++way)
+            pushMru(set, static_cast<std::uint32_t>(set * assoc_ + way));
+}
+
+std::uint64_t
+Cache::setOf(Addr line_addr) const
+{
+    return (line_addr / config_.lineBytes) % sets_;
+}
+
+void
+Cache::unlink(std::uint64_t set, std::uint32_t idx)
+{
+    const std::uint32_t p = prev_[idx];
+    const std::uint32_t n = next_[idx];
+    if (p != kInvalid)
+        next_[p] = n;
+    else
+        head_[set] = n;
+    if (n != kInvalid)
+        prev_[n] = p;
+    else
+        tail_[set] = p;
+    prev_[idx] = kInvalid;
+    next_[idx] = kInvalid;
+}
+
+void
+Cache::pushMru(std::uint64_t set, std::uint32_t idx)
+{
+    prev_[idx] = kInvalid;
+    next_[idx] = head_[set];
+    if (head_[set] != kInvalid)
+        prev_[head_[set]] = idx;
+    head_[set] = idx;
+    if (tail_[set] == kInvalid)
+        tail_[set] = idx;
+}
+
+std::uint32_t
+Cache::chooseVictim(std::uint64_t set)
+{
+    const std::uint32_t lru = tail_[set];
+    CACHELAB_ASSERT(lru != kInvalid, "empty recency list in set ", set);
+
+    switch (config_.replacement) {
+      case ReplacementPolicy::LRU:
+      case ReplacementPolicy::FIFO:
+        // Invalid ways are never promoted, so they accumulate at the
+        // LRU end and are consumed before any valid line is evicted.
+        return lru;
+      case ReplacementPolicy::Random:
+        if (!lines_[lru].valid)
+            return lru;
+        return static_cast<std::uint32_t>(set * assoc_ +
+                                          rng_.uniformInt(assoc_));
+    }
+    panic("unreachable replacement policy");
+}
+
+void
+Cache::evict(std::uint32_t idx, bool is_purge)
+{
+    Line &line = lines_[idx];
+    if (!line.valid)
+        return;
+    if (is_purge) {
+        ++stats_.purgePushes;
+        if (line.dirty)
+            ++stats_.dirtyPurgePushes;
+    } else {
+        ++stats_.replacementPushes;
+        if (line.dirty)
+            ++stats_.dirtyReplacementPushes;
+    }
+    if (line.dirty)
+        stats_.bytesToMemory += config_.lineBytes;
+    if (observer_ != nullptr)
+        observer_->onEvict(line.lineAddr, line.dirty, is_purge);
+    index_.erase(line.lineAddr);
+    line.valid = false;
+    line.dirty = false;
+    --validLines_;
+}
+
+void
+Cache::install(Addr line_addr, bool prefetched)
+{
+    const std::uint64_t set = setOf(line_addr);
+    const std::uint32_t victim = chooseVictim(set);
+    evict(victim, /*is_purge=*/false);
+
+    Line &line = lines_[victim];
+    line.lineAddr = line_addr;
+    line.valid = true;
+    line.dirty = false;
+    index_.emplace(line_addr, victim);
+    ++validLines_;
+
+    unlink(set, victim);
+    pushMru(set, victim);
+
+    stats_.bytesFromMemory += config_.lineBytes;
+    if (prefetched)
+        ++stats_.prefetchFetches;
+    else
+        ++stats_.demandFetches;
+    if (observer_ != nullptr)
+        observer_->onFill(line_addr, prefetched);
+}
+
+bool
+Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
+{
+    const auto it = index_.find(line_addr);
+    const bool hit = it != index_.end();
+
+    if (hit) {
+        const std::uint32_t idx = it->second;
+        if (config_.replacement == ReplacementPolicy::LRU ||
+            config_.replacement == ReplacementPolicy::Random) {
+            const std::uint64_t set = setOf(line_addr);
+            unlink(set, idx);
+            pushMru(set, idx);
+        }
+        if (kind == AccessKind::Write) {
+            if (config_.writePolicy == WritePolicy::CopyBack) {
+                lines_[idx].dirty = true;
+            } else {
+                stats_.bytesToMemory += size;
+                ++stats_.writeThroughs;
+            }
+        }
+        return true;
+    }
+
+    // Miss.
+    if (kind == AccessKind::Write &&
+        config_.writeMiss == WriteMissPolicy::NoAllocate) {
+        // The store bypasses the cache entirely.
+        stats_.bytesToMemory += size;
+        ++stats_.writeThroughs;
+        return false;
+    }
+
+    install(line_addr, /*prefetched=*/false);
+    if (kind == AccessKind::Write) {
+        if (config_.writePolicy == WritePolicy::CopyBack) {
+            lines_[index_.at(line_addr)].dirty = true;
+        } else {
+            stats_.bytesToMemory += size;
+            ++stats_.writeThroughs;
+        }
+    }
+    return false;
+}
+
+void
+Cache::maybePrefetch(Addr line_addr)
+{
+    const Addr succ = line_addr + config_.lineBytes;
+    if (succ < line_addr)
+        return; // address-space wraparound
+    if (!index_.contains(succ))
+        install(succ, /*prefetched=*/true);
+}
+
+bool
+Cache::access(const MemoryRef &ref)
+{
+    CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    const auto k = static_cast<std::size_t>(ref.kind);
+    ++stats_.accesses[k];
+
+    const Addr first = alignDown(ref.addr, config_.lineBytes);
+    const Addr last = alignDown(ref.addr + ref.size - 1, config_.lineBytes);
+
+    bool hit = true;
+    for (Addr line = first;; line += config_.lineBytes) {
+        hit &= touchLine(line, ref.kind, ref.size);
+        if (line == last)
+            break;
+    }
+    if (!hit)
+        ++stats_.misses[k];
+
+    if (config_.fetchPolicy == FetchPolicy::PrefetchAlways)
+        maybePrefetch(last);
+
+    return hit;
+}
+
+void
+Cache::purge()
+{
+    for (std::uint32_t idx = 0; idx < lines_.size(); ++idx)
+        evict(idx, /*is_purge=*/true);
+
+    // Rebuild the recency lists so every set drains in way order again.
+    std::fill(head_.begin(), head_.end(), kInvalid);
+    std::fill(tail_.begin(), tail_.end(), kInvalid);
+    std::fill(next_.begin(), next_.end(), kInvalid);
+    std::fill(prev_.begin(), prev_.end(), kInvalid);
+    for (std::uint64_t set = 0; set < sets_; ++set)
+        for (std::uint64_t way = 0; way < assoc_; ++way)
+            pushMru(set, static_cast<std::uint32_t>(set * assoc_ + way));
+
+    ++stats_.purges;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return index_.contains(alignDown(addr, config_.lineBytes));
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const auto it = index_.find(alignDown(addr, config_.lineBytes));
+    return it != index_.end() && lines_[it->second].dirty;
+}
+
+} // namespace cachelab

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The cache model.
+ *
+ * A single cache parameterized by CacheConfig: direct-mapped through
+ * fully associative, LRU/FIFO/random replacement, copy-back or
+ * write-through, demand fetch or prefetch-always.  All bookkeeping is
+ * O(1) per access (hash lookup plus intrusive per-set recency lists),
+ * so the multi-hundred-million-reference sweeps behind Table 1 and
+ * Figures 3-10 run quickly.
+ */
+
+#ifndef CACHELAB_CACHE_CACHE_HH
+#define CACHELAB_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "trace/memory_ref.hh"
+#include "util/random.hh"
+
+namespace cachelab
+{
+
+/**
+ * Observer of a cache's fill and eviction events.  Used to compose
+ * caches into larger structures (hierarchies, victim caches) without
+ * burdening the hot path: a null observer costs one branch.
+ */
+class CacheObserver
+{
+  public:
+    virtual ~CacheObserver() = default;
+
+    /** A line was fetched into the cache. */
+    virtual void onFill(Addr line_addr, bool prefetched) = 0;
+
+    /** A valid line was removed (replacement or purge). */
+    virtual void onEvict(Addr line_addr, bool dirty, bool is_purge) = 0;
+};
+
+/**
+ * One cache.
+ *
+ * Thread-compatible (no internal synchronization): use one instance
+ * per simulation thread.
+ */
+class Cache
+{
+  public:
+    /** Construct from a validated configuration. */
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Apply one memory reference.
+     *
+     * The reference hits iff every line it touches is resident; missing
+     * lines are fetched per the write/fetch policies.  With
+     * FetchPolicy::PrefetchAlways the successor of the last touched
+     * line is verified resident and prefetched if not.
+     *
+     * @return true when the reference hit.
+     */
+    bool access(const MemoryRef &ref);
+
+    /**
+     * Invalidate the whole cache, as on a task switch in a machine
+     * without address-space tags.  Dirty lines are pushed to memory
+     * and counted in the purge-push statistics.
+     */
+    void purge();
+
+    /** @return true when the line containing @p addr is resident. */
+    bool contains(Addr addr) const;
+
+    /** @return true when the line containing @p addr is resident and
+     *  dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** @return number of currently valid lines. */
+    std::uint64_t validLineCount() const { return validLines_; }
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zero the statistics, keeping cache contents (warm-up support). */
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Attach an observer (not owned; nullptr detaches). */
+    void setObserver(CacheObserver *observer) { observer_ = observer; }
+
+  private:
+    static constexpr std::uint32_t kInvalid =
+        std::numeric_limits<std::uint32_t>::max();
+
+    /** One cache line's metadata. */
+    struct Line
+    {
+        Addr lineAddr = 0; ///< line-aligned address (tag + index)
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const;
+
+    /** Unlink way @p idx from its set's recency list. */
+    void unlink(std::uint64_t set, std::uint32_t idx);
+
+    /** Insert way @p idx at the MRU end of its set's recency list. */
+    void pushMru(std::uint64_t set, std::uint32_t idx);
+
+    /** @return way index to fill next in @p set, per the policy. */
+    std::uint32_t chooseVictim(std::uint64_t set);
+
+    /** Evict (and account) the line in way @p idx if valid. */
+    void evict(std::uint32_t idx, bool is_purge);
+
+    /** Fetch @p line_addr into its set. @p prefetched selects the
+     *  traffic counter. */
+    void install(Addr line_addr, bool prefetched);
+
+    /**
+     * Reference one line.  @return true on hit.  On a write the
+     * write policy is applied; @p size is the access width (used for
+     * write-through traffic).
+     */
+    bool touchLine(Addr line_addr, AccessKind kind, std::uint32_t size);
+
+    /** Apply prefetch-always for the successor of @p line_addr. */
+    void maybePrefetch(Addr line_addr);
+
+    CacheConfig config_;
+    CacheStats stats_;
+
+    std::vector<Line> lines_;       ///< sets * assoc entries
+    std::vector<std::uint32_t> next_; ///< toward LRU end
+    std::vector<std::uint32_t> prev_; ///< toward MRU end
+    std::vector<std::uint32_t> head_; ///< MRU way per set
+    std::vector<std::uint32_t> tail_; ///< LRU way per set
+    std::unordered_map<Addr, std::uint32_t> index_; ///< lineAddr -> way
+
+    std::uint64_t assoc_;
+    std::uint64_t sets_;
+    std::uint64_t validLines_ = 0;
+    Rng rng_;
+    CacheObserver *observer_ = nullptr;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_CACHE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sector (block/sub-block) cache.
+ *
+ * Models the Zilog Z80000 on-chip cache the paper critiques in
+ * section 1.2: "a sector cache (block/subblock), with a 16 byte sector
+ * (larger block) and then fetches either 2 bytes, 4 bytes or 16 bytes
+ * (called a block or subblock)".  A tag is kept per sector; validity
+ * is tracked per sub-block, and a miss fetches only the referenced
+ * sub-block.
+ */
+
+#ifndef CACHELAB_CACHE_SECTOR_CACHE_HH
+#define CACHELAB_CACHE_SECTOR_CACHE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/stats.hh"
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+
+/** Parameters of a sector cache. */
+struct SectorCacheConfig
+{
+    /** Total capacity in bytes (power of two). */
+    std::uint64_t sizeBytes = 256;
+
+    /** Sector size in bytes (power of two). */
+    std::uint32_t sectorBytes = 16;
+
+    /** Sub-block (transfer unit) size; divides sectorBytes. */
+    std::uint32_t subblockBytes = 4;
+
+    /** fatal() on invalid parameters. */
+    void validate() const;
+
+    std::uint64_t sectorCount() const { return sizeBytes / sectorBytes; }
+    std::uint32_t subblocksPerSector() const
+    {
+        return sectorBytes / subblockBytes;
+    }
+};
+
+/**
+ * Fully associative LRU sector cache with demand sub-block fetch.
+ *
+ * Write policy is copy-back with fetch-on-write at sub-block
+ * granularity, matching the Table 1 baseline choices.
+ */
+class SectorCache
+{
+  public:
+    explicit SectorCache(const SectorCacheConfig &config);
+
+    /** Apply one reference; @return true when every touched sub-block
+     *  was resident. */
+    bool access(const MemoryRef &ref);
+
+    /** Invalidate everything, pushing dirty sub-blocks. */
+    void purge();
+
+    /** @return true when the sub-block containing @p addr is valid. */
+    bool contains(Addr addr) const;
+
+    const SectorCacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Sector
+    {
+        Addr sectorAddr = 0;
+        std::uint64_t validMask = 0;
+        std::uint64_t dirtyMask = 0;
+        std::uint32_t prev = kInvalid;
+        std::uint32_t next = kInvalid;
+    };
+
+    static constexpr std::uint32_t kInvalid =
+        std::numeric_limits<std::uint32_t>::max();
+
+    void unlink(std::uint32_t idx);
+    void pushMru(std::uint32_t idx);
+    std::uint32_t lookupSector(Addr sector_addr) const;
+    std::uint32_t allocateSector(Addr sector_addr);
+    void evictSector(std::uint32_t idx, bool is_purge);
+    bool touchSubblock(Addr addr, AccessKind kind);
+
+    SectorCacheConfig config_;
+    CacheStats stats_;
+    std::vector<Sector> sectors_;
+    std::unordered_map<Addr, std::uint32_t> index_;
+    std::uint32_t head_ = kInvalid;
+    std::uint32_t tail_ = kInvalid;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_SECTOR_CACHE_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Implementation of the LRU stack-distance analyzer.
+ */
+
+#include "cache/stack_analysis.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+StackAnalyzer::StackAnalyzer(std::uint32_t line_bytes)
+    : lineBytes_(line_bytes)
+{
+    CACHELAB_ASSERT(isPowerOfTwo(line_bytes),
+                    "line size must be a power of two");
+}
+
+std::uint64_t
+StackAnalyzer::touchLine(Addr line_addr)
+{
+    if (!present_.contains(line_addr)) {
+        present_.emplace(line_addr, 1);
+        stack_.insert(stack_.begin(), line_addr);
+        ++cold_;
+        ++lineTouches_;
+        return 0;
+    }
+    // Walk from the MRU end to find the line's (1-based) depth.
+    const auto it = std::find(stack_.begin(), stack_.end(), line_addr);
+    CACHELAB_ASSERT(it != stack_.end(), "index/stack divergence");
+    const auto depth =
+        static_cast<std::uint64_t>(it - stack_.begin()) + 1;
+    stack_.erase(it);
+    stack_.insert(stack_.begin(), line_addr);
+
+    if (depth > distances_.size())
+        distances_.resize(depth, 0);
+    ++distances_[depth - 1];
+    ++lineTouches_;
+    return depth;
+}
+
+void
+StackAnalyzer::access(const MemoryRef &ref)
+{
+    CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    ++refs_;
+    const Addr first = alignDown(ref.addr, lineBytes_);
+    const Addr last = alignDown(ref.addr + ref.size - 1, lineBytes_);
+    std::uint64_t worst = 1;
+    bool any_cold = false;
+    for (Addr line = first;; line += lineBytes_) {
+        const std::uint64_t d = touchLine(line);
+        if (d == 0)
+            any_cold = true;
+        else
+            worst = std::max(worst, d);
+        if (line == last)
+            break;
+    }
+    if (any_cold) {
+        ++refColdOrDeep_;
+    } else {
+        if (worst > refWorst_.size())
+            refWorst_.resize(worst, 0);
+        ++refWorst_[worst - 1];
+    }
+}
+
+void
+StackAnalyzer::accessAll(const Trace &trace)
+{
+    for (const MemoryRef &ref : trace)
+        access(ref);
+}
+
+std::uint64_t
+StackAnalyzer::missCountFor(std::uint64_t size_bytes) const
+{
+    const std::uint64_t lines = size_bytes / lineBytes_;
+    std::uint64_t misses = cold_;
+    for (std::uint64_t d = lines + 1; d <= distances_.size(); ++d)
+        misses += distances_[d - 1];
+    return misses;
+}
+
+double
+StackAnalyzer::missRatioFor(std::uint64_t size_bytes) const
+{
+    return lineTouches_
+        ? static_cast<double>(missCountFor(size_bytes)) /
+            static_cast<double>(lineTouches_)
+        : 0.0;
+}
+
+double
+StackAnalyzer::refMissRatioFor(std::uint64_t size_bytes) const
+{
+    if (refs_ == 0)
+        return 0.0;
+    const std::uint64_t lines = size_bytes / lineBytes_;
+    std::uint64_t misses = refColdOrDeep_;
+    for (std::uint64_t d = lines + 1; d <= refWorst_.size(); ++d)
+        misses += refWorst_[d - 1];
+    return static_cast<double>(misses) / static_cast<double>(refs_);
+}
+
+double
+StackAnalyzer::meanDistance() const
+{
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    for (std::uint64_t d = 1; d <= distances_.size(); ++d) {
+        n += distances_[d - 1];
+        sum += static_cast<double>(d) *
+            static_cast<double>(distances_[d - 1]);
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+SetAssocStackAnalyzer::SetAssocStackAnalyzer(std::uint64_t set_count,
+                                             std::uint32_t line_bytes)
+    : setCount_(set_count), lineBytes_(line_bytes)
+{
+    CACHELAB_ASSERT(isPowerOfTwo(set_count), "set count must be 2^k");
+    CACHELAB_ASSERT(isPowerOfTwo(line_bytes), "line size must be 2^k");
+    stacks_.resize(set_count);
+}
+
+std::uint64_t
+SetAssocStackAnalyzer::touchLine(Addr line_addr)
+{
+    auto &stack = stacks_[(line_addr / lineBytes_) % setCount_];
+    const auto it = std::find(stack.begin(), stack.end(), line_addr);
+    ++lineTouches_;
+    if (it == stack.end()) {
+        stack.insert(stack.begin(), line_addr);
+        ++cold_;
+        return 0;
+    }
+    const auto depth = static_cast<std::uint64_t>(it - stack.begin()) + 1;
+    stack.erase(it);
+    stack.insert(stack.begin(), line_addr);
+    if (depth > distances_.size())
+        distances_.resize(depth, 0);
+    ++distances_[depth - 1];
+    return depth;
+}
+
+void
+SetAssocStackAnalyzer::access(const MemoryRef &ref)
+{
+    CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    const Addr first = alignDown(ref.addr, lineBytes_);
+    const Addr last = alignDown(ref.addr + ref.size - 1, lineBytes_);
+    for (Addr line = first;; line += lineBytes_) {
+        touchLine(line);
+        if (line == last)
+            break;
+    }
+}
+
+void
+SetAssocStackAnalyzer::accessAll(const Trace &trace)
+{
+    for (const MemoryRef &ref : trace)
+        access(ref);
+}
+
+std::uint64_t
+SetAssocStackAnalyzer::missCountFor(std::uint64_t ways) const
+{
+    std::uint64_t misses = cold_;
+    for (std::uint64_t d = ways + 1; d <= distances_.size(); ++d)
+        misses += distances_[d - 1];
+    return misses;
+}
+
+double
+SetAssocStackAnalyzer::missRatioFor(std::uint64_t ways) const
+{
+    return lineTouches_
+        ? static_cast<double>(missCountFor(ways)) /
+            static_cast<double>(lineTouches_)
+        : 0.0;
+}
+
+std::vector<double>
+lruMissRatioCurve(const Trace &trace,
+                  const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes)
+{
+    StackAnalyzer analyzer(line_bytes);
+    analyzer.accessAll(trace);
+    std::vector<double> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t s : sizes)
+        out.push_back(analyzer.refMissRatioFor(s));
+    return out;
+}
+
+} // namespace cachelab

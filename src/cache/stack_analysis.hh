@@ -1,0 +1,159 @@
+/**
+ * @file
+ * One-pass LRU stack-distance analysis (Mattson et al., 1970).
+ *
+ * For a fully associative LRU cache, the references that miss in a
+ * cache of N lines are exactly those whose LRU stack distance exceeds
+ * N (plus cold first-touches).  One pass over a trace therefore
+ * yields the miss ratio at *every* cache size simultaneously — the
+ * standard trick behind 1980s trace-driven studies like this paper's,
+ * where "computer time is a limited resource" (section 3.2).
+ *
+ * The distances this class records are per-line-touch distances for
+ * the line containing each reference; a multi-line reference records
+ * one distance per touched line.  missCountFor() therefore agrees
+ * with Cache's *line-fetch* count (demandFetches), and
+ * refMissRatioFor() with its per-reference miss ratio, for the
+ * Table 1 configuration (fully associative, LRU, demand fetch,
+ * write-allocate, no purges).
+ */
+
+#ifndef CACHELAB_CACHE_STACK_ANALYSIS_HH
+#define CACHELAB_CACHE_STACK_ANALYSIS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/**
+ * Incremental LRU stack profiler.
+ *
+ * Feed references with access(); query miss counts or full curves at
+ * any point.  The stack is a move-to-front list over line addresses;
+ * lookups use a hash index and distance is found by walking from the
+ * front (cheap for the local traces this library produces).
+ */
+class StackAnalyzer
+{
+  public:
+    /** @param line_bytes cache line size (power of two). */
+    explicit StackAnalyzer(std::uint32_t line_bytes = 16);
+
+    /** Record one memory reference (all lines it touches). */
+    void access(const MemoryRef &ref);
+
+    /** Record every reference of @p trace. */
+    void accessAll(const Trace &trace);
+
+    /** Total references recorded. */
+    std::uint64_t refCount() const { return refs_; }
+
+    /** Line touches whose stack distance was d (0-based index d-1). */
+    const std::vector<std::uint64_t> &distanceCounts() const
+    {
+        return distances_;
+    }
+
+    /** First-touch (cold) line accesses. */
+    std::uint64_t coldCount() const { return cold_; }
+
+    /**
+     * Line fetches a fully associative LRU cache of @p size_bytes
+     * would perform on the recorded stream (distance > lines + cold).
+     */
+    std::uint64_t missCountFor(std::uint64_t size_bytes) const;
+
+    /** Line-touch miss ratio at @p size_bytes. */
+    double missRatioFor(std::uint64_t size_bytes) const;
+
+    /**
+     * Per-reference miss ratio at @p size_bytes (a reference misses
+     * when any line it touches does).  Exact because the analyzer
+     * also tracks per-reference outcomes per size via the distance of
+     * the worst line touched.
+     */
+    double refMissRatioFor(std::uint64_t size_bytes) const;
+
+    /** Mean stack distance of non-cold line touches. */
+    double meanDistance() const;
+
+  private:
+    std::uint32_t lineBytes_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t lineTouches_ = 0;
+    std::uint64_t cold_ = 0;
+
+    /** distances_[d-1] = touches at stack distance d. */
+    std::vector<std::uint64_t> distances_;
+
+    /** Per-reference worst distances (0 = cold touch present). */
+    std::vector<std::uint64_t> refWorst_;
+    std::uint64_t refColdOrDeep_ = 0;
+
+    // Move-to-front stack with hash membership.
+    std::vector<Addr> stack_; ///< front = most recent
+    std::unordered_map<Addr, std::uint8_t> present_;
+
+    /** @return stack distance (1-based) or 0 for a cold touch. */
+    std::uint64_t touchLine(Addr line_addr);
+};
+
+/**
+ * Convenience: one pass over @p trace, returning per-reference miss
+ * ratios at each size in @p sizes (Table 1 semantics).
+ */
+std::vector<double> lruMissRatioCurve(const Trace &trace,
+                                      const std::vector<std::uint64_t> &sizes,
+                                      std::uint32_t line_bytes = 16);
+
+/**
+ * All-associativity stack analysis at a fixed set count: one pass
+ * yields the line-fetch counts of a set-associative LRU cache for
+ * *every* way count simultaneously (Mattson generalizes per set,
+ * because set membership does not depend on associativity when the
+ * set count is fixed).
+ */
+class SetAssocStackAnalyzer
+{
+  public:
+    /**
+     * @param set_count number of sets (power of two).
+     * @param line_bytes line size (power of two).
+     */
+    SetAssocStackAnalyzer(std::uint64_t set_count,
+                          std::uint32_t line_bytes = 16);
+
+    /** Record one reference (all lines it touches). */
+    void access(const MemoryRef &ref);
+
+    /** Record a whole trace. */
+    void accessAll(const Trace &trace);
+
+    /** Line fetches an LRU cache with @p ways ways would perform. */
+    std::uint64_t missCountFor(std::uint64_t ways) const;
+
+    /** Line-touch miss ratio at @p ways. */
+    double missRatioFor(std::uint64_t ways) const;
+
+    std::uint64_t lineTouches() const { return lineTouches_; }
+    std::uint64_t coldCount() const { return cold_; }
+
+  private:
+    std::uint64_t touchLine(Addr line_addr);
+
+    std::uint64_t setCount_;
+    std::uint32_t lineBytes_;
+    std::uint64_t lineTouches_ = 0;
+    std::uint64_t cold_ = 0;
+    std::vector<std::uint64_t> distances_; ///< per within-set depth
+    std::vector<std::vector<Addr>> stacks_; ///< per-set MRU lists
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_STACK_ANALYSIS_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Implementation of derived cache statistics.
+ */
+
+#include "cache/stats.hh"
+
+#include <sstream>
+
+#include "util/format.hh"
+
+namespace cachelab
+{
+
+std::uint64_t
+CacheStats::totalAccesses() const
+{
+    return accesses[0] + accesses[1] + accesses[2];
+}
+
+std::uint64_t
+CacheStats::totalMisses() const
+{
+    return misses[0] + misses[1] + misses[2];
+}
+
+double
+CacheStats::missRatio() const
+{
+    const std::uint64_t total = totalAccesses();
+    return total ? static_cast<double>(totalMisses()) /
+            static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+CacheStats::missRatio(AccessKind kind) const
+{
+    const auto k = static_cast<std::size_t>(kind);
+    return accesses[k] ? static_cast<double>(misses[k]) /
+            static_cast<double>(accesses[k])
+                       : 0.0;
+}
+
+double
+CacheStats::dataMissRatio() const
+{
+    const auto r = static_cast<std::size_t>(AccessKind::Read);
+    const auto w = static_cast<std::size_t>(AccessKind::Write);
+    const std::uint64_t acc = accesses[r] + accesses[w];
+    const std::uint64_t mis = misses[r] + misses[w];
+    return acc ? static_cast<double>(mis) / static_cast<double>(acc) : 0.0;
+}
+
+std::uint64_t
+CacheStats::totalPushes() const
+{
+    return replacementPushes + purgePushes;
+}
+
+std::uint64_t
+CacheStats::dirtyPushes() const
+{
+    return dirtyReplacementPushes + dirtyPurgePushes;
+}
+
+double
+CacheStats::fractionPushesDirty() const
+{
+    const std::uint64_t pushes = totalPushes();
+    return pushes ? static_cast<double>(dirtyPushes()) /
+            static_cast<double>(pushes)
+                  : 0.0;
+}
+
+std::uint64_t
+CacheStats::trafficBytes() const
+{
+    return bytesFromMemory + bytesToMemory;
+}
+
+std::uint64_t
+CacheStats::totalFetches() const
+{
+    return demandFetches + prefetchFetches;
+}
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &other)
+{
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        accesses[i] += other.accesses[i];
+        misses[i] += other.misses[i];
+    }
+    demandFetches += other.demandFetches;
+    prefetchFetches += other.prefetchFetches;
+    bytesFromMemory += other.bytesFromMemory;
+    bytesToMemory += other.bytesToMemory;
+    replacementPushes += other.replacementPushes;
+    dirtyReplacementPushes += other.dirtyReplacementPushes;
+    purgePushes += other.purgePushes;
+    dirtyPurgePushes += other.dirtyPurgePushes;
+    writeThroughs += other.writeThroughs;
+    purges += other.purges;
+    return *this;
+}
+
+CacheStats
+operator+(CacheStats lhs, const CacheStats &rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+std::string
+CacheStats::summarize() const
+{
+    std::ostringstream os;
+    os << "refs=" << formatCount(totalAccesses())
+       << " miss=" << formatPercent(missRatio())
+       << " (I=" << formatPercent(missRatio(AccessKind::IFetch))
+       << " R=" << formatPercent(missRatio(AccessKind::Read))
+       << " W=" << formatPercent(missRatio(AccessKind::Write)) << ")"
+       << " traffic=" << formatCount(trafficBytes()) << "B"
+       << " dirty-pushes=" << formatPercent(fractionPushesDirty());
+    return os.str();
+}
+
+} // namespace cachelab

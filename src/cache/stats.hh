@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cache statistics: everything the paper's tables and figures need.
+ *
+ * Miss ratios (Table 1, Figs 1, 3, 4), memory traffic with and without
+ * prefetching (Table 4, Figs 8-10), and dirty-push accounting
+ * (Table 3) are all derived from these counters.
+ */
+
+#ifndef CACHELAB_CACHE_STATS_HH
+#define CACHELAB_CACHE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+
+/** Raw event counters for one cache. */
+struct CacheStats
+{
+    /** References and reference misses, indexed by AccessKind. */
+    std::array<std::uint64_t, 3> accesses{};
+    std::array<std::uint64_t, 3> misses{};
+
+    /** Lines fetched from memory on a miss. */
+    std::uint64_t demandFetches = 0;
+
+    /** Lines fetched from memory by the prefetch algorithm. */
+    std::uint64_t prefetchFetches = 0;
+
+    /** Bytes moved memory -> cache (demand + prefetch fetches). */
+    std::uint64_t bytesFromMemory = 0;
+
+    /** Bytes moved cache -> memory (dirty pushes + write-throughs). */
+    std::uint64_t bytesToMemory = 0;
+
+    /** Valid lines evicted to make room for a fetched line. */
+    std::uint64_t replacementPushes = 0;
+
+    /** ... of which were dirty. */
+    std::uint64_t dirtyReplacementPushes = 0;
+
+    /** Valid lines evicted by purge() (task-switch flush). */
+    std::uint64_t purgePushes = 0;
+
+    /** ... of which were dirty. */
+    std::uint64_t dirtyPurgePushes = 0;
+
+    /** Individual stores sent straight to memory (write-through). */
+    std::uint64_t writeThroughs = 0;
+
+    /** Number of purge() calls. */
+    std::uint64_t purges = 0;
+
+    // --- derived quantities -------------------------------------------
+
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalMisses() const;
+
+    /** Overall miss ratio: misses / references (0 when no accesses). */
+    double missRatio() const;
+
+    /** Miss ratio for one reference kind. */
+    double missRatio(AccessKind kind) const;
+
+    /** Miss ratio over data references (reads + writes). */
+    double dataMissRatio() const;
+
+    /** All pushes of valid lines (replacement + purge), Table 3 sense. */
+    std::uint64_t totalPushes() const;
+    std::uint64_t dirtyPushes() const;
+
+    /** Fraction of pushed lines that were dirty (Table 3). */
+    double fractionPushesDirty() const;
+
+    /** Total memory traffic in bytes, both directions. */
+    std::uint64_t trafficBytes() const;
+
+    /** Total lines fetched (demand + prefetch). */
+    std::uint64_t totalFetches() const;
+
+    /** Merge counters from @p other (for aggregating split caches). */
+    CacheStats &operator+=(const CacheStats &other);
+
+    /** Render a short human-readable summary. */
+    std::string summarize() const;
+};
+
+CacheStats operator+(CacheStats lhs, const CacheStats &rhs);
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_STATS_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Implementation of the victim cache.
+ */
+
+#include "cache/victim_cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+void
+VictimCacheConfig::validate() const
+{
+    if (!isPowerOfTwo(sizeBytes))
+        fatal("victim-cache size ", sizeBytes, " is not a power of two");
+    if (!isPowerOfTwo(lineBytes))
+        fatal("line size ", lineBytes, " is not a power of two");
+    if (lineBytes > sizeBytes)
+        fatal("line size exceeds cache size");
+}
+
+VictimCache::VictimCache(const VictimCacheConfig &config) : config_(config)
+{
+    config_.validate();
+    main_.assign(config_.setCount(), Line{});
+}
+
+std::uint64_t
+VictimCache::setOf(Addr line_addr) const
+{
+    return (line_addr / config_.lineBytes) % config_.setCount();
+}
+
+void
+VictimCache::stashVictim(const Line &line)
+{
+    if (config_.victimLines == 0) {
+        // No buffer: the line leaves the cache immediately.
+        ++stats_.replacementPushes;
+        if (line.dirty) {
+            ++stats_.dirtyReplacementPushes;
+            stats_.bytesToMemory += config_.lineBytes;
+        }
+        return;
+    }
+    if (victims_.size() == config_.victimLines) {
+        const VictimEntry &lru = victims_.back();
+        ++stats_.replacementPushes;
+        if (lru.dirty) {
+            ++stats_.dirtyReplacementPushes;
+            stats_.bytesToMemory += config_.lineBytes;
+        }
+        victimIndex_.erase(lru.lineAddr);
+        victims_.pop_back();
+    }
+    victims_.push_front({line.lineAddr, line.dirty});
+    victimIndex_[line.lineAddr] = victims_.begin();
+}
+
+bool
+VictimCache::touchLine(Addr line_addr, AccessKind kind)
+{
+    Line &slot = main_[setOf(line_addr)];
+    if (slot.valid && slot.lineAddr == line_addr) {
+        if (kind == AccessKind::Write)
+            slot.dirty = true;
+        return true;
+    }
+
+    const auto vit = victimIndex_.find(line_addr);
+    if (vit != victimIndex_.end()) {
+        // Victim hit: swap the buffered line with the displaced one.
+        VictimEntry entry = *vit->second;
+        victims_.erase(vit->second);
+        victimIndex_.erase(vit);
+        if (slot.valid)
+            stashVictim(slot);
+        slot.lineAddr = entry.lineAddr;
+        slot.valid = true;
+        slot.dirty = entry.dirty || kind == AccessKind::Write;
+        ++victimHits_;
+        return true;
+    }
+
+    // Full miss: fetch from memory, displace into the buffer.
+    if (slot.valid)
+        stashVictim(slot);
+    slot.lineAddr = line_addr;
+    slot.valid = true;
+    slot.dirty = kind == AccessKind::Write;
+    ++stats_.demandFetches;
+    stats_.bytesFromMemory += config_.lineBytes;
+    return false;
+}
+
+bool
+VictimCache::access(const MemoryRef &ref)
+{
+    CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    const auto k = static_cast<std::size_t>(ref.kind);
+    ++stats_.accesses[k];
+    const Addr first = alignDown(ref.addr, config_.lineBytes);
+    const Addr last =
+        alignDown(ref.addr + ref.size - 1, config_.lineBytes);
+    bool hit = true;
+    for (Addr line = first;; line += config_.lineBytes) {
+        hit &= touchLine(line, ref.kind);
+        if (line == last)
+            break;
+    }
+    if (!hit)
+        ++stats_.misses[k];
+    return hit;
+}
+
+void
+VictimCache::purge()
+{
+    for (Line &line : main_) {
+        if (!line.valid)
+            continue;
+        ++stats_.purgePushes;
+        if (line.dirty) {
+            ++stats_.dirtyPurgePushes;
+            stats_.bytesToMemory += config_.lineBytes;
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+    for (const VictimEntry &entry : victims_) {
+        ++stats_.purgePushes;
+        if (entry.dirty) {
+            ++stats_.dirtyPurgePushes;
+            stats_.bytesToMemory += config_.lineBytes;
+        }
+    }
+    victims_.clear();
+    victimIndex_.clear();
+    ++stats_.purges;
+}
+
+bool
+VictimCache::contains(Addr addr) const
+{
+    const Addr line = alignDown(addr, config_.lineBytes);
+    const Line &slot = main_[setOf(line)];
+    if (slot.valid && slot.lineAddr == line)
+        return true;
+    return victimIndex_.contains(line);
+}
+
+} // namespace cachelab

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Victim cache: a direct-mapped cache backed by a small fully
+ * associative buffer of recently evicted lines (Jouppi's "victim
+ * caching").  This is the era-appropriate answer to the conflict
+ * misses the paper's associativity discussion (section 4.1) brushes
+ * against: most of the benefit of associativity at a fraction of the
+ * cost.
+ *
+ * Semantics: a reference first probes the direct-mapped array.  On a
+ * main-array miss the victim buffer is probed; a victim hit swaps the
+ * buffered line with the main line it displaced (no memory traffic).
+ * A full miss fetches from memory into the main array; the displaced
+ * main line moves into the victim buffer, whose LRU entry (dirty
+ * lines write back) leaves the cache.
+ */
+
+#ifndef CACHELAB_CACHE_VICTIM_CACHE_HH
+#define CACHELAB_CACHE_VICTIM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/stats.hh"
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+
+/** Parameters of a victim-cached direct-mapped cache. */
+struct VictimCacheConfig
+{
+    /** Main (direct-mapped) array capacity in bytes; power of two. */
+    std::uint64_t sizeBytes = 16384;
+
+    /** Line size in bytes; power of two. */
+    std::uint32_t lineBytes = 16;
+
+    /** Victim buffer capacity in lines (0 disables the buffer). */
+    std::uint32_t victimLines = 4;
+
+    /** fatal() on invalid parameters. */
+    void validate() const;
+
+    std::uint64_t setCount() const { return sizeBytes / lineBytes; }
+};
+
+/** Direct-mapped cache with a victim buffer.  Copy-back policy. */
+class VictimCache
+{
+  public:
+    explicit VictimCache(const VictimCacheConfig &config);
+
+    /** Apply one reference; @return true when it hit (main or victim). */
+    bool access(const MemoryRef &ref);
+
+    /** Flush everything (task switch), counting purge pushes. */
+    void purge();
+
+    const VictimCacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Hits served by the victim buffer (conflict misses avoided). */
+    std::uint64_t victimHits() const { return victimHits_; }
+
+    /** @return true when @p addr is resident in main array or buffer. */
+    bool contains(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct VictimEntry
+    {
+        Addr lineAddr;
+        bool dirty;
+    };
+
+    std::uint64_t setOf(Addr line_addr) const;
+
+    /** Move @p line into the victim buffer, evicting its LRU entry. */
+    void stashVictim(const Line &line);
+
+    /** Touch one line; @return true on (main or victim) hit. */
+    bool touchLine(Addr line_addr, AccessKind kind);
+
+    VictimCacheConfig config_;
+    CacheStats stats_;
+    std::vector<Line> main_;
+    std::list<VictimEntry> victims_; ///< front = MRU
+    std::unordered_map<Addr, std::list<VictimEntry>::iterator> victimIndex_;
+    std::uint64_t victimHits_ = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_VICTIM_CACHE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of the write-buffer model.
+ */
+
+#include "cache/write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+double
+WriteBufferStats::stallsPerKiloRef() const
+{
+    return refs ? 1000.0 * static_cast<double>(stallCycles) /
+            static_cast<double>(refs)
+                : 0.0;
+}
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &config) : config_(config)
+{
+    CACHELAB_ASSERT(config_.drainCycles > 0, "drainCycles must be positive");
+}
+
+void
+WriteBuffer::tick(std::uint64_t cycles)
+{
+    if (pending_ == 0) {
+        cyclesTowardDrain_ = 0;
+        return;
+    }
+    cyclesTowardDrain_ += cycles;
+    const std::uint64_t drained = cyclesTowardDrain_ / config_.drainCycles;
+    if (drained >= pending_) {
+        pending_ = 0;
+        cyclesTowardDrain_ = 0;
+    } else {
+        pending_ -= drained;
+        cyclesTowardDrain_ %= config_.drainCycles;
+    }
+}
+
+void
+WriteBuffer::access(const MemoryRef &ref)
+{
+    ++stats_.refs;
+    tick(1);
+    if (ref.kind != AccessKind::Write)
+        return;
+
+    ++stats_.writes;
+    if (pending_ >= config_.depth) {
+        // Stall until the oldest buffered write finishes draining.
+        const std::uint64_t wait =
+            config_.drainCycles - cyclesTowardDrain_;
+        stats_.stallCycles += wait;
+        tick(wait);
+    }
+    ++pending_;
+    stats_.maxOccupancy = std::max(stats_.maxOccupancy, pending_);
+}
+
+void
+WriteBuffer::run(const Trace &trace)
+{
+    for (const MemoryRef &ref : trace)
+        access(ref);
+}
+
+} // namespace cachelab

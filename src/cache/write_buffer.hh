@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Write-buffer model for write-through caches.
+ *
+ * Section 3.3 notes that under write-through "the frequency of writes
+ * to memory is usually just the frequency in the trace of stores".
+ * Machines of the era hid that latency behind a small FIFO write
+ * buffer; the design question is how deep it must be before the CPU
+ * stops stalling on store bursts.
+ *
+ * The model is discrete-time at reference granularity: each memory
+ * reference advances time by one cycle, the buffer retires one
+ * pending write every drainCycles cycles, and a store arriving at a
+ * full buffer stalls the processor until a slot frees (the stall
+ * cycles are counted).
+ */
+
+#ifndef CACHELAB_CACHE_WRITE_BUFFER_HH
+#define CACHELAB_CACHE_WRITE_BUFFER_HH
+
+#include <cstdint>
+
+#include "trace/memory_ref.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/** Parameters of the write buffer. */
+struct WriteBufferConfig
+{
+    /** Buffer depth in entries; 0 means every write stalls. */
+    std::uint32_t depth = 4;
+
+    /** Cycles to retire one buffered write to memory. */
+    std::uint32_t drainCycles = 6;
+};
+
+/** Results of a write-buffer run. */
+struct WriteBufferStats
+{
+    std::uint64_t refs = 0;         ///< references processed
+    std::uint64_t writes = 0;       ///< stores seen
+    std::uint64_t stallCycles = 0;  ///< cycles spent waiting for a slot
+    std::uint64_t maxOccupancy = 0; ///< deepest the buffer ever got
+
+    /** Stall cycles per 1000 references. */
+    double stallsPerKiloRef() const;
+};
+
+/**
+ * Discrete-time write-buffer simulator.  Feed references in order;
+ * non-writes advance time only.
+ */
+class WriteBuffer
+{
+  public:
+    explicit WriteBuffer(const WriteBufferConfig &config);
+
+    /** Process one reference (one cycle, plus any stall). */
+    void access(const MemoryRef &ref);
+
+    /** Process an entire trace. */
+    void run(const Trace &trace);
+
+    const WriteBufferStats &stats() const { return stats_; }
+    const WriteBufferConfig &config() const { return config_; }
+
+    /** Currently pending writes. */
+    std::uint64_t occupancy() const { return pending_; }
+
+  private:
+    /** Advance the drain clock by @p cycles. */
+    void tick(std::uint64_t cycles);
+
+    WriteBufferConfig config_;
+    WriteBufferStats stats_;
+    std::uint64_t pending_ = 0;
+    std::uint64_t cyclesTowardDrain_ = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_WRITE_BUFFER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of the canonical experiment setups.
+ */
+
+#include "sim/experiments.hh"
+
+#include "cache/organization.hh"
+#include "trace/transforms.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+std::uint64_t
+purgeIntervalFor(TraceGroup group)
+{
+    return group == TraceGroup::M68000 ? kPurgeIntervalM68000
+                                       : kPurgeInterval;
+}
+
+CacheConfig
+table1Config(std::uint64_t size_bytes)
+{
+    CacheConfig config;
+    config.sizeBytes = size_bytes;
+    config.lineBytes = 16;
+    config.associativity = 0; // fully associative
+    config.replacement = ReplacementPolicy::LRU;
+    config.writePolicy = WritePolicy::CopyBack;
+    config.writeMiss = WriteMissPolicy::FetchOnWrite;
+    config.fetchPolicy = FetchPolicy::Demand;
+    return config;
+}
+
+CacheConfig
+table1Config(std::uint64_t size_bytes, FetchPolicy fetch)
+{
+    CacheConfig config = table1Config(size_bytes);
+    config.fetchPolicy = fetch;
+    return config;
+}
+
+Trace
+buildMixTrace(const MultiprogramMix &mix)
+{
+    CACHELAB_ASSERT(!mix.traceNames.empty(), "empty multiprogram mix");
+
+    // Give each program its own address-space slice so the streams do
+    // not alias one another between purges.
+    constexpr Addr kSliceBytes = 0x1000'0000;
+    std::vector<Trace> members;
+    members.reserve(mix.traceNames.size());
+    for (std::size_t i = 0; i < mix.traceNames.size(); ++i) {
+        const TraceProfile *profile = findTraceProfile(mix.traceNames[i]);
+        if (profile == nullptr)
+            fatal("mix '", mix.name, "' references unknown trace '",
+                  mix.traceNames[i], "'");
+        members.push_back(offsetAddresses(generateTrace(*profile),
+                                          static_cast<Addr>(i) * kSliceBytes));
+    }
+    return interleaveRoundRobin(members, kPurgeInterval, mix.name);
+}
+
+double
+fractionDataPushesDirty(const Trace &trace, std::uint64_t purge_interval)
+{
+    const CacheConfig config = table1Config(kSplitCacheBytes);
+    SplitCache split(config, config);
+    RunConfig run;
+    run.purgeInterval = purge_interval;
+    runTrace(trace, split, run);
+    return split.dcache().stats().fractionPushesDirty();
+}
+
+} // namespace cachelab

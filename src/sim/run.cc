@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the simulation drivers.
+ */
+
+#include "sim/run.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+/** Shared driver over anything with access()/purge()/resetStats(). */
+template <typename System, typename StatsFn>
+CacheStats
+drive(const Trace &trace, System &system, const RunConfig &config,
+      StatsFn &&stats_of)
+{
+    std::uint64_t since_purge = 0;
+    std::uint64_t seen = 0;
+    bool counting = config.warmupRefs == 0;
+
+    for (const MemoryRef &ref : trace) {
+        if (config.purgeInterval && since_purge == config.purgeInterval) {
+            system.purge();
+            since_purge = 0;
+        }
+        system.access(ref);
+        ++since_purge;
+        ++seen;
+        if (!counting && seen == config.warmupRefs) {
+            system.resetStats();
+            counting = true;
+        }
+    }
+    return stats_of(system);
+}
+
+} // namespace
+
+CacheStats
+runTrace(const Trace &trace, CacheSystem &system, const RunConfig &config)
+{
+    return drive(trace, system, config,
+                 [](CacheSystem &s) { return s.combinedStats(); });
+}
+
+CacheStats
+runTrace(const Trace &trace, Cache &cache, const RunConfig &config)
+{
+    return drive(trace, cache, config,
+                 [](Cache &c) { return c.stats(); });
+}
+
+} // namespace cachelab

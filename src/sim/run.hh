@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Simulation drivers: feed a trace through a cache organization,
+ * optionally purging at a fixed task-switch interval.
+ */
+
+#ifndef CACHELAB_SIM_RUN_HH
+#define CACHELAB_SIM_RUN_HH
+
+#include <cstdint>
+
+#include "cache/organization.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/** Options for one simulation run. */
+struct RunConfig
+{
+    /**
+     * Purge the cache every this many references, simulating task
+     * switches on a machine whose cache is flushed on a switch
+     * (paper sections 3.3-3.5).  0 disables purging (Table 1 setup:
+     * "no task switch purges").
+     */
+    std::uint64_t purgeInterval = 0;
+
+    /**
+     * References to run before statistics begin (cold-start warm-up).
+     * The paper's runs are cold-start (a trace *is* the program's
+     * start), so the default is 0.
+     */
+    std::uint64_t warmupRefs = 0;
+};
+
+/**
+ * Run @p trace through @p system.
+ *
+ * @return the combined statistics accumulated during the measured
+ * portion of the run (after warm-up).
+ */
+CacheStats runTrace(const Trace &trace, CacheSystem &system,
+                    const RunConfig &config = {});
+
+/** Convenience overload for a bare cache. */
+CacheStats runTrace(const Trace &trace, Cache &cache,
+                    const RunConfig &config = {});
+
+} // namespace cachelab
+
+#endif // CACHELAB_SIM_RUN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the sweep engine.
+ */
+
+#include "sim/sweep.hh"
+
+#include "cache/organization.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+std::vector<std::uint64_t>
+powersOfTwo(std::uint64_t lo, std::uint64_t hi)
+{
+    CACHELAB_ASSERT(lo > 0 && lo <= hi, "bad power-of-two range");
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t v = lo; v <= hi; v <<= 1)
+        out.push_back(v);
+    return out;
+}
+
+const std::vector<std::uint64_t> &
+paperCacheSizes()
+{
+    static const std::vector<std::uint64_t> sizes = powersOfTwo(32, 65536);
+    return sizes;
+}
+
+std::vector<SweepPoint>
+sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+             const CacheConfig &base, const RunConfig &run)
+{
+    std::vector<SweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        Cache cache(config);
+        out.push_back({size, runTrace(trace, cache, run)});
+    }
+    return out;
+}
+
+std::vector<SplitSweepPoint>
+sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+           const CacheConfig &base, const RunConfig &run)
+{
+    std::vector<SplitSweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        SplitCache split(config, config);
+        runTrace(trace, split, run);
+        out.push_back({size, split.icache().stats(), split.dcache().stats()});
+    }
+    return out;
+}
+
+} // namespace cachelab

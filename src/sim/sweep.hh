@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameter-sweep engine: run one trace across a family of cache
+ * configurations and collect per-point results.  This is the workhorse
+ * behind Table 1 / Figures 1 and 3-10.
+ */
+
+#ifndef CACHELAB_SIM_SWEEP_HH
+#define CACHELAB_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "sim/run.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/** @return powers of two from @p lo to @p hi inclusive. */
+std::vector<std::uint64_t> powersOfTwo(std::uint64_t lo, std::uint64_t hi);
+
+/** The paper's cache-size axis: 32 bytes through 64 Kbytes. */
+const std::vector<std::uint64_t> &paperCacheSizes();
+
+/** One point of a sweep. */
+struct SweepPoint
+{
+    std::uint64_t cacheBytes = 0;
+    CacheStats stats;
+};
+
+/**
+ * Sweep a unified cache over @p sizes for one trace.
+ *
+ * @param base all parameters except sizeBytes are taken from here.
+ */
+std::vector<SweepPoint> sweepUnified(const Trace &trace,
+                                     const std::vector<std::uint64_t> &sizes,
+                                     const CacheConfig &base,
+                                     const RunConfig &run = {});
+
+/** Result of a split-cache sweep: per-size I and D statistics. */
+struct SplitSweepPoint
+{
+    std::uint64_t cacheBytes = 0; ///< per-side capacity
+    CacheStats icache;
+    CacheStats dcache;
+};
+
+/**
+ * Sweep a split organization: at each size both the I- and the D-cache
+ * have that capacity (the paper's Figures 3-4 setup).
+ */
+std::vector<SplitSweepPoint> sweepSplit(
+    const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const RunConfig &run = {});
+
+} // namespace cachelab
+
+#endif // CACHELAB_SIM_SWEEP_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of histogram types.
+ */
+
+#include "stats/histogram.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+void
+Log2Histogram::add(std::uint64_t value)
+{
+    const std::size_t k = value == 0 ? 0 : floorLog2(value) + 1;
+    if (k >= buckets_.size())
+        buckets_.resize(k + 1, 0);
+    ++buckets_[k];
+    ++total_;
+    sum_ += static_cast<double>(value);
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t k) const
+{
+    return k < buckets_.size() ? buckets_[k] : 0;
+}
+
+double
+Log2Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::string
+Log2Histogram::render() const
+{
+    std::ostringstream os;
+    for (std::size_t k = 0; k < buckets_.size(); ++k) {
+        if (!buckets_[k])
+            continue;
+        const std::uint64_t lo = k == 0 ? 0 : (1ULL << (k - 1));
+        const std::uint64_t hi = k == 0 ? 0 : (1ULL << k) - 1;
+        const double frac =
+            static_cast<double>(buckets_[k]) / static_cast<double>(total_);
+        os << padLeft(std::to_string(lo), 10) << " - "
+           << padLeft(std::to_string(hi), 10) << "  "
+           << padLeft(std::to_string(buckets_[k]), 10) << "  "
+           << formatPercent(frac) << '\n';
+    }
+    return os.str();
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), buckets_(bins, 0)
+{
+    CACHELAB_ASSERT(bins >= 1, "LinearHistogram needs at least one bin");
+    CACHELAB_ASSERT(hi > lo, "LinearHistogram needs hi > lo");
+}
+
+void
+LinearHistogram::add(double value)
+{
+    const double pos =
+        (value - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size());
+    std::size_t k;
+    if (pos < 0.0) {
+        k = 0;
+    } else if (pos >= static_cast<double>(buckets_.size())) {
+        k = buckets_.size() - 1;
+    } else {
+        k = static_cast<std::size_t>(pos);
+    }
+    ++buckets_[k];
+    ++total_;
+}
+
+std::uint64_t
+LinearHistogram::bucket(std::size_t k) const
+{
+    return k < buckets_.size() ? buckets_[k] : 0;
+}
+
+double
+LinearHistogram::bucketLow(std::size_t k) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(k) /
+        static_cast<double>(buckets_.size());
+}
+
+} // namespace cachelab

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of running summary statistics.
+ */
+
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+void
+Summary::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+Summary::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::percentile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    CACHELAB_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+RatioOfSums::add(double numerator, double denominator)
+{
+    num_ += numerator;
+    den_ += denominator;
+}
+
+double
+RatioOfSums::value() const
+{
+    if (den_ == 0.0)
+        return 0.0;
+    return num_ / den_;
+}
+
+} // namespace cachelab

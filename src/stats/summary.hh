@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Running summary statistics (mean, variance, extrema, percentiles).
+ *
+ * Used wherever the paper reports aggregates over traces: the
+ * dirty-push average and standard deviation of Table 3, the 85th
+ * percentile design targets of Table 5, and the per-architecture
+ * group averages of section 3.1.
+ */
+
+#ifndef CACHELAB_STATS_SUMMARY_HH
+#define CACHELAB_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cachelab
+{
+
+/**
+ * Accumulates scalar samples and reports summary statistics.
+ *
+ * Mean/variance use Welford's numerically stable recurrence; the
+ * samples are also retained so exact percentiles can be computed.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return number of samples added. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** @return population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const;
+
+    /** @return largest sample (0 when empty). */
+    double max() const;
+
+    /**
+     * @return the q-quantile (q in [0, 1]) with linear interpolation
+     * between order statistics; 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /** @return sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Ratio-of-sums accumulator.
+ *
+ * The paper is explicit that Table 4's traffic ratios are "the sum of
+ * prefetch memory traffic divided by the sum of demand fetch traffic",
+ * not the mean of per-trace ratios; this tiny type keeps that
+ * distinction visible in bench code.
+ */
+class RatioOfSums
+{
+  public:
+    /** Accumulate one (numerator, denominator) pair. */
+    void add(double numerator, double denominator);
+
+    /** @return sum(numerators) / sum(denominators); 0 when empty. */
+    double value() const;
+
+    double numeratorSum() const { return num_; }
+    double denominatorSum() const { return den_; }
+
+  private:
+    double num_ = 0.0;
+    double den_ = 0.0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_STATS_SUMMARY_HH

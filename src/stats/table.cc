@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the text table renderer.
+ */
+
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(const std::vector<std::string> &header)
+{
+    CACHELAB_ASSERT(!header.empty(), "table header may not be empty");
+    header_ = header;
+    if (align_.empty())
+        align_.assign(header_.size(), Align::Right);
+}
+
+void
+TextTable::setAlignment(const std::vector<Align> &align)
+{
+    align_ = align;
+}
+
+void
+TextTable::addRow(const std::vector<std::string> &row)
+{
+    CACHELAB_ASSERT(row.size() == header_.size(),
+                    "row width ", row.size(), " != header width ",
+                    header_.size());
+    rows_.push_back(row);
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back({kRuleMarker});
+}
+
+std::string
+TextTable::render() const
+{
+    CACHELAB_ASSERT(!header_.empty(), "render before setHeader");
+
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRuleMarker)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::size_t totalWidth = 0;
+    for (std::size_t w : width)
+        totalWidth += w;
+    totalWidth += 2 * (width.size() - 1);
+
+    const auto rule = std::string(totalWidth, '-');
+
+    std::ostringstream os;
+    if (!title_.empty()) {
+        os << title_ << '\n' << std::string(title_.size(), '=') << '\n';
+    }
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        if (c)
+            os << "  ";
+        os << (align_[c] == Align::Left ? padRight(header_[c], width[c])
+                                        : padLeft(header_[c], width[c]));
+    }
+    os << '\n' << rule << '\n';
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRuleMarker) {
+            os << rule << '\n';
+            continue;
+        }
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            os << (align_[c] == Align::Left ? padRight(row[c], width[c])
+                                            : padLeft(row[c], width[c]));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const TextTable &t)
+{
+    return os << t.render();
+}
+
+} // namespace cachelab

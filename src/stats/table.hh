@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-width text table renderer.
+ *
+ * Every bench binary prints its results as a paper-style table; this
+ * class keeps the column alignment and title/rule formatting in one
+ * place.
+ */
+
+#ifndef CACHELAB_STATS_TABLE_HH
+#define CACHELAB_STATS_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cachelab
+{
+
+/**
+ * A simple text table: a title, a header row, and data rows, rendered
+ * with every column padded to its widest cell.
+ */
+class TextTable
+{
+  public:
+    enum class Align { Left, Right };
+
+    /** @param title rendered above the table, underlined. */
+    explicit TextTable(std::string title);
+
+    /** Set the header row; defines the column count. */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Per-column alignment (defaults to Right for all columns). */
+    void setAlignment(const std::vector<Align> &align);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Append a horizontal rule between data rows. */
+    void addRule();
+
+    /** @return the rendered table. */
+    std::string render() const;
+
+    /** Render straight to a stream. */
+    friend std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static constexpr const char *kRuleMarker = "\x01rule";
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Align> align_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_STATS_TABLE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of trace characterization.
+ */
+
+#include "trace/analyzer.hh"
+
+#include <unordered_set>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+TraceCharacteristics
+analyzeTrace(const Trace &trace, const AnalyzerConfig &config)
+{
+    CACHELAB_ASSERT(isPowerOfTwo(config.lineBytes),
+                    "line size must be a power of two");
+
+    TraceCharacteristics out;
+    out.refCount = trace.size();
+    if (trace.empty())
+        return out;
+
+    std::unordered_set<Addr> ilines;
+    std::unordered_set<Addr> dlines;
+    std::uint64_t ifetches = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t branches = 0;
+
+    bool havePrevIfetch = false;
+    Addr prevIfetch = 0;
+    Addr runStart = 0;
+    std::uint64_t runLen = 0;
+    double runBytesSum = 0.0;
+    std::uint64_t runCount = 0;
+
+    auto closeRun = [&](Addr end_addr) {
+        if (runLen == 0)
+            return;
+        out.sequentialRuns.add(runLen);
+        runBytesSum += static_cast<double>(end_addr - runStart);
+        ++runCount;
+        runLen = 0;
+    };
+
+    for (const MemoryRef &ref : trace) {
+        const bool treatAsIfetch =
+            ref.kind == AccessKind::IFetch ||
+            (config.mergedFetch && ref.kind == AccessKind::Read);
+        switch (ref.kind) {
+          case AccessKind::IFetch:
+            ++ifetches;
+            break;
+          case AccessKind::Read:
+            ++reads;
+            break;
+          case AccessKind::Write:
+            ++writes;
+            break;
+        }
+
+        const Addr line = alignDown(ref.addr, config.lineBytes);
+        if (treatAsIfetch)
+            ilines.insert(line);
+        else
+            dlines.insert(line);
+
+        if (ref.kind != AccessKind::IFetch)
+            continue;
+
+        if (havePrevIfetch) {
+            const bool taken = ref.addr < prevIfetch ||
+                ref.addr > prevIfetch + config.branchWindowBytes;
+            if (taken) {
+                ++branches;
+                closeRun(prevIfetch + ref.size);
+                runStart = ref.addr;
+            }
+        } else {
+            runStart = ref.addr;
+        }
+        ++runLen;
+        prevIfetch = ref.addr;
+        havePrevIfetch = true;
+    }
+    closeRun(prevIfetch);
+
+    const auto total = static_cast<double>(trace.size());
+    out.ifetchFraction = static_cast<double>(ifetches) / total;
+    out.readFraction = static_cast<double>(reads) / total;
+    out.writeFraction = static_cast<double>(writes) / total;
+    out.ilines = ilines.size();
+    out.dlines = dlines.size();
+    out.aspaceBytes =
+        static_cast<std::uint64_t>(config.lineBytes) * (out.ilines + out.dlines);
+    out.branchFraction =
+        ifetches ? static_cast<double>(branches) / static_cast<double>(ifetches)
+                 : 0.0;
+    out.meanSequentialRunBytes =
+        runCount ? runBytesSum / static_cast<double>(runCount) : 0.0;
+    return out;
+}
+
+} // namespace cachelab

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Implementation of trace readers and writers.
+ */
+
+#include "trace/io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> kMagic = {'C', 'L', 'T', '1'};
+constexpr std::array<char, 4> kMagicCompressed = {'C', 'L', 'T', '2'};
+
+/** LEB128 unsigned varint. */
+void
+writeVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+std::uint64_t
+readVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        const int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            fatal("compressed trace: unexpected end of stream");
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift > 63)
+            fatal("compressed trace: varint overflow");
+    }
+    return v;
+}
+
+/** Zigzag-encode a signed delta into an unsigned varint payload. */
+constexpr std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+        -static_cast<std::int64_t>(v & 1);
+}
+
+/** din access labels per the Dinero convention. */
+constexpr int
+dinLabel(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::Read:
+        return 0;
+      case AccessKind::Write:
+        return 1;
+      case AccessKind::IFetch:
+        return 2;
+    }
+    return -1;
+}
+
+AccessKind
+kindFromDinLabel(int label, std::uint64_t line_no)
+{
+    switch (label) {
+      case 0:
+        return AccessKind::Read;
+      case 1:
+        return AccessKind::Write;
+      case 2:
+        return AccessKind::IFetch;
+      default:
+        fatal("din line ", line_no, ": unknown access label ", label);
+    }
+}
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("binary trace: unexpected end of stream");
+    return value;
+}
+
+} // namespace
+
+void
+writeDin(const Trace &trace, std::ostream &os)
+{
+    os << "# trace: " << trace.name() << '\n';
+    os << "# refs: " << trace.size() << '\n';
+    char buf[64];
+    for (const MemoryRef &ref : trace) {
+        std::snprintf(buf, sizeof(buf), "%d %llx %u\n", dinLabel(ref.kind),
+                      static_cast<unsigned long long>(ref.addr), ref.size);
+        os << buf;
+    }
+}
+
+Trace
+readDin(std::istream &is, std::string name)
+{
+    Trace trace(std::move(name));
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        int label = -1;
+        std::string addr_hex;
+        if (!(ls >> label >> addr_hex))
+            fatal("din line ", line_no, ": expected '<label> <hex-addr>'");
+        Addr addr = 0;
+        try {
+            std::size_t pos = 0;
+            addr = std::stoull(addr_hex, &pos, 16);
+            if (pos != addr_hex.size())
+                fatal("din line ", line_no, ": bad address '", addr_hex, "'");
+        } catch (const std::exception &) {
+            fatal("din line ", line_no, ": bad address '", addr_hex, "'");
+        }
+        std::uint32_t size = 4;
+        ls >> size;
+        if (size == 0)
+            fatal("din line ", line_no, ": zero access size");
+        trace.append(addr, size, kindFromDinLabel(label, line_no));
+    }
+    return trace;
+}
+
+void
+writeBinary(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic.data(), kMagic.size());
+    const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+    writeRaw(os, name_len);
+    os.write(trace.name().data(), name_len);
+    writeRaw(os, static_cast<std::uint64_t>(trace.size()));
+    for (const MemoryRef &ref : trace) {
+        writeRaw(os, ref.addr);
+        writeRaw(os, ref.size);
+        writeRaw(os, static_cast<std::uint8_t>(ref.kind));
+    }
+}
+
+Trace
+readBinary(std::istream &is)
+{
+    std::array<char, 4> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != kMagic)
+        fatal("binary trace: bad magic");
+    const auto name_len = readRaw<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        fatal("binary trace: truncated name");
+    const auto count = readRaw<std::uint64_t>(is);
+    Trace trace(std::move(name));
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto addr = readRaw<Addr>(is);
+        const auto size = readRaw<std::uint32_t>(is);
+        const auto kind_raw = readRaw<std::uint8_t>(is);
+        if (kind_raw > 2)
+            fatal("binary trace: bad access kind ", unsigned{kind_raw});
+        trace.append(addr, size, static_cast<AccessKind>(kind_raw));
+    }
+    return trace;
+}
+
+void
+writeCompressed(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagicCompressed.data(), kMagicCompressed.size());
+    const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+    writeRaw(os, name_len);
+    os.write(trace.name().data(), name_len);
+    writeRaw(os, static_cast<std::uint64_t>(trace.size()));
+
+    // Deltas are tracked per access kind: the instruction stream and
+    // each data stream are individually near-sequential, so per-kind
+    // deltas stay tiny even though the merged stream jumps around.
+    std::array<Addr, 3> last_addr{};
+    std::array<std::uint32_t, 3> last_size{4, 4, 4};
+    for (const MemoryRef &ref : trace) {
+        const auto k = static_cast<std::size_t>(ref.kind);
+        // Tag byte: kind in the low 2 bits, "size changed" in bit 2.
+        const bool size_changed = ref.size != last_size[k];
+        const std::uint8_t tag = static_cast<std::uint8_t>(
+            static_cast<unsigned>(ref.kind) | (size_changed ? 4u : 0u));
+        os.put(static_cast<char>(tag));
+        writeVarint(os,
+                    zigzag(static_cast<std::int64_t>(ref.addr) -
+                           static_cast<std::int64_t>(last_addr[k])));
+        if (size_changed)
+            writeVarint(os, ref.size);
+        last_addr[k] = ref.addr;
+        last_size[k] = ref.size;
+    }
+}
+
+Trace
+readCompressed(std::istream &is)
+{
+    std::array<char, 4> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != kMagicCompressed)
+        fatal("compressed trace: bad magic");
+    const auto name_len = readRaw<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is)
+        fatal("compressed trace: truncated name");
+    const auto count = readRaw<std::uint64_t>(is);
+
+    Trace trace(std::move(name));
+    trace.reserve(count);
+    std::array<Addr, 3> last_addr{};
+    std::array<std::uint32_t, 3> last_size{4, 4, 4};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const int tag = is.get();
+        if (tag == std::char_traits<char>::eof())
+            fatal("compressed trace: truncated record");
+        const unsigned kind_raw = static_cast<unsigned>(tag) & 3u;
+        if (kind_raw > 2)
+            fatal("compressed trace: bad access kind ", kind_raw);
+        const auto k = static_cast<std::size_t>(kind_raw);
+        const std::int64_t delta = unzigzag(readVarint(is));
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(last_addr[k]) + delta);
+        std::uint32_t size = last_size[k];
+        if ((static_cast<unsigned>(tag) & 4u) != 0)
+            size = static_cast<std::uint32_t>(readVarint(is));
+        if (size == 0)
+            fatal("compressed trace: zero access size");
+        trace.append(addr, size, static_cast<AccessKind>(kind_raw));
+        last_addr[k] = addr;
+        last_size[k] = size;
+    }
+    return trace;
+}
+
+namespace
+{
+
+bool
+hasDinExtension(const std::string &path)
+{
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".din") == 0;
+}
+
+bool
+hasCompressedExtension(const std::string &path)
+{
+    return path.size() >= 4 && path.compare(path.size() - 4, 4, ".ctr") == 0;
+}
+
+std::string
+baseName(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const auto dot = base.find_last_of('.');
+    if (dot != std::string::npos)
+        base.resize(dot);
+    return base;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    if (hasDinExtension(path))
+        writeDin(trace, os);
+    else if (hasCompressedExtension(path))
+        writeCompressed(trace, os);
+    else
+        writeBinary(trace, os);
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "' for reading");
+    if (hasDinExtension(path))
+        return readDin(is, baseName(path));
+    if (hasCompressedExtension(path))
+        return readCompressed(is);
+    return readBinary(is);
+}
+
+} // namespace cachelab

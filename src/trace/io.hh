@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace file input/output.
+ *
+ * Two formats are supported:
+ *
+ *  1. "din" text — the classic Dinero trace format that the original
+ *     1980s tooling used: one reference per line, `<label> <hex-addr>
+ *     [size]`, where label 0 = read, 1 = write, 2 = instruction fetch.
+ *     Lines starting with '#' are comments.  The optional third field
+ *     (access size in bytes, decimal) is an extension; absent sizes
+ *     default to 4 bytes.
+ *
+ *  2. binary — a compact packed format (magic "CLT1") for fast
+ *     round-tripping of generated workloads.
+ */
+
+#ifndef CACHELAB_TRACE_IO_HH
+#define CACHELAB_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/** Write @p trace to @p os in din text format. */
+void writeDin(const Trace &trace, std::ostream &os);
+
+/**
+ * Parse a din text stream.
+ *
+ * @param name name to give the resulting trace.
+ * @throws via fatal() on malformed input.
+ */
+Trace readDin(std::istream &is, std::string name);
+
+/** Write @p trace to @p os in the packed binary format. */
+void writeBinary(const Trace &trace, std::ostream &os);
+
+/** Read a packed binary trace; fatal() on corrupt input. */
+Trace readBinary(std::istream &is);
+
+/**
+ * Write @p trace in the compressed binary format (magic "CLT2"):
+ * per-kind delta encoding of addresses with zigzag + LEB128 varints,
+ * and run-length encoded sizes.  Local traces compress to a fraction
+ * of the packed format (typically 3-6x smaller).
+ */
+void writeCompressed(const Trace &trace, std::ostream &os);
+
+/** Read a compressed trace; fatal() on corrupt input. */
+Trace readCompressed(std::istream &is);
+
+/** Convenience: write in a format chosen by file extension
+ *  (".din" = text, ".ctr" = compressed, anything else = binary). */
+void saveTrace(const Trace &trace, const std::string &path);
+
+/** Convenience: load by extension, naming the trace after the file. */
+Trace loadTrace(const std::string &path);
+
+} // namespace cachelab
+
+#endif // CACHELAB_TRACE_IO_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The fundamental trace record: one memory reference.
+ *
+ * A program address trace is "a trace of the sequence of (virtual)
+ * addresses accessed by a computer program" (paper section 1.1).  Each
+ * record carries the address, the access width in bytes, and whether
+ * the access was an instruction fetch, a data read, or a data write.
+ */
+
+#ifndef CACHELAB_TRACE_MEMORY_REF_HH
+#define CACHELAB_TRACE_MEMORY_REF_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace cachelab
+{
+
+/** Address type; traces use flat virtual byte addresses. */
+using Addr = std::uint64_t;
+
+/** Classification of one memory reference. */
+enum class AccessKind : std::uint8_t
+{
+    IFetch = 0, ///< instruction fetch
+    Read = 1,   ///< data read (load)
+    Write = 2,  ///< data write (store)
+};
+
+/** @return a short human-readable name ("ifetch"/"read"/"write"). */
+constexpr std::string_view
+toString(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::IFetch:
+        return "ifetch";
+      case AccessKind::Read:
+        return "read";
+      case AccessKind::Write:
+        return "write";
+    }
+    return "?";
+}
+
+/** @return true for Read and Write accesses. */
+constexpr bool
+isData(AccessKind kind)
+{
+    return kind != AccessKind::IFetch;
+}
+
+/**
+ * One memory reference.
+ *
+ * The structure is 16 bytes so in-memory traces of several hundred
+ * thousand references (the paper's trace lengths) stay small.
+ */
+struct MemoryRef
+{
+    Addr addr = 0;                      ///< virtual byte address
+    std::uint32_t size = 4;             ///< access width in bytes
+    AccessKind kind = AccessKind::Read; ///< reference classification
+
+    friend bool operator==(const MemoryRef &, const MemoryRef &) = default;
+};
+
+static_assert(sizeof(MemoryRef) == 16, "MemoryRef should stay compact");
+
+} // namespace cachelab
+
+#endif // CACHELAB_TRACE_MEMORY_REF_HH

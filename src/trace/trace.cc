@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Implementation of the trace container.
+ */
+
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+namespace cachelab
+{
+
+std::uint64_t
+Trace::countKind(AccessKind kind) const
+{
+    return static_cast<std::uint64_t>(
+        std::count_if(refs_.begin(), refs_.end(),
+                      [kind](const MemoryRef &r) { return r.kind == kind; }));
+}
+
+double
+Trace::fractionKind(AccessKind kind) const
+{
+    if (refs_.empty())
+        return 0.0;
+    return static_cast<double>(countKind(kind)) /
+        static_cast<double>(refs_.size());
+}
+
+} // namespace cachelab

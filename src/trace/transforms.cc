@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Implementation of trace transformations.
+ */
+
+#include "trace/transforms.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+Trace
+truncate(const Trace &trace, std::uint64_t max_refs)
+{
+    const std::size_t n =
+        std::min<std::size_t>(trace.size(), static_cast<std::size_t>(max_refs));
+    std::vector<MemoryRef> refs(trace.begin(), trace.begin() + n);
+    return Trace(trace.name(), std::move(refs));
+}
+
+Trace
+concatenate(const std::vector<Trace> &traces, std::string name)
+{
+    Trace out(std::move(name));
+    std::size_t total = 0;
+    for (const Trace &t : traces)
+        total += t.size();
+    out.reserve(total);
+    for (const Trace &t : traces)
+        for (const MemoryRef &ref : t)
+            out.append(ref);
+    return out;
+}
+
+Trace
+interleaveRoundRobin(const std::vector<Trace> &traces, std::uint64_t quantum,
+                     std::string name, std::uint64_t max_refs)
+{
+    CACHELAB_ASSERT(quantum > 0, "interleave quantum must be positive");
+    Trace out(std::move(name));
+
+    struct Cursor
+    {
+        const Trace *trace;
+        std::size_t pos = 0;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(traces.size());
+    std::size_t total = 0;
+    for (const Trace &t : traces) {
+        if (!t.empty())
+            cursors.push_back({&t});
+        total += t.size();
+    }
+    out.reserve(max_refs ? std::min<std::size_t>(total, max_refs) : total);
+
+    std::size_t turn = 0;
+    while (!cursors.empty()) {
+        Cursor &cur = cursors[turn % cursors.size()];
+        std::uint64_t issued = 0;
+        while (issued < quantum && cur.pos < cur.trace->size()) {
+            out.append((*cur.trace)[cur.pos++]);
+            ++issued;
+            if (max_refs && out.size() >= max_refs)
+                return out;
+        }
+        if (cur.pos >= cur.trace->size()) {
+            cursors.erase(cursors.begin() +
+                          static_cast<std::ptrdiff_t>(turn % cursors.size()));
+            // The erased slot's successor now sits at the same index;
+            // keep `turn` pointing there so rotation order is preserved.
+            if (!cursors.empty())
+                turn %= cursors.size();
+        } else {
+            ++turn;
+        }
+    }
+    return out;
+}
+
+Trace
+offsetAddresses(const Trace &trace, Addr delta)
+{
+    Trace out(trace.name());
+    out.reserve(trace.size());
+    for (const MemoryRef &ref : trace)
+        out.append(ref.addr + delta, ref.size, ref.kind);
+    return out;
+}
+
+Trace
+filter(const Trace &trace,
+       const std::function<bool(const MemoryRef &)> &keep, std::string name)
+{
+    Trace out(std::move(name));
+    for (const MemoryRef &ref : trace)
+        if (keep(ref))
+            out.append(ref);
+    return out;
+}
+
+} // namespace cachelab

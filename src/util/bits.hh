@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache model.
+ */
+
+#ifndef CACHELAB_UTIL_BITS_HH
+#define CACHELAB_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cachelab
+{
+
+/** @return true when @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && std::has_single_bit(v);
+}
+
+/** @return floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** @return the smallest power of two >= @p v (v must be nonzero). */
+constexpr std::uint64_t
+roundUpPowerOfTwo(std::uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+/** @return @p addr rounded down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** @return @p addr rounded up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_BITS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the CSV writer.
+ */
+
+#include "util/csv.hh"
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    CACHELAB_ASSERT(!headerWritten_ && rows_ == 0 && !rowOpen_,
+                    "CSV header must be the first output");
+    for (const auto &c : columns)
+        rawField(escape(c));
+    rowOpen_ = true;
+    endRow();
+    rows_ = 0;
+    headerWritten_ = true;
+}
+
+CsvWriter &
+CsvWriter::field(const std::string &value)
+{
+    rawField(escape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(double value, int decimals)
+{
+    rawField(formatFixed(value, decimals));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::uint64_t value)
+{
+    rawField(std::to_string(value));
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    CACHELAB_ASSERT(rowOpen_, "endRow with no fields written");
+    os_ << '\n';
+    rowOpen_ = false;
+    ++rows_;
+}
+
+void
+CsvWriter::rawField(const std::string &escaped)
+{
+    if (rowOpen_)
+        os_ << ',';
+    os_ << escaped;
+    rowOpen_ = true;
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    const bool needsQuote =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needsQuote)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace cachelab

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV emission so bench binaries can dump machine-readable
+ * result series next to their human-readable tables.
+ */
+
+#ifndef CACHELAB_UTIL_CSV_HH
+#define CACHELAB_UTIL_CSV_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cachelab
+{
+
+/**
+ * Streaming CSV writer.  Values containing commas, quotes or newlines
+ * are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os (not owned; must outlive the writer). */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Emit the header row.  Must be the first row written, if used. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin accumulating a row. */
+    CsvWriter &field(const std::string &value);
+    CsvWriter &field(double value, int decimals = 6);
+    CsvWriter &field(std::uint64_t value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** @return number of data rows fully written (excluding header). */
+    std::uint64_t rowCount() const { return rows_; }
+
+  private:
+    void rawField(const std::string &escaped);
+    static std::string escape(const std::string &value);
+
+    std::ostream &os_;
+    bool rowOpen_ = false;
+    bool headerWritten_ = false;
+    std::uint64_t rows_ = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_CSV_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Implementation of the logging sink.
+ */
+
+#include "util/logging.hh"
+
+#include <atomic>
+
+namespace cachelab
+{
+
+namespace
+{
+
+std::atomic<bool> gLoggingEnabled{true};
+
+} // namespace
+
+void
+setLoggingEnabled(bool enabled)
+{
+    gLoggingEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+loggingEnabled()
+{
+    return gLoggingEnabled.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+emitLine(const std::string &line)
+{
+    std::cerr << line << '\n';
+}
+
+} // namespace detail
+
+} // namespace cachelab

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * xoshiro256** engine and distribution helpers.
+ */
+
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+/** splitmix64 step, used to expand the seed into engine state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    CACHELAB_ASSERT(bound != 0, "uniformInt bound must be nonzero");
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+        const std::uint64_t x = (*this)();
+        const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        const std::uint64_t low = static_cast<std::uint64_t>(m);
+        if (low >= bound || low >= (-bound) % bound)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    CACHELAB_ASSERT(lo <= hi, "uniformRange requires lo <= hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    // P(success) each step = mean / (mean + 1) gives E[count] = mean.
+    const double p_stop = 1.0 / (mean + 1.0);
+    const double u = uniformReal();
+    // Inverse-CDF sampling avoids looping for large means.
+    const double count = std::log(1.0 - u) / std::log(1.0 - p_stop);
+    return static_cast<std::uint64_t>(count);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    CACHELAB_ASSERT(n != 0, "zipf needs a nonempty domain");
+    double norm = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        norm += std::pow(static_cast<double>(i + 1), -theta);
+    double u = uniformReal() * norm;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        u -= std::pow(static_cast<double>(i + 1), -theta);
+        if (u <= 0.0)
+            return i;
+    }
+    return n - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)() ^ 0xd1b54a32d192ed03ULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+{
+    CACHELAB_ASSERT(n != 0, "ZipfSampler needs a nonempty domain");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += std::pow(static_cast<double>(i + 1), -theta);
+        cdf_[i] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.uniformReal();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace cachelab

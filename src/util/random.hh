@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic behaviour in this library flows through Rng so that
+ * every experiment is reproducible from a single 64-bit seed.  The
+ * engine is xoshiro256** seeded via splitmix64, both public-domain
+ * algorithms by Blackman & Vigna.
+ */
+
+#ifndef CACHELAB_UTIL_RANDOM_HH
+#define CACHELAB_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cachelab
+{
+
+/**
+ * Deterministic random number generator with the distribution helpers
+ * the workload models need.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also
+ * be used with <random> distributions and std::shuffle.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** @return the next raw 64-bit value. */
+    result_type operator()();
+
+    /** @return a uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniformReal();
+
+    /** @return true with probability @p p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Sample a geometric distribution: number of successes before the
+     * first failure, with mean @p mean (mean >= 0).
+     */
+    std::uint64_t geometric(double mean);
+
+    /**
+     * Sample an index in [0, n) with probability proportional to
+     * 1 / (i + 1)^theta — a Zipf-like favouring of low indices that
+     * approximates LRU stack-distance locality.
+     */
+    std::uint64_t zipf(std::uint64_t n, double theta);
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * Precomputed sampler for the Zipf-like stack-distance distribution.
+ *
+ * Rng::zipf() recomputes the normalizing constant per call, which is
+ * fine for small n; this class builds the CDF once for hot loops.
+ */
+class ZipfSampler
+{
+  public:
+    /** Build the CDF for indices [0, n) with exponent @p theta. */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** @return a sampled index in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_RANDOM_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the analytic models: [Hard80] curves, Table 5 design
+ * targets, fudge factors, published-figure registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/design_target.hh"
+#include "analytic/fudge.hh"
+#include "analytic/hartstein.hh"
+#include "analytic/published.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(Hard80, MatchesQuotedHitRatios)
+{
+    // Paper section 1.2: supervisor hit ratios 0.925/0.948/0.964 and
+    // problem 0.982/0.984/0.980 at 16K/32K/64K.
+    EXPECT_NEAR(hard80MissRatio(ExecState::Supervisor, 16384), 0.075, 1e-6);
+    EXPECT_NEAR(hard80MissRatio(ExecState::Supervisor, 65536), 0.036, 1e-6);
+    // 32K is interpolated by the power law; the paper quotes 0.052.
+    EXPECT_NEAR(hard80MissRatio(ExecState::Supervisor, 32768), 0.052, 0.003);
+
+    EXPECT_NEAR(hard80MissRatio(ExecState::Problem, 16384), 0.018, 1e-9);
+    EXPECT_NEAR(hard80MissRatio(ExecState::Problem, 32768), 0.016, 1e-9);
+    EXPECT_NEAR(hard80MissRatio(ExecState::Problem, 65536), 0.020, 1e-9);
+}
+
+TEST(Hard80, SupervisorCurveDecreasesMonotonically)
+{
+    double prev = 1.0;
+    for (std::uint64_t s = 1024; s <= 262144; s *= 2) {
+        const double m = hard80MissRatio(ExecState::Supervisor, s);
+        EXPECT_LT(m, prev);
+        prev = m;
+    }
+}
+
+TEST(Hard80, SupervisorAlwaysWorseThanProblemState)
+{
+    // The OS misses far more than user code in [Hard80]'s range.
+    for (std::uint64_t s = 4096; s <= 131072; s *= 2) {
+        EXPECT_GT(hard80MissRatio(ExecState::Supervisor, s),
+                  hard80MissRatio(ExecState::Problem, s));
+    }
+}
+
+TEST(Hard80, ExponentNearHalf)
+{
+    EXPECT_NEAR(hard80SupervisorExponent(), 0.53, 0.01);
+}
+
+TEST(Hard80, MixedWorkloadInterpolates)
+{
+    const std::uint64_t s = 16384;
+    const double sup = hard80MissRatio(ExecState::Supervisor, s);
+    const double prob = hard80MissRatio(ExecState::Problem, s);
+    EXPECT_DOUBLE_EQ(hard80MixedMissRatio(1.0, s), sup);
+    EXPECT_DOUBLE_EQ(hard80MixedMissRatio(0.0, s), prob);
+    // [Mil85]: 73% supervisor.
+    const double mixed = hard80MixedMissRatio(0.73, s);
+    EXPECT_GT(mixed, prob);
+    EXPECT_LT(mixed, sup);
+}
+
+TEST(DesignTarget, TableCoversPaperRange)
+{
+    const auto &table = designTargetTable();
+    ASSERT_EQ(table.size(), 12u);
+    EXPECT_EQ(table.front().cacheBytes, 32u);
+    EXPECT_EQ(table.back().cacheBytes, 65536u);
+}
+
+TEST(DesignTarget, UnifiedColumnVerbatimFromPaper)
+{
+    EXPECT_DOUBLE_EQ(designTargetMissRatio(32, CacheKind::Unified), 0.50);
+    EXPECT_DOUBLE_EQ(designTargetMissRatio(512, CacheKind::Unified), 0.27);
+    EXPECT_DOUBLE_EQ(designTargetMissRatio(1024, CacheKind::Unified), 0.21);
+    EXPECT_DOUBLE_EQ(designTargetMissRatio(65536, CacheKind::Unified), 0.03);
+}
+
+TEST(DesignTarget, InstructionCachePointEstimate)
+{
+    // Section 3.4: "0.25 is a reasonable point estimate for a 256-byte
+    // instruction cache with 16 byte lines".
+    EXPECT_DOUBLE_EQ(designTargetMissRatio(256, CacheKind::Instruction),
+                     0.25);
+}
+
+TEST(DesignTarget, AllColumnsMonotone)
+{
+    for (CacheKind kind : {CacheKind::Unified, CacheKind::Instruction,
+                           CacheKind::Data}) {
+        double prev = 1.0;
+        for (const DesignTargetRow &row : designTargetTable()) {
+            const double m = designTargetMissRatio(row.cacheBytes, kind);
+            EXPECT_LE(m, prev);
+            prev = m;
+        }
+    }
+}
+
+TEST(DesignTarget, PaperDoublingSummary)
+{
+    // "In the range of 32 bytes to 512 bytes, doubling the cache size
+    // seems to cut the miss ratio by about 14%, from 512 to 64K, by
+    // about 27%, and overall, by about 23%."
+    EXPECT_NEAR(1.0 - designTargetDoublingFactor(32, 512,
+                                                 CacheKind::Unified),
+                0.14, 0.01);
+    EXPECT_NEAR(1.0 - designTargetDoublingFactor(512, 65536,
+                                                 CacheKind::Unified),
+                0.27, 0.01);
+    EXPECT_NEAR(1.0 - designTargetDoublingFactor(32, 65536,
+                                                 CacheKind::Unified),
+                0.23, 0.01);
+}
+
+TEST(Fudge, InstrToDataRatioAnchors)
+{
+    // ~1:1 for the most complex, ~3:1 for the simplest (section 4.3).
+    EXPECT_NEAR(estimatedInstrToDataRatio(Machine::VAX), 1.0, 0.05);
+    EXPECT_NEAR(estimatedInstrToDataRatio(Machine::CDC6400), 3.0, 0.05);
+    // Between the anchors, between the ratios.
+    const double r370 = estimatedInstrToDataRatio(Machine::IBM370);
+    EXPECT_GT(r370, 1.0);
+    EXPECT_LT(r370, 3.0);
+}
+
+TEST(Fudge, RulesOfThumb)
+{
+    EXPECT_DOUBLE_EQ(readsPerWrite(), 2.0);
+    EXPECT_DOUBLE_EQ(dirtyPushProbability(), 0.5);
+}
+
+TEST(Fudge, BranchFractionInterpolation)
+{
+    // At the measured machines, reproduce the measured values.
+    EXPECT_NEAR(estimatedBranchFraction(complexityRank(Machine::CDC6400)),
+                0.042, 1e-9);
+    EXPECT_NEAR(estimatedBranchFraction(complexityRank(Machine::VAX)),
+                0.175, 1e-9);
+    // Monotone in complexity.
+    EXPECT_LT(estimatedBranchFraction(0.3), estimatedBranchFraction(0.9));
+}
+
+TEST(Fudge, Z8000ToZ80000ScalingMatchesPaperPrediction)
+{
+    // [Alpe83] projected 12% at 256 bytes / 16-byte blocks; the paper
+    // predicts ~30% for the 32-bit Z80000.  Our fudge chain should
+    // land near the paper's counter-prediction.
+    const double scaled =
+        scaleMissRatio(1.0 - kAlpert83HitRatioBlock16, Machine::Z8000,
+                       Machine::Z80000);
+    EXPECT_NEAR(scaled, kPaperZ80000MissPrediction, 0.05);
+}
+
+TEST(Fudge, ScalingToSameMachineIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(scaleMissRatio(0.1, Machine::VAX, Machine::VAX), 0.1);
+}
+
+TEST(Fudge, ScalingClampsToUnitInterval)
+{
+    EXPECT_LE(scaleMissRatio(0.9, Machine::Z8000, Machine::Z80000), 1.0);
+}
+
+TEST(Published, RegistryContainsKeyCitations)
+{
+    const auto &figs = publishedFigures();
+    EXPECT_GT(figs.size(), 20u);
+    bool clark = false, alpert = false, harding = false;
+    for (const PublishedFigure &f : figs) {
+        clark |= f.source == "[Clar83]";
+        alpert |= f.source == "[Alpe83]";
+        harding |= f.source == "[Hard80]";
+        EXPECT_FALSE(f.metric.empty());
+    }
+    EXPECT_TRUE(clark && alpert && harding);
+}
+
+TEST(Published, ClarkConstantsConsistent)
+{
+    // Overall read miss ratio sits between instruction and data.
+    EXPECT_GT(kClark83OverallReadMissRatio, kClark83InstrMissRatio);
+    EXPECT_LT(kClark83OverallReadMissRatio, kClark83DataMissRatio);
+    // Halving the cache makes everything worse.
+    EXPECT_GT(kClark83HalvedDataMissRatio, kClark83DataMissRatio);
+    EXPECT_GT(kClark83HalvedInstrMissRatio, kClark83InstrMissRatio);
+}
+
+} // namespace
+} // namespace cachelab

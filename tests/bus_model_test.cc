@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the shared-bus contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/bus_model.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+BusModel
+defaultBus()
+{
+    BusModel m;
+    m.busBytesPerCycle = 4.0;
+    m.missPenaltyCycles = 10.0;
+    m.baseCyclesPerRef = 1.0;
+    return m;
+}
+
+TEST(BusModel, ZeroTrafficZeroUtilization)
+{
+    const BusModel m = defaultBus();
+    EXPECT_DOUBLE_EQ(m.utilization(8.0, 0.0, 0.05), 0.0);
+}
+
+TEST(BusModel, UtilizationGrowsWithProcessors)
+{
+    const BusModel m = defaultBus();
+    const double rho1 = m.utilization(1.0, 0.5, 0.05);
+    const double rho4 = m.utilization(4.0, 0.5, 0.05);
+    const double rho16 = m.utilization(16.0, 0.5, 0.05);
+    EXPECT_LT(rho1, rho4);
+    EXPECT_LT(rho4, rho16);
+    EXPECT_LT(rho16, 1.0);
+}
+
+TEST(BusModel, ContentionInflatesCycles)
+{
+    const BusModel m = defaultBus();
+    EXPECT_DOUBLE_EQ(m.cyclesPerRef(0.10, 0.0), 2.0);
+    EXPECT_NEAR(m.cyclesPerRef(0.10, 0.5), 1.0 + 1.0 / 0.5, 1e-12);
+    EXPECT_GT(m.cyclesPerRef(0.10, 0.9), m.cyclesPerRef(0.10, 0.5));
+}
+
+TEST(BusModel, ThroughputSaturatesAtBusCapacity)
+{
+    const BusModel m = defaultBus();
+    const double traffic = 2.0; // bytes per reference
+    // Bus cap = 4 / 2 = 2 refs/cycle, regardless of processor count.
+    const double tp64 = m.systemThroughput(64.0, 0.05, traffic);
+    EXPECT_LE(tp64, 2.0 + 1e-9);
+    const double tp128 = m.systemThroughput(128.0, 0.05, traffic);
+    EXPECT_NEAR(tp64, tp128, 0.05);
+}
+
+TEST(BusModel, ThroughputMonotoneBeforeSaturation)
+{
+    const BusModel m = defaultBus();
+    const double t2 = m.systemThroughput(2.0, 0.05, 0.5);
+    const double t4 = m.systemThroughput(4.0, 0.05, 0.5);
+    EXPECT_GT(t4, t2);
+}
+
+TEST(BusModel, HigherTrafficSaturatesAtFewerProcessors)
+{
+    // The paper's prefetch caution, quantified: more traffic per
+    // reference means the bus knee arrives at fewer processors.
+    const BusModel m = defaultBus();
+    const double p_low_traffic = m.processorsAtKnee(0.05, 0.4);
+    const double p_high_traffic = m.processorsAtKnee(0.03, 1.0);
+    // Even with a better miss ratio, the heavy-traffic config hits
+    // the bus wall earlier.
+    EXPECT_GT(p_low_traffic, p_high_traffic);
+}
+
+TEST(BusModel, KneeAtLeastOneProcessor)
+{
+    const BusModel m = defaultBus();
+    EXPECT_GE(m.processorsAtKnee(0.5, 8.0), 1.0);
+    // Zero traffic: the bus never binds.
+    EXPECT_DOUBLE_EQ(m.processorsAtKnee(0.05, 0.0), 256.0);
+}
+
+} // namespace
+} // namespace cachelab

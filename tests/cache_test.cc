@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the cache model: hit/miss behavior, replacement,
+ * write policies, prefetch, purging, traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "sim/experiments.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+CacheConfig
+tinyConfig()
+{
+    // 4 lines of 16 bytes, fully associative, LRU, copy-back.
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.lineBytes = 16;
+    return c;
+}
+
+MemoryRef
+readAt(Addr a)
+{
+    return {a, 4, AccessKind::Read};
+}
+
+MemoryRef
+writeAt(Addr a)
+{
+    return {a, 4, AccessKind::Write};
+}
+
+MemoryRef
+ifetchAt(Addr a)
+{
+    return {a, 4, AccessKind::IFetch};
+}
+
+TEST(CacheConfig, DerivedGeometry)
+{
+    CacheConfig c = tinyConfig();
+    EXPECT_EQ(c.lineCount(), 4u);
+    EXPECT_EQ(c.effectiveAssociativity(), 4u); // fully associative
+    EXPECT_EQ(c.setCount(), 1u);
+    c.associativity = 2;
+    EXPECT_EQ(c.setCount(), 2u);
+}
+
+TEST(CacheConfig, DescribeMentionsPolicies)
+{
+    const std::string d = table1Config(16384).describe();
+    EXPECT_NE(d.find("16K"), std::string::npos);
+    EXPECT_NE(d.find("full"), std::string::npos);
+    EXPECT_NE(d.find("LRU"), std::string::npos);
+    EXPECT_NE(d.find("copy-back"), std::string::npos);
+    EXPECT_NE(d.find("demand"), std::string::npos);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(tinyConfig());
+    EXPECT_FALSE(cache.access(readAt(0x100)));
+    EXPECT_TRUE(cache.access(readAt(0x104))); // same line
+    EXPECT_TRUE(cache.access(readAt(0x100)));
+    EXPECT_EQ(cache.stats().misses[1], 1u);
+    EXPECT_EQ(cache.stats().accesses[1], 3u);
+    EXPECT_TRUE(cache.contains(0x108));
+    EXPECT_FALSE(cache.contains(0x200));
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache cache(tinyConfig()); // 4 lines
+    for (Addr a : {0x000, 0x010, 0x020, 0x030})
+        cache.access(readAt(a));
+    EXPECT_EQ(cache.validLineCount(), 4u);
+    cache.access(readAt(0x000)); // make line 0 most recent
+    cache.access(readAt(0x040)); // evicts LRU = 0x010
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x010));
+    EXPECT_TRUE(cache.contains(0x020));
+    EXPECT_TRUE(cache.contains(0x030));
+    EXPECT_TRUE(cache.contains(0x040));
+}
+
+TEST(Cache, FifoIgnoresHits)
+{
+    CacheConfig c = tinyConfig();
+    c.replacement = ReplacementPolicy::FIFO;
+    Cache cache(c);
+    for (Addr a : {0x000, 0x010, 0x020, 0x030})
+        cache.access(readAt(a));
+    cache.access(readAt(0x000)); // hit; FIFO order unchanged
+    cache.access(readAt(0x040)); // evicts oldest = 0x000
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x010));
+}
+
+TEST(Cache, RandomReplacementFillsInvalidFirst)
+{
+    CacheConfig c = tinyConfig();
+    c.replacement = ReplacementPolicy::Random;
+    Cache cache(c);
+    for (Addr a : {0x000, 0x010, 0x020, 0x030})
+        cache.access(readAt(a));
+    // No evictions while invalid ways remained.
+    EXPECT_EQ(cache.stats().replacementPushes, 0u);
+    EXPECT_EQ(cache.validLineCount(), 4u);
+    cache.access(readAt(0x040));
+    EXPECT_EQ(cache.stats().replacementPushes, 1u);
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.lineBytes = 16;
+    c.associativity = 1; // 4 sets, direct mapped
+    Cache cache(c);
+    // 0x000 and 0x040 map to the same set (line index mod 4).
+    cache.access(readAt(0x000));
+    cache.access(readAt(0x040));
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x040));
+    // Distinct sets do not conflict.
+    cache.access(readAt(0x010));
+    EXPECT_TRUE(cache.contains(0x040));
+    EXPECT_TRUE(cache.contains(0x010));
+}
+
+TEST(Cache, SetAssociativeKeepsWaysIndependent)
+{
+    CacheConfig c;
+    c.sizeBytes = 128;
+    c.lineBytes = 16;
+    c.associativity = 2; // 4 sets x 2 ways
+    Cache cache(c);
+    cache.access(readAt(0x000)); // set 0
+    cache.access(readAt(0x040)); // set 0, second way
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x040));
+    cache.access(readAt(0x080)); // set 0, evicts LRU (0x000)
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x040));
+    EXPECT_TRUE(cache.contains(0x080));
+}
+
+TEST(Cache, CopyBackMarksDirtyAndPushesOnEvict)
+{
+    Cache cache(tinyConfig());
+    cache.access(writeAt(0x000));
+    EXPECT_TRUE(cache.isDirty(0x000));
+    EXPECT_EQ(cache.stats().bytesToMemory, 0u); // nothing written yet
+    // Fill and overflow the cache; 0x000 is pushed dirty.
+    for (Addr a : {0x010, 0x020, 0x030, 0x040})
+        cache.access(readAt(a));
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_EQ(cache.stats().dirtyReplacementPushes, 1u);
+    EXPECT_EQ(cache.stats().bytesToMemory, 16u); // one line
+}
+
+TEST(Cache, CleanEvictionWritesNothing)
+{
+    Cache cache(tinyConfig());
+    for (Addr a : {0x000, 0x010, 0x020, 0x030, 0x040})
+        cache.access(readAt(a));
+    EXPECT_EQ(cache.stats().replacementPushes, 1u);
+    EXPECT_EQ(cache.stats().dirtyReplacementPushes, 0u);
+    EXPECT_EQ(cache.stats().bytesToMemory, 0u);
+}
+
+TEST(Cache, ReadAfterWriteKeepsLineDirty)
+{
+    Cache cache(tinyConfig());
+    cache.access(writeAt(0x000));
+    cache.access(readAt(0x000));
+    EXPECT_TRUE(cache.isDirty(0x000));
+}
+
+TEST(Cache, WriteThroughSendsEveryStore)
+{
+    CacheConfig c = tinyConfig();
+    c.writePolicy = WritePolicy::WriteThrough;
+    Cache cache(c);
+    cache.access(writeAt(0x000)); // miss; fetch-on-write allocates
+    cache.access(writeAt(0x004)); // hit
+    EXPECT_EQ(cache.stats().writeThroughs, 2u);
+    EXPECT_EQ(cache.stats().bytesToMemory, 8u); // 2 stores x 4 bytes
+    EXPECT_FALSE(cache.isDirty(0x000)); // never dirty under WT
+    EXPECT_EQ(cache.stats().bytesFromMemory, 16u); // the allocation
+}
+
+TEST(Cache, WriteThroughNoAllocateBypasses)
+{
+    CacheConfig c = tinyConfig();
+    c.writePolicy = WritePolicy::WriteThrough;
+    c.writeMiss = WriteMissPolicy::NoAllocate;
+    Cache cache(c);
+    EXPECT_FALSE(cache.access(writeAt(0x000)));
+    EXPECT_FALSE(cache.contains(0x000)); // not allocated
+    EXPECT_EQ(cache.stats().bytesFromMemory, 0u);
+    EXPECT_EQ(cache.stats().bytesToMemory, 4u);
+    // A read still allocates; a subsequent write hits and writes through.
+    cache.access(readAt(0x000));
+    EXPECT_TRUE(cache.access(writeAt(0x000)));
+    EXPECT_EQ(cache.stats().bytesToMemory, 8u);
+}
+
+TEST(Cache, FetchOnWriteCountsDemandFetch)
+{
+    Cache cache(tinyConfig()); // copy-back, fetch-on-write
+    cache.access(writeAt(0x000));
+    EXPECT_EQ(cache.stats().demandFetches, 1u);
+    EXPECT_EQ(cache.stats().bytesFromMemory, 16u);
+    EXPECT_TRUE(cache.isDirty(0x000));
+}
+
+TEST(Cache, PrefetchAlwaysFetchesSuccessorLine)
+{
+    CacheConfig c = tinyConfig();
+    c.fetchPolicy = FetchPolicy::PrefetchAlways;
+    Cache cache(c);
+    cache.access(readAt(0x000));
+    EXPECT_TRUE(cache.contains(0x010)); // line i+1 prefetched
+    EXPECT_EQ(cache.stats().prefetchFetches, 1u);
+    EXPECT_EQ(cache.stats().demandFetches, 1u);
+    // Referencing line 0 again: successor already present, no refetch.
+    cache.access(readAt(0x004));
+    EXPECT_EQ(cache.stats().prefetchFetches, 1u);
+}
+
+TEST(Cache, PrefetchTriggersOnHitsToo)
+{
+    CacheConfig c = tinyConfig();
+    c.fetchPolicy = FetchPolicy::PrefetchAlways;
+    Cache cache(c);
+    cache.access(readAt(0x000)); // miss; prefetch 0x010
+    cache.access(readAt(0x010)); // hit; prefetch 0x020
+    EXPECT_TRUE(cache.contains(0x020));
+    EXPECT_EQ(cache.stats().prefetchFetches, 2u);
+    // Prefetch traffic counted in bytesFromMemory.
+    EXPECT_EQ(cache.stats().bytesFromMemory, 3u * 16u);
+}
+
+TEST(Cache, PrefetchedLineNotCountedAsMissWhenUsed)
+{
+    CacheConfig c = tinyConfig();
+    c.fetchPolicy = FetchPolicy::PrefetchAlways;
+    Cache cache(c);
+    cache.access(readAt(0x000)); // miss, prefetch 0x010
+    EXPECT_TRUE(cache.access(readAt(0x010)));
+    EXPECT_EQ(cache.stats().totalMisses(), 1u);
+}
+
+TEST(Cache, PurgeInvalidatesEverythingAndCountsPushes)
+{
+    Cache cache(tinyConfig());
+    cache.access(writeAt(0x000));
+    cache.access(readAt(0x010));
+    cache.purge();
+    EXPECT_EQ(cache.validLineCount(), 0u);
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_EQ(cache.stats().purgePushes, 2u);
+    EXPECT_EQ(cache.stats().dirtyPurgePushes, 1u);
+    EXPECT_EQ(cache.stats().bytesToMemory, 16u);
+    EXPECT_EQ(cache.stats().purges, 1u);
+    // The cache works normally after a purge.
+    EXPECT_FALSE(cache.access(readAt(0x000)));
+    EXPECT_TRUE(cache.access(readAt(0x004)));
+}
+
+TEST(Cache, AccessSpanningTwoLines)
+{
+    Cache cache(tinyConfig());
+    // 8-byte access at offset 12 crosses into the next line.
+    const MemoryRef ref{0x00c, 8, AccessKind::Read};
+    EXPECT_FALSE(cache.access(ref));
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x010));
+    EXPECT_EQ(cache.stats().demandFetches, 2u);
+    EXPECT_EQ(cache.stats().totalMisses(), 1u); // one reference missed
+    EXPECT_TRUE(cache.access(ref));
+}
+
+TEST(Cache, PerKindStatistics)
+{
+    Cache cache(tinyConfig());
+    cache.access(ifetchAt(0x000));
+    cache.access(readAt(0x100));
+    cache.access(writeAt(0x200));
+    cache.access(ifetchAt(0x004));
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(s.accesses[static_cast<int>(AccessKind::IFetch)], 2u);
+    EXPECT_EQ(s.misses[static_cast<int>(AccessKind::IFetch)], 1u);
+    EXPECT_DOUBLE_EQ(s.missRatio(AccessKind::IFetch), 0.5);
+    EXPECT_DOUBLE_EQ(s.missRatio(AccessKind::Read), 1.0);
+    EXPECT_DOUBLE_EQ(s.dataMissRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.75);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache cache(tinyConfig());
+    cache.access(readAt(0x000));
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().totalAccesses(), 0u);
+    EXPECT_TRUE(cache.access(readAt(0x004))); // still resident
+}
+
+TEST(Cache, StatsSummarizeRenders)
+{
+    Cache cache(tinyConfig());
+    cache.access(readAt(0x000));
+    const std::string s = cache.stats().summarize();
+    EXPECT_NE(s.find("refs="), std::string::npos);
+    EXPECT_NE(s.find("miss="), std::string::npos);
+}
+
+TEST(CacheStats, Aggregation)
+{
+    CacheStats a, b;
+    a.accesses[0] = 10;
+    a.misses[0] = 2;
+    a.bytesFromMemory = 100;
+    b.accesses[0] = 30;
+    b.misses[0] = 6;
+    b.bytesToMemory = 50;
+    const CacheStats sum = a + b;
+    EXPECT_EQ(sum.accesses[0], 40u);
+    EXPECT_EQ(sum.misses[0], 8u);
+    EXPECT_EQ(sum.trafficBytes(), 150u);
+}
+
+TEST(Cache, HugeAddressesNearWraparound)
+{
+    CacheConfig c = tinyConfig();
+    c.fetchPolicy = FetchPolicy::PrefetchAlways;
+    Cache cache(c);
+    const Addr top = ~Addr{0} - 15; // last line of the address space
+    cache.access({top, 4, AccessKind::Read});
+    EXPECT_TRUE(cache.contains(top)); // prefetch of i+1 skipped safely
+}
+
+} // namespace
+} // namespace cachelab

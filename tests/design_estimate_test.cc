@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the design-estimate bundle — the paper's section 4 "API".
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/design_estimate.hh"
+#include "analytic/design_target.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(DesignEstimate, BaselineMachineMatchesTable5Verbatim)
+{
+    // The Z80000 profile is the generic 32-bit baseline Table 5 is
+    // stated for, so no fudge applies.
+    const DesignEstimate est = designEstimate(Machine::Z80000, 1024);
+    EXPECT_DOUBLE_EQ(est.unifiedMiss,
+                     designTargetMissRatio(1024, CacheKind::Unified));
+    EXPECT_DOUBLE_EQ(est.instructionMiss,
+                     designTargetMissRatio(1024, CacheKind::Instruction));
+    EXPECT_DOUBLE_EQ(est.dataMiss,
+                     designTargetMissRatio(1024, CacheKind::Data));
+}
+
+TEST(DesignEstimate, MixFractionsSumToOne)
+{
+    for (Machine m : allMachines()) {
+        const DesignEstimate est = designEstimate(m, 4096);
+        EXPECT_NEAR(est.ifetchFraction + est.readFraction +
+                        est.writeFraction,
+                    1.0, 1e-9)
+            << toString(m);
+        EXPECT_NEAR(est.readFraction / est.writeFraction, 2.0, 1e-6);
+    }
+}
+
+TEST(DesignEstimate, SimpleArchitecturesFetchMoreInstructions)
+{
+    // Section 4.3: 1:1 for complex architectures up to 3:1 for simple
+    // ones -> ifetch fraction 50% up to 75%.
+    const DesignEstimate vax = designEstimate(Machine::VAX, 4096);
+    const DesignEstimate cdc = designEstimate(Machine::CDC6400, 4096);
+    EXPECT_NEAR(vax.ifetchFraction, 0.50, 0.02);
+    EXPECT_NEAR(cdc.ifetchFraction, 0.75, 0.02);
+    EXPECT_GT(cdc.refsPerInstruction, 1.0);
+    EXPECT_LT(cdc.refsPerInstruction, vax.refsPerInstruction);
+}
+
+TEST(DesignEstimate, BranchFractionTracksComplexity)
+{
+    EXPECT_GT(designEstimate(Machine::VAX, 1024).branchFraction,
+              designEstimate(Machine::CDC6400, 1024).branchFraction);
+}
+
+TEST(DesignEstimate, MissRatiosShrinkWithCacheSize)
+{
+    double prev = 1.0;
+    for (std::uint64_t size : {256u, 1024u, 4096u, 16384u, 65536u}) {
+        const DesignEstimate est = designEstimate(Machine::VAX, size);
+        EXPECT_LT(est.unifiedMiss, prev);
+        prev = est.unifiedMiss;
+    }
+}
+
+TEST(DesignEstimate, SixteenBitMachineLooksBetter)
+{
+    // The Z8000-vs-Z80000 lesson in reverse: the same design-target
+    // table scaled to a 16-bit machine predicts lower miss ratios —
+    // which is exactly why 16-bit traces mislead 32-bit designs.
+    const DesignEstimate z16 = designEstimate(Machine::Z8000, 1024);
+    const DesignEstimate z32 = designEstimate(Machine::Z80000, 1024);
+    EXPECT_LT(z16.unifiedMiss, z32.unifiedMiss);
+}
+
+TEST(DesignEstimate, TrafficEstimatesPositiveAndOrdered)
+{
+    const DesignEstimate est = designEstimate(Machine::IBM370, 65536);
+    EXPECT_GT(est.copyBackTrafficPerRef, 0.0);
+    EXPECT_GT(est.writeThroughTrafficPerRef, 0.0);
+    // At a 64K cache the miss ratio is low, so write-through's
+    // per-store cost dominates copy-back's per-miss cost; at 32 bytes
+    // the relation flips (section 3.3's trade-off).
+    EXPECT_GT(est.writeThroughTrafficPerRef, est.copyBackTrafficPerRef);
+    const DesignEstimate tiny = designEstimate(Machine::IBM370, 32);
+    EXPECT_LT(tiny.writeThroughTrafficPerRef, tiny.copyBackTrafficPerRef);
+}
+
+TEST(DesignEstimate, RenderMentionsEverything)
+{
+    const std::string sheet =
+        designEstimate(Machine::M68000, 256).render();
+    EXPECT_NE(sheet.find("Motorola 68000"), std::string::npos);
+    EXPECT_NE(sheet.find("256"), std::string::npos);
+    EXPECT_NE(sheet.find("miss ratios"), std::string::npos);
+    EXPECT_NE(sheet.find("copy-back"), std::string::npos);
+    EXPECT_NE(sheet.find("refs/instr"), std::string::npos);
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Failure-injection tests: invalid configurations and corrupt inputs
+ * must fail loudly (fatal()) rather than mis-simulate silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/config.hh"
+#include "cache/sector_cache.hh"
+#include "trace/io.hh"
+#include "workload/program_model.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(ConfigValidation, RejectsNonPowerOfTwoSize)
+{
+    CacheConfig c;
+    c.sizeBytes = 3000;
+    EXPECT_DEATH({ c.validate(); }, "power of two");
+}
+
+TEST(ConfigValidation, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig c;
+    c.lineBytes = 24;
+    EXPECT_DEATH({ c.validate(); }, "power of two");
+}
+
+TEST(ConfigValidation, RejectsLineLargerThanCache)
+{
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.lineBytes = 128;
+    EXPECT_DEATH({ c.validate(); }, "exceeds cache size");
+}
+
+TEST(ConfigValidation, RejectsNonPowerOfTwoAssociativity)
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.associativity = 3;
+    EXPECT_DEATH({ c.validate(); }, "power of two");
+}
+
+TEST(ConfigValidation, RejectsAssociativityBeyondLineCount)
+{
+    CacheConfig c;
+    c.sizeBytes = 64;
+    c.lineBytes = 16;
+    c.associativity = 8; // only 4 lines exist
+    EXPECT_DEATH({ c.validate(); }, "exceeds line count");
+}
+
+TEST(SectorConfigValidation, RejectsSubblockLargerThanSector)
+{
+    SectorCacheConfig c;
+    c.sectorBytes = 16;
+    c.subblockBytes = 32;
+    EXPECT_DEATH({ c.validate(); }, "exceeds sector size");
+}
+
+TEST(SectorConfigValidation, RejectsTooManySubblocks)
+{
+    SectorCacheConfig c;
+    c.sizeBytes = 4096;
+    c.sectorBytes = 1024;
+    c.subblockBytes = 8; // 128 sub-blocks > 64-bit mask
+    EXPECT_DEATH({ c.validate(); }, "64 sub-blocks");
+}
+
+TEST(TraceIo, RejectsBadDinLabel)
+{
+    std::stringstream ss("7 1000\n");
+    EXPECT_DEATH({ readDin(ss, "bad"); }, "unknown access label");
+}
+
+TEST(TraceIo, RejectsMalformedDinLine)
+{
+    std::stringstream ss("read 0x10\n");
+    EXPECT_DEATH({ readDin(ss, "bad"); }, "expected");
+}
+
+TEST(TraceIo, RejectsBadHexAddress)
+{
+    std::stringstream ss("0 zzzz\n");
+    EXPECT_DEATH({ readDin(ss, "bad"); }, "bad address");
+}
+
+TEST(TraceIo, RejectsZeroSizeAccess)
+{
+    std::stringstream ss("0 1000 0\n");
+    EXPECT_DEATH({ readDin(ss, "bad"); }, "zero access size");
+}
+
+TEST(TraceIo, RejectsBadBinaryMagic)
+{
+    std::stringstream ss("NOPE....");
+    EXPECT_DEATH({ readBinary(ss); }, "bad magic");
+}
+
+TEST(TraceIo, RejectsTruncatedBinary)
+{
+    // Valid magic, then nothing.
+    std::stringstream ss(std::string("CLT1"), std::ios::in);
+    EXPECT_DEATH({ readBinary(ss); }, "");
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_DEATH({ loadTrace("/nonexistent/path/trace.din"); },
+                 "cannot open");
+}
+
+TEST(WorkloadValidation, RejectsZeroRefCount)
+{
+    WorkloadParams p;
+    p.refCount = 0;
+    EXPECT_DEATH({ p.validate(); }, "positive");
+}
+
+TEST(WorkloadValidation, RejectsTinyRegions)
+{
+    WorkloadParams p;
+    p.codeBytes = 16;
+    EXPECT_DEATH({ p.validate(); }, "code region too small");
+}
+
+TEST(WorkloadValidation, RejectsBadWriteSpread)
+{
+    WorkloadParams p;
+    p.writeSpread = 0.0;
+    EXPECT_DEATH({ p.validate(); }, "writeSpread");
+}
+
+TEST(WorkloadValidation, RejectsBadRecordBytes)
+{
+    WorkloadParams p;
+    p.recordBytes = 48; // not a power of two
+    EXPECT_DEATH({ p.validate(); }, "recordBytes");
+}
+
+} // namespace
+} // namespace cachelab

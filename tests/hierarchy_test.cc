@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the two-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TwoLevelCache
+makeHierarchy(std::uint64_t l1_bytes = 256, std::uint64_t l2_bytes = 4096)
+{
+    return {table1Config(l1_bytes), table1Config(l2_bytes)};
+}
+
+MemoryRef
+readAt(Addr a)
+{
+    return {a, 4, AccessKind::Read};
+}
+
+TEST(TwoLevelCache, L1FillGoesThroughL2)
+{
+    TwoLevelCache h = makeHierarchy();
+    h.access(readAt(0x1000));
+    // The line now lives in both levels.
+    EXPECT_TRUE(h.l1().contains(0x1000));
+    EXPECT_TRUE(h.l2().contains(0x1000));
+    EXPECT_EQ(h.l2().stats().totalAccesses(), 1u);
+    EXPECT_EQ(h.l2().stats().totalMisses(), 1u);
+    EXPECT_EQ(h.l2().stats().bytesFromMemory, 16u);
+}
+
+TEST(TwoLevelCache, L1HitDoesNotTouchL2)
+{
+    TwoLevelCache h = makeHierarchy();
+    h.access(readAt(0x1000));
+    h.access(readAt(0x1004));
+    EXPECT_EQ(h.l2().stats().totalAccesses(), 1u);
+}
+
+TEST(TwoLevelCache, L2CatchesL1CapacityMisses)
+{
+    TwoLevelCache h = makeHierarchy(/*l1=*/64, /*l2=*/4096); // 4-line L1
+    // Touch 8 lines, then re-touch the first: L1 misses, L2 hits.
+    for (Addr a = 0; a < 8 * 16; a += 16)
+        h.access(readAt(a));
+    const std::uint64_t l2_misses_before = h.l2().stats().totalMisses();
+    h.access(readAt(0));
+    EXPECT_FALSE(h.l1().contains(0) && l2_misses_before == 0); // sanity
+    EXPECT_EQ(h.l2().stats().totalMisses(), l2_misses_before);
+    EXPECT_EQ(h.globalMissRatio(), 8.0 / 9.0); // only the re-touch hit
+}
+
+TEST(TwoLevelCache, DirtyL1EvictionsLandInL2NotMemory)
+{
+    TwoLevelCache h = makeHierarchy(/*l1=*/64, /*l2=*/4096);
+    h.access({0x000, 4, AccessKind::Write});
+    // Push the dirty line out of the 4-line L1.
+    for (Addr a = 0x100; a < 0x100 + 4 * 16; a += 16)
+        h.access(readAt(a));
+    EXPECT_FALSE(h.l1().contains(0x000));
+    // The write-back became an L2 write hit (line already in L2).
+    EXPECT_EQ(h.l2().stats().accesses[2], 1u); // one write access
+    EXPECT_TRUE(h.l2().isDirty(0x000));
+    // No bytes reached memory: L2 absorbed the copy-back.
+    EXPECT_EQ(h.l2().stats().bytesToMemory, 0u);
+}
+
+TEST(TwoLevelCache, GlobalMissRequiresBothLevelsToMiss)
+{
+    TwoLevelCache h = makeHierarchy(64, 4096);
+    h.access(readAt(0x0));   // global miss
+    h.access(readAt(0x0));   // L1 hit
+    for (Addr a = 0x100; a < 0x100 + 4 * 16; a += 16)
+        h.access(readAt(a)); // 4 global misses, evicts 0x0 from L1
+    h.access(readAt(0x0));   // L1 miss, L2 hit -> not a global miss
+    EXPECT_DOUBLE_EQ(h.globalMissRatio(), 5.0 / 7.0);
+}
+
+TEST(TwoLevelCache, PurgeDrainsDirtyLinesDownward)
+{
+    TwoLevelCache h = makeHierarchy(256, 4096);
+    h.access({0x000, 4, AccessKind::Write});
+    h.purge();
+    EXPECT_EQ(h.l1().validLineCount(), 0u);
+    EXPECT_EQ(h.l2().validLineCount(), 0u);
+    // L1's dirty line was written into L2 before L2 purged, so the
+    // final memory write-back came from L2's purge.
+    EXPECT_EQ(h.l2().stats().bytesToMemory, 16u);
+}
+
+TEST(TwoLevelCache, RejectsSmallerL2Lines)
+{
+    CacheConfig l1 = table1Config(256);
+    CacheConfig l2 = table1Config(4096);
+    l2.lineBytes = 8;
+    EXPECT_DEATH({ TwoLevelCache h(l1, l2); }, "multiple");
+}
+
+TEST(TwoLevelCache, WiderL2LinesAccepted)
+{
+    CacheConfig l1 = table1Config(256);
+    CacheConfig l2 = table1Config(4096);
+    l2.lineBytes = 32;
+    TwoLevelCache h(l1, l2);
+    h.access(readAt(0x1000));
+    EXPECT_TRUE(h.l2().contains(0x1000));
+    EXPECT_EQ(h.l2().stats().bytesFromMemory, 32u);
+}
+
+TEST(TwoLevelCache, ResetStatsClearsCounters)
+{
+    TwoLevelCache h = makeHierarchy();
+    h.access(readAt(0x0));
+    h.resetStats();
+    EXPECT_EQ(h.refCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.globalMissRatio(), 0.0);
+    EXPECT_EQ(h.l1().stats().totalAccesses(), 0u);
+}
+
+TEST(TwoLevelCache, L2CutsGlobalMissOnRealWorkload)
+{
+    const Trace t = generateTrace(*findTraceProfile("FGO1"), 100000);
+    TwoLevelCache with_l2(table1Config(1024), table1Config(16384));
+    for (const MemoryRef &ref : t)
+        with_l2.access(ref);
+    // L1 alone.
+    Cache solo(table1Config(1024));
+    const CacheStats s = runTrace(t, solo);
+    EXPECT_LT(with_l2.globalMissRatio(), s.missRatio() * 0.8);
+    // And L1's own behavior is unchanged by the L2 behind it.
+    EXPECT_NEAR(with_l2.l1().stats().missRatio(), s.missRatio(), 1e-12);
+}
+
+TEST(TwoLevelCache, L2LocalMissRatioSandwiched)
+{
+    const Trace t = generateTrace(*findTraceProfile("VCCOM"), 100000);
+    TwoLevelCache h(table1Config(1024), table1Config(16384));
+    for (const MemoryRef &ref : t)
+        h.access(ref);
+    EXPECT_GT(h.l2LocalMissRatio(), 0.0);
+    EXPECT_LT(h.l2LocalMissRatio(), 1.0);
+    EXPECT_LE(h.globalMissRatio(),
+              h.l1().stats().missRatio() + 1e-12);
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the CPU-performance model and its [Mer74] calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/performance.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(PerfModel, PerfectCacheGivesBaseCpi)
+{
+    PerfModel m;
+    m.baseCpi = 1.2;
+    m.refsPerInstr = 2.0;
+    m.missPenaltyCycles = 15.0;
+    EXPECT_DOUBLE_EQ(m.cpi(0.0), 1.2);
+    EXPECT_DOUBLE_EQ(m.cpi(0.10), 1.2 + 2.0 * 0.10 * 15.0);
+}
+
+TEST(PerfModel, MipsInverseToCpi)
+{
+    PerfModel m;
+    m.clockMhz = 10.0;
+    m.baseCpi = 2.0;
+    m.refsPerInstr = 2.0;
+    m.missPenaltyCycles = 10.0;
+    EXPECT_DOUBLE_EQ(m.mips(0.0), 5.0);
+    EXPECT_LT(m.mips(0.05), m.mips(0.01));
+}
+
+TEST(PerfModel, SpeedupDirection)
+{
+    PerfModel m;
+    EXPECT_GT(m.speedup(0.10, 0.02), 1.0);
+    EXPECT_LT(m.speedup(0.02, 0.10), 1.0);
+    EXPECT_DOUBLE_EQ(m.speedup(0.05, 0.05), 1.0);
+}
+
+TEST(PerfModel, FitRecoversKnownPenalty)
+{
+    PerfModel truth;
+    truth.baseCpi = 3.0;
+    truth.refsPerInstr = 2.0;
+    truth.missPenaltyCycles = 12.0;
+    truth.clockMhz = 20.0;
+    const double fitted = fitMissPenalty(
+        0.05, truth.mips(0.05), 0.01, truth.mips(0.01), truth.baseCpi,
+        truth.refsPerInstr, truth.clockMhz);
+    EXPECT_NEAR(fitted, 12.0, 1e-9);
+}
+
+TEST(PerfModel, Merrill370ReproducesBothObservations)
+{
+    const PerfModel m = merrill370Model();
+    EXPECT_NEAR(m.mips(1.0 - 0.969), 2.07, 1e-6);
+    EXPECT_NEAR(m.mips(1.0 - 0.988), 2.34, 1e-6);
+    // The fitted penalty should be a plausible 1970s main-memory
+    // latency, tens of cycles.
+    EXPECT_GT(m.missPenaltyCycles, 5.0);
+    EXPECT_LT(m.missPenaltyCycles, 60.0);
+    EXPECT_GT(m.baseCpi, 1.0);
+}
+
+TEST(PerfModel, IntroductionArithmetic)
+{
+    // The intro's framing: improving 98% -> 99% hit ratio buys only a
+    // modest speedup on a machine like the 370/168.
+    const PerfModel m = merrill370Model();
+    const double gain = m.speedup(0.02, 0.01);
+    EXPECT_GT(gain, 1.02);
+    EXPECT_LT(gain, 1.15);
+    // But 80% -> 90% is transformative.
+    EXPECT_GT(m.speedup(0.20, 0.10), 1.4);
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the reconstructed trace corpus: counts, groups, mixes,
+ * and the per-group characteristics the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/analyzer.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(Profiles, CorpusCountsMatchPaper)
+{
+    // "57 traces (treating the LISP and VAXIMA traces as five each)"
+    // over "49 traces" distinct.
+    EXPECT_EQ(allTraceProfiles().size(), 57u);
+    EXPECT_EQ(distinctTraceCount(), 49u);
+}
+
+TEST(Profiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const TraceProfile &p : allTraceProfiles())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Profiles, GroupSizes)
+{
+    EXPECT_EQ(profilesInGroup(TraceGroup::IBM370).size(), 13u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::IBM360_91).size(), 4u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::VAX).size(), 12u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::VaxLisp).size(), 10u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::Z8000).size(), 9u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::CDC6400).size(), 5u);
+    EXPECT_EQ(profilesInGroup(TraceGroup::M68000).size(), 4u);
+}
+
+TEST(Profiles, PaperNamedTracesPresent)
+{
+    for (const char *name :
+         {"MVS1", "MVS2", "FGO1", "CGO1", "FCOMP1", "CCOMP1", "WATEX",
+          "WATFIV", "APL", "FPT", "VCCOM", "VSPICE", "VPUZZLE", "VTOWERS",
+          "VQSORT", "VYMERGE", "LISP1", "LISP5", "VAXIMA1", "VAXIMA5",
+          "ZVI", "ZGREP", "ZPR", "ZOD", "ZSORT", "TWOD1", "PPAS", "PPAL",
+          "DIPOLE", "MOTIS", "PLO", "MATCH", "SORT", "STAT"}) {
+        EXPECT_NE(findTraceProfile(name), nullptr) << name;
+    }
+    EXPECT_EQ(findTraceProfile("NO_SUCH_TRACE"), nullptr);
+}
+
+TEST(Profiles, MachinesMatchGroups)
+{
+    for (const TraceProfile &p : allTraceProfiles())
+        EXPECT_EQ(p.params.machine, machineOf(p.group)) << p.name;
+    EXPECT_EQ(machineOf(TraceGroup::VaxLisp), Machine::VAX);
+}
+
+TEST(Profiles, TraceLengthsWithinPaperBounds)
+{
+    // "These trace runs extend at most to 500,000 memory references,
+    // and most are for 250,000."
+    std::size_t at_250k = 0;
+    for (const TraceProfile &p : allTraceProfiles()) {
+        EXPECT_LE(p.params.refCount, 500000u) << p.name;
+        EXPECT_GE(p.params.refCount, 100000u) << p.name;
+        at_250k += p.params.refCount == 250000;
+    }
+    EXPECT_GT(at_250k, allTraceProfiles().size() / 2);
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const TraceProfile &p : allTraceProfiles())
+        EXPECT_TRUE(seeds.insert(p.params.seed).second) << p.name;
+}
+
+TEST(Profiles, AllParamsValidate)
+{
+    for (const TraceProfile &p : allTraceProfiles())
+        p.params.validate(); // fatal()s on failure
+    SUCCEED();
+}
+
+TEST(Profiles, MultiprogramMixesResolve)
+{
+    const auto &mixes = paperMultiprogramMixes();
+    ASSERT_EQ(mixes.size(), 4u);
+    for (const MultiprogramMix &mix : mixes) {
+        EXPECT_EQ(mix.traceNames.size(), 5u) << mix.name;
+        for (const std::string &name : mix.traceNames)
+            EXPECT_NE(findTraceProfile(name), nullptr) << name;
+    }
+}
+
+TEST(Profiles, GenerateTraceHonorsShorteningOverload)
+{
+    const TraceProfile *p = findTraceProfile("ZGREP");
+    ASSERT_NE(p, nullptr);
+    const Trace t = generateTrace(*p, 5000);
+    EXPECT_EQ(t.size(), 5000u);
+    EXPECT_EQ(t.name(), "ZGREP");
+}
+
+TEST(Profiles, GroupDisplayNames)
+{
+    EXPECT_EQ(toString(TraceGroup::VaxLisp), "VAX (Lisp)");
+    EXPECT_EQ(toString(TraceGroup::CDC6400), "CDC 6400");
+    EXPECT_EQ(allTraceGroups().size(), 7u);
+}
+
+TEST(Profiles, MixFractionsMatchArchitectureAggregates)
+{
+    // Spot-check one trace per machine group at modest length: the
+    // generated mix must land on the Table 2 aggregates.
+    struct Check
+    {
+        const char *name;
+        double ifetch;
+    };
+    for (const Check &c : {Check{"ZVI", 0.751}, Check{"TWOD1", 0.772},
+                           Check{"VCCOM", 0.50}, Check{"MVS1", 0.53}}) {
+        const TraceProfile *p = findTraceProfile(c.name);
+        ASSERT_NE(p, nullptr);
+        const Trace t = generateTrace(*p, 60000);
+        EXPECT_NEAR(t.fractionKind(AccessKind::IFetch), c.ifetch, 0.02)
+            << c.name;
+    }
+}
+
+TEST(Profiles, Z8000CodeOutweighsData)
+{
+    // Section 3.2: traces with more instruction lines than data lines
+    // are mostly the Z8000's.
+    const TraceProfile *z = findTraceProfile("ZVI");
+    const TraceProfile *v = findTraceProfile("VSPICE");
+    ASSERT_NE(z, nullptr);
+    ASSERT_NE(v, nullptr);
+    EXPECT_GT(z->params.codeBytes, z->params.dataBytes);
+    EXPECT_LT(v->params.codeBytes, v->params.dataBytes);
+}
+
+TEST(Profiles, LispFootprintsLargest)
+{
+    // Table 2: Lisp programs average 61,598 bytes of A-space, the
+    // largest group alongside the 370.
+    auto avgFootprint = [](TraceGroup g) {
+        double sum = 0.0;
+        const auto profiles = profilesInGroup(g);
+        for (const TraceProfile *p : profiles)
+            sum += static_cast<double>(p->params.codeBytes +
+                                       p->params.dataBytes);
+        return sum / static_cast<double>(profiles.size());
+    };
+    EXPECT_GT(avgFootprint(TraceGroup::VaxLisp),
+              avgFootprint(TraceGroup::VAX));
+    EXPECT_GT(avgFootprint(TraceGroup::IBM370),
+              avgFootprint(TraceGroup::Z8000));
+    EXPECT_LT(avgFootprint(TraceGroup::M68000),
+              avgFootprint(TraceGroup::Z8000));
+}
+
+} // namespace
+} // namespace cachelab

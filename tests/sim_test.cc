@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the simulation drivers, sweeps and canonical
+ * experiment setups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+#include "trace/transforms.hh"
+#include "util/random.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+Trace
+loopTrace(std::size_t refs)
+{
+    // Loops over 8 lines: misses only on the first pass.
+    Trace t("loop");
+    for (std::size_t i = 0; i < refs; ++i)
+        t.append(0x1000 + (i % 8) * 16, 4, AccessKind::Read);
+    return t;
+}
+
+TEST(Run, NoPurgeMatchesDirectSimulation)
+{
+    const Trace t = loopTrace(1000);
+    Cache cache(table1Config(256));
+    const CacheStats s = runTrace(t, cache);
+    EXPECT_EQ(s.totalAccesses(), 1000u);
+    EXPECT_EQ(s.totalMisses(), 8u); // compulsory only
+}
+
+TEST(Run, PurgeIntervalForcesRefetch)
+{
+    const Trace t = loopTrace(1000);
+    Cache cache(table1Config(256));
+    RunConfig run;
+    run.purgeInterval = 100;
+    const CacheStats s = runTrace(t, cache, run);
+    // 9 purges (at refs 100, 200, ...; the first quantum has no purge),
+    // each costing 8 refetches.
+    EXPECT_EQ(s.purges, 9u);
+    EXPECT_EQ(s.totalMisses(), 8u + 9u * 8u);
+}
+
+TEST(Run, WarmupExcludesColdMisses)
+{
+    const Trace t = loopTrace(1000);
+    Cache cache(table1Config(256));
+    RunConfig run;
+    run.warmupRefs = 100;
+    const CacheStats s = runTrace(t, cache, run);
+    EXPECT_EQ(s.totalAccesses(), 900u);
+    EXPECT_EQ(s.totalMisses(), 0u); // all compulsory misses in warm-up
+}
+
+TEST(Run, CacheSystemOverload)
+{
+    const Trace t = loopTrace(500);
+    UnifiedCache sys(table1Config(256));
+    const CacheStats s = runTrace(t, sys);
+    EXPECT_EQ(s.totalAccesses(), 500u);
+}
+
+TEST(Sweep, PowersOfTwo)
+{
+    const auto sizes = powersOfTwo(32, 256);
+    ASSERT_EQ(sizes.size(), 4u);
+    EXPECT_EQ(sizes.front(), 32u);
+    EXPECT_EQ(sizes.back(), 256u);
+}
+
+TEST(Sweep, PaperCacheSizes)
+{
+    const auto &sizes = paperCacheSizes();
+    ASSERT_EQ(sizes.size(), 12u); // 32 B .. 64 KB
+    EXPECT_EQ(sizes.front(), 32u);
+    EXPECT_EQ(sizes.back(), 65536u);
+}
+
+TEST(Sweep, UnifiedSweepMonotoneOnLoopTrace)
+{
+    const Trace t = loopTrace(2000);
+    const auto points =
+        sweepUnified(t, powersOfTwo(32, 1024), table1Config(32));
+    ASSERT_EQ(points.size(), 6u);
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_LE(points[i].stats.missRatio(),
+                  points[i - 1].stats.missRatio());
+}
+
+TEST(Sweep, SplitSweepSeparatesSides)
+{
+    Trace t("mixed");
+    for (int i = 0; i < 1000; ++i) {
+        t.append(0x1000 + (i % 4) * 16, 4, AccessKind::IFetch);
+        t.append(0x8000 + (i % 64) * 16, 4, AccessKind::Read);
+    }
+    const auto points = sweepSplit(t, {256, 1024}, table1Config(256));
+    ASSERT_EQ(points.size(), 2u);
+    // The I-side working set (4 lines) fits at 256 bytes; the D-side
+    // (64 lines = 1024 bytes) only at 1024.
+    EXPECT_LT(points[0].icache.missRatio(), 0.05);
+    EXPECT_GT(points[0].dcache.missRatio(),
+              points[1].dcache.missRatio());
+}
+
+TEST(Experiments, Table1ConfigMatchesPaperBaseline)
+{
+    const CacheConfig c = table1Config(16384);
+    EXPECT_EQ(c.sizeBytes, 16384u);
+    EXPECT_EQ(c.lineBytes, 16u);
+    EXPECT_EQ(c.associativity, 0u);
+    EXPECT_EQ(c.replacement, ReplacementPolicy::LRU);
+    EXPECT_EQ(c.writePolicy, WritePolicy::CopyBack);
+    EXPECT_EQ(c.writeMiss, WriteMissPolicy::FetchOnWrite);
+    EXPECT_EQ(c.fetchPolicy, FetchPolicy::Demand);
+}
+
+TEST(Experiments, PurgeIntervals)
+{
+    EXPECT_EQ(purgeIntervalFor(TraceGroup::M68000), 15000u);
+    EXPECT_EQ(purgeIntervalFor(TraceGroup::IBM370), 20000u);
+    EXPECT_EQ(purgeIntervalFor(TraceGroup::VAX), 20000u);
+}
+
+TEST(Experiments, BuildMixTraceInterleavesDisjointSlices)
+{
+    const MultiprogramMix mix{"test-mix", {"ZGREP", "ZOD"}};
+    const Trace t = buildMixTrace(mix);
+    EXPECT_GT(t.size(), 400000u); // two 250k traces
+    // The two programs occupy disjoint 256MB slices.
+    bool saw_slice0 = false, saw_slice1 = false;
+    for (const MemoryRef &ref : t) {
+        if (ref.addr < 0x10000000u)
+            saw_slice0 = true;
+        else
+            saw_slice1 = true;
+    }
+    EXPECT_TRUE(saw_slice0);
+    EXPECT_TRUE(saw_slice1);
+}
+
+TEST(Experiments, FractionDataPushesDirtyInUnitRange)
+{
+    Trace t("wr");
+    Rng rng(5);
+    for (int i = 0; i < 60000; ++i) {
+        const Addr a = 0x1000 + rng.uniformInt(4096) * 16;
+        t.append(a, 4,
+                 rng.bernoulli(0.3) ? AccessKind::Write : AccessKind::Read);
+    }
+    const double f = fractionDataPushesDirty(t, 5000);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+}
+
+TEST(Experiments, AllWritesMakesEveryPushDirty)
+{
+    Trace t("allwrites");
+    for (int i = 0; i < 30000; ++i)
+        t.append(0x1000 + static_cast<Addr>(i) * 16, 4, AccessKind::Write);
+    const double f = fractionDataPushesDirty(t, 10000);
+    EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+} // namespace
+} // namespace cachelab

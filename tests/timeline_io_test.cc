@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the miss-ratio timeline, the compressed trace format, and
+ * the set-associative (all-associativity) stack analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/cache.hh"
+#include "cache/stack_analysis.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "sim/timeline.hh"
+#include "trace/io.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+// --- timeline -------------------------------------------------------
+
+TEST(Timeline, BucketsCoverWholeTrace)
+{
+    const Trace t = generateTrace(*findTraceProfile("ZOD"), 25000);
+    Cache cache(table1Config(1024));
+    const auto buckets = missRatioTimeline(t, cache, 4000);
+    ASSERT_EQ(buckets.size(), 7u); // 6 full + 1 short
+    std::uint64_t total = 0;
+    for (const TimelineBucket &b : buckets)
+        total += b.refs;
+    EXPECT_EQ(total, t.size());
+    EXPECT_EQ(buckets.back().refs, 1000u);
+    EXPECT_EQ(buckets[3].startRef, 12000u);
+}
+
+TEST(Timeline, ColdStartTransientVisible)
+{
+    // The first bucket carries the cold-start misses; later buckets
+    // are warmer (the §3.2 trace-length caution).
+    const Trace t = generateTrace(*findTraceProfile("WATEX"), 120000);
+    Cache cache(table1Config(32768));
+    const auto buckets = missRatioTimeline(t, cache, 10000);
+    ASSERT_GE(buckets.size(), 10u);
+    EXPECT_GT(buckets.front().missRatio(),
+              2.0 * buckets.back().missRatio());
+}
+
+TEST(Timeline, PurgeSpikesEachInterval)
+{
+    // Tight loop: without purges only the first bucket misses; with a
+    // purge at every bucket boundary each bucket restarts cold.
+    Trace t("loop");
+    for (int i = 0; i < 40000; ++i)
+        t.append(0x1000 + (i % 64) * 16, 4, AccessKind::Read);
+    Cache purged(table1Config(4096));
+    const auto buckets = missRatioTimeline(t, purged, 10000, 10000);
+    ASSERT_EQ(buckets.size(), 4u);
+    for (const TimelineBucket &b : buckets)
+        EXPECT_EQ(b.misses, 64u) << "bucket @" << b.startRef;
+}
+
+TEST(Timeline, CumulativeMatchesDirectRun)
+{
+    const Trace t = generateTrace(*findTraceProfile("VCCOM"), 60000);
+    Cache a(table1Config(4096));
+    const auto buckets = missRatioTimeline(t, a, 7000);
+    const auto cumulative = cumulativeMissRatio(buckets);
+    Cache b(table1Config(4096));
+    const CacheStats s = runTrace(t, b);
+    EXPECT_NEAR(cumulative.back(), s.missRatio(), 1e-12);
+    // Cumulative view is defined for every prefix.
+    EXPECT_EQ(cumulative.size(), buckets.size());
+}
+
+TEST(Timeline, ShortTraceOverstatesLargeCacheMissRatio)
+{
+    // §3.2 quantified: for a large cache the cumulative miss ratio
+    // keeps falling with trace length, so a short trace overstates it.
+    const Trace t = generateTrace(*findTraceProfile("FGO1"), 250000);
+    Cache cache(table1Config(65536));
+    const auto buckets = missRatioTimeline(t, cache, 25000);
+    const auto cumulative = cumulativeMissRatio(buckets);
+    EXPECT_GT(cumulative[1], cumulative.back() * 1.5);
+}
+
+// --- compressed trace format ----------------------------------------
+
+TEST(CompressedTrace, RoundTripExact)
+{
+    const Trace t = generateTrace(*findTraceProfile("VSPICE"), 30000);
+    std::stringstream ss;
+    writeCompressed(t, ss);
+    const Trace back = readCompressed(ss);
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), t.name());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        ASSERT_EQ(back[i], t[i]) << "ref " << i;
+}
+
+TEST(CompressedTrace, MuchSmallerThanPacked)
+{
+    const Trace t = generateTrace(*findTraceProfile("MVS1"), 50000);
+    std::stringstream packed, compressed;
+    writeBinary(t, packed);
+    writeCompressed(t, compressed);
+    const auto packed_size = packed.str().size();
+    const auto compressed_size = compressed.str().size();
+    EXPECT_LT(compressed_size * 3, packed_size)
+        << "packed " << packed_size << " vs compressed "
+        << compressed_size;
+}
+
+TEST(CompressedTrace, HandlesMixedSizes)
+{
+    Trace t("mixed");
+    t.append(0x100, 2, AccessKind::IFetch);
+    t.append(0x102, 2, AccessKind::IFetch);
+    t.append(0x2000, 8, AccessKind::Read);
+    t.append(0x104, 4, AccessKind::IFetch); // size change within kind
+    t.append(0x2008, 8, AccessKind::Write);
+    std::stringstream ss;
+    writeCompressed(t, ss);
+    const Trace back = readCompressed(ss);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]) << "ref " << i;
+}
+
+TEST(CompressedTrace, BackwardDeltasSurvive)
+{
+    Trace t("backward");
+    t.append(0xffff0000, 4, AccessKind::Read);
+    t.append(0x00000010, 4, AccessKind::Read); // large negative delta
+    t.append(0xffff0000, 4, AccessKind::Read);
+    std::stringstream ss;
+    writeCompressed(t, ss);
+    const Trace back = readCompressed(ss);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].addr, 0x00000010u);
+    EXPECT_EQ(back[2].addr, 0xffff0000u);
+}
+
+TEST(CompressedTrace, SaveLoadByExtension)
+{
+    const Trace t = generateTrace(*findTraceProfile("ZLS"), 5000);
+    const std::string path = testing::TempDir() + "/clt_test.ctr";
+    saveTrace(t, path);
+    const Trace back = loadTrace(path);
+    EXPECT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.name(), "ZLS"); // compressed format embeds the name
+    std::remove(path.c_str());
+}
+
+TEST(CompressedTrace, RejectsBadMagic)
+{
+    std::stringstream ss("CLT1....");
+    EXPECT_DEATH({ readCompressed(ss); }, "bad magic");
+}
+
+TEST(CompressedTrace, RejectsTruncation)
+{
+    const Trace t = generateTrace(*findTraceProfile("ZLS"), 100);
+    std::stringstream ss;
+    writeCompressed(t, ss);
+    const std::string whole = ss.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    EXPECT_DEATH({ readCompressed(cut); }, "");
+}
+
+// --- set-associative stack analysis ---------------------------------
+
+TEST(SetAssocStack, MatchesDirectSimulationForEveryWayCount)
+{
+    const Trace t = generateTrace(*findTraceProfile("VCCOM"), 40000);
+    // 64 sets of 16-byte lines.
+    SetAssocStackAnalyzer analyzer(64, 16);
+    analyzer.accessAll(t);
+    for (std::uint32_t ways : {1u, 2u, 4u, 8u}) {
+        CacheConfig cfg = table1Config(
+            static_cast<std::uint64_t>(64) * 16 * ways);
+        cfg.associativity = ways; // same 64 sets at every way count
+        Cache cache(cfg);
+        const CacheStats s = runTrace(t, cache);
+        EXPECT_EQ(analyzer.missCountFor(ways), s.demandFetches)
+            << ways << " ways";
+    }
+}
+
+TEST(SetAssocStack, MonotoneInWays)
+{
+    const Trace t = generateTrace(*findTraceProfile("FGO1"), 40000);
+    SetAssocStackAnalyzer analyzer(128, 16);
+    analyzer.accessAll(t);
+    std::uint64_t prev = ~0ull;
+    for (std::uint64_t ways = 1; ways <= 64; ways *= 2) {
+        EXPECT_LE(analyzer.missCountFor(ways), prev);
+        prev = analyzer.missCountFor(ways);
+    }
+}
+
+TEST(SetAssocStack, SingleSetEqualsFullyAssociativeAnalyzer)
+{
+    const Trace t = generateTrace(*findTraceProfile("ZOD"), 30000);
+    SetAssocStackAnalyzer single_set(1, 16);
+    single_set.accessAll(t);
+    StackAnalyzer full(16);
+    full.accessAll(t);
+    for (std::uint64_t lines : {16u, 64u, 256u}) {
+        EXPECT_EQ(single_set.missCountFor(lines),
+                  full.missCountFor(lines * 16));
+    }
+}
+
+TEST(SetAssocStack, ColdTouchesIndependentOfGeometry)
+{
+    const Trace t = generateTrace(*findTraceProfile("PLO"), 20000);
+    SetAssocStackAnalyzer a(16, 16), b(256, 16);
+    a.accessAll(t);
+    b.accessAll(t);
+    EXPECT_EQ(a.coldCount(), b.coldCount());
+    EXPECT_EQ(a.lineTouches(), b.lineTouches());
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the victim cache and the write buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/victim_cache.hh"
+#include "cache/write_buffer.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+VictimCacheConfig
+smallConfig(std::uint32_t victim_lines)
+{
+    VictimCacheConfig c;
+    c.sizeBytes = 64; // 4 direct-mapped sets of 16 bytes
+    c.lineBytes = 16;
+    c.victimLines = victim_lines;
+    return c;
+}
+
+MemoryRef
+readAt(Addr a)
+{
+    return {a, 4, AccessKind::Read};
+}
+
+TEST(VictimCache, ConflictPairPingPongsWithoutBuffer)
+{
+    VictimCache cache(smallConfig(0));
+    // 0x000 and 0x040 map to the same set.
+    for (int i = 0; i < 10; ++i) {
+        cache.access(readAt(0x000));
+        cache.access(readAt(0x040));
+    }
+    EXPECT_EQ(cache.stats().totalMisses(), 20u); // every access misses
+    EXPECT_EQ(cache.victimHits(), 0u);
+}
+
+TEST(VictimCache, BufferAbsorbsConflictPair)
+{
+    VictimCache cache(smallConfig(2));
+    for (int i = 0; i < 10; ++i) {
+        cache.access(readAt(0x000));
+        cache.access(readAt(0x040));
+    }
+    // Only the two compulsory misses reach memory; the rest swap.
+    EXPECT_EQ(cache.stats().demandFetches, 2u);
+    EXPECT_EQ(cache.victimHits(), 18u);
+    EXPECT_EQ(cache.stats().totalMisses(), 2u);
+}
+
+TEST(VictimCache, VictimBufferIsLru)
+{
+    VictimCache cache(smallConfig(1));
+    cache.access(readAt(0x000));
+    cache.access(readAt(0x040)); // 0x000 -> victim buffer
+    cache.access(readAt(0x080)); // 0x040 -> buffer, 0x000 leaves
+    EXPECT_TRUE(cache.contains(0x080));
+    EXPECT_TRUE(cache.contains(0x040));
+    EXPECT_FALSE(cache.contains(0x000));
+}
+
+TEST(VictimCache, DirtyVictimWritesBackOnlyWhenLeaving)
+{
+    VictimCache cache(smallConfig(1));
+    cache.access({0x000, 4, AccessKind::Write});
+    cache.access(readAt(0x040)); // dirty 0x000 into buffer: no traffic
+    EXPECT_EQ(cache.stats().bytesToMemory, 0u);
+    cache.access(readAt(0x080)); // 0x000 leaves the buffer: write-back
+    EXPECT_EQ(cache.stats().bytesToMemory, 16u);
+    EXPECT_EQ(cache.stats().dirtyReplacementPushes, 1u);
+}
+
+TEST(VictimCache, DirtyBitSurvivesSwap)
+{
+    VictimCache cache(smallConfig(2));
+    cache.access({0x000, 4, AccessKind::Write});
+    cache.access(readAt(0x040)); // dirty 0x000 parked in buffer
+    cache.access(readAt(0x000)); // swapped back, still dirty
+    cache.purge();
+    EXPECT_EQ(cache.stats().dirtyPurgePushes, 1u);
+}
+
+TEST(VictimCache, PurgeCountsBufferEntries)
+{
+    VictimCache cache(smallConfig(2));
+    cache.access(readAt(0x000));
+    cache.access(readAt(0x040)); // one main + one buffered
+    cache.purge();
+    EXPECT_EQ(cache.stats().purgePushes, 2u);
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x040));
+}
+
+TEST(VictimCache, RecoversMostOfAssociativityGap)
+{
+    // The classic result: a 4-line victim buffer closes much of the
+    // direct-mapped vs fully-associative gap on a real workload.
+    const Trace t = generateTrace(*findTraceProfile("VCCOM"), 100000);
+
+    VictimCacheConfig vc;
+    vc.sizeBytes = 1024;
+    vc.victimLines = 0;
+    VictimCache direct(vc);
+    vc.victimLines = 8;
+    VictimCache buffered(vc);
+    for (const MemoryRef &ref : t) {
+        direct.access(ref);
+        buffered.access(ref);
+    }
+    Cache fully(table1Config(1024));
+    const CacheStats full_stats = runTrace(t, fully);
+
+    const double gap_before =
+        direct.stats().missRatio() - full_stats.missRatio();
+    const double gap_after =
+        buffered.stats().missRatio() - full_stats.missRatio();
+    EXPECT_GT(gap_before, 0.0);
+    EXPECT_LT(gap_after, gap_before * 0.6);
+}
+
+TEST(WriteBuffer, NoWritesNoStalls)
+{
+    WriteBuffer wb(WriteBufferConfig{4, 6});
+    for (int i = 0; i < 100; ++i)
+        wb.access(readAt(static_cast<Addr>(i) * 4));
+    EXPECT_EQ(wb.stats().stallCycles, 0u);
+    EXPECT_EQ(wb.stats().writes, 0u);
+}
+
+TEST(WriteBuffer, SpacedWritesDrainWithoutStalling)
+{
+    WriteBuffer wb(WriteBufferConfig{2, 4});
+    // One write every 8 references: drain (4 cycles) keeps up easily.
+    for (int i = 0; i < 800; ++i) {
+        const AccessKind kind =
+            i % 8 == 0 ? AccessKind::Write : AccessKind::Read;
+        wb.access({static_cast<Addr>(i) * 4, 4, kind});
+    }
+    EXPECT_EQ(wb.stats().stallCycles, 0u);
+    EXPECT_LE(wb.stats().maxOccupancy, 2u);
+}
+
+TEST(WriteBuffer, BurstsOverflowShallowBuffer)
+{
+    WriteBuffer shallow(WriteBufferConfig{1, 6});
+    WriteBuffer deep(WriteBufferConfig{8, 6});
+    // Bursts of 4 back-to-back stores.
+    for (int burst = 0; burst < 50; ++burst) {
+        for (int i = 0; i < 4; ++i) {
+            const MemoryRef w{static_cast<Addr>(burst * 64 + i * 4), 4,
+                              AccessKind::Write};
+            shallow.access(w);
+            deep.access(w);
+        }
+        for (int i = 0; i < 40; ++i) {
+            const MemoryRef r{0x10000, 4, AccessKind::Read};
+            shallow.access(r);
+            deep.access(r);
+        }
+    }
+    EXPECT_GT(shallow.stats().stallCycles, 0u);
+    EXPECT_LT(deep.stats().stallCycles, shallow.stats().stallCycles);
+}
+
+TEST(WriteBuffer, StallsBoundedByDrainTime)
+{
+    WriteBuffer wb(WriteBufferConfig{0, 5});
+    // Depth 0: every store waits out a full drain.
+    for (int i = 0; i < 10; ++i)
+        wb.access({static_cast<Addr>(i) * 4, 4, AccessKind::Write});
+    EXPECT_GT(wb.stats().stallCycles, 0u);
+    EXPECT_LE(wb.stats().stallCycles, 10u * 5u);
+}
+
+TEST(WriteBuffer, RunProcessesWholeTrace)
+{
+    Trace t("wb");
+    for (int i = 0; i < 1000; ++i)
+        t.append(static_cast<Addr>(i) * 4, 4,
+                 i % 3 == 0 ? AccessKind::Write : AccessKind::Read);
+    WriteBuffer wb(WriteBufferConfig{4, 6});
+    wb.run(t);
+    EXPECT_EQ(wb.stats().refs, 1000u);
+    EXPECT_EQ(wb.stats().writes, 334u);
+    EXPECT_GE(wb.stats().stallsPerKiloRef(), 0.0);
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools/ binaries.
+ *
+ * Accepts "--name value" and "--flag" styles; values are fetched with
+ * typed getters that fatal() on malformed input so tools fail loudly.
+ */
+
+#ifndef CACHELAB_TOOLS_ARGS_HH
+#define CACHELAB_TOOLS_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cachelab::tools
+{
+
+/** Parsed command line: options plus positional arguments. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string token = argv[i];
+            if (token.rfind("--", 0) == 0) {
+                const std::string name = token.substr(2);
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                    options_[name] = argv[++i];
+                } else {
+                    options_[name] = "";
+                }
+            } else {
+                positional_.push_back(std::move(token));
+            }
+        }
+    }
+
+    bool has(const std::string &name) const
+    {
+        return options_.contains(name);
+    }
+
+    std::string
+    get(const std::string &name, const std::string &fallback = "") const
+    {
+        const auto it = options_.find(name);
+        return it == options_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getUint(const std::string &name, std::uint64_t fallback) const
+    {
+        const auto it = options_.find(name);
+        if (it == options_.end())
+            return fallback;
+        try {
+            std::size_t pos = 0;
+            const std::uint64_t v = std::stoull(it->second, &pos, 0);
+            if (pos != it->second.size())
+                fatal("--", name, ": bad number '", it->second, "'");
+            return v;
+        } catch (const std::exception &) {
+            fatal("--", name, ": bad number '", it->second, "'");
+        }
+    }
+
+    double
+    getDouble(const std::string &name, double fallback) const
+    {
+        const auto it = options_.find(name);
+        if (it == options_.end())
+            return fallback;
+        try {
+            std::size_t pos = 0;
+            const double v = std::stod(it->second, &pos);
+            if (pos != it->second.size())
+                fatal("--", name, ": bad number '", it->second, "'");
+            return v;
+        } catch (const std::exception &) {
+            fatal("--", name, ": bad number '", it->second, "'");
+        }
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace cachelab::tools
+
+#endif // CACHELAB_TOOLS_ARGS_HH

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * cachelab-sim: the Dinero-flavored command-line cache simulator.
+ *
+ * Input is either a trace file (din text or binary) or a named corpus
+ * profile; the cache is fully parameterizable; sweeps, split
+ * organizations, sector caches, the OPT bound and the one-pass Mattson
+ * curve are available, plus CSV emission for scripting.
+ *
+ * Examples:
+ *   cachelab_sim --profile VSPICE --size 16384 --assoc 2
+ *   cachelab_sim --trace prog.din --size 8192 --line 32 \
+ *                --write writethrough --write-miss noallocate
+ *   cachelab_sim --profile MVS1 --sweep 32:65536 --purge 20000 --csv -
+ *   cachelab_sim --profile FGO1 --size 4096 --opt
+ *   cachelab_sim --profile ZGREP --sector 4 --size 256
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "cache/belady.hh"
+#include "cache/cache.hh"
+#include "cache/organization.hh"
+#include "cache/sector_cache.hh"
+#include "cache/stack_analysis.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+#include "stats/table.hh"
+#include "trace/io.hh"
+#include "trace/transforms.hh"
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "workload/profiles.hh"
+
+#include "args.hh"
+
+using namespace cachelab;
+using namespace cachelab::tools;
+
+namespace
+{
+
+constexpr const char *kUsage = R"(usage: cachelab_sim [options]
+
+input (one required):
+  --trace FILE          din (.din) or binary trace file
+  --profile NAME        named corpus workload (see cachelab_gen --list)
+  --refs N              truncate the input to N references
+
+cache parameters:
+  --size BYTES          capacity (default 16384)
+  --line BYTES          line size (default 16)
+  --assoc N             ways; 0 = fully associative (default 0)
+  --replacement P       lru | fifo | random (default lru)
+  --write P             copyback | writethrough (default copyback)
+  --write-miss P        allocate | noallocate (default allocate)
+  --fetch P             demand | prefetch (default demand)
+  --split               split I/D organization (size per side)
+  --sector BYTES        sector cache with this sub-block size
+  --purge N             purge every N refs (default 0 = never)
+  --warmup N            exclude the first N refs from statistics
+
+modes:
+  --sweep LO:HI         sweep power-of-two sizes LO..HI
+  --stack-curve         one-pass Mattson LRU curve over --sweep range
+  --opt                 also report the Belady OPT bound
+  --csv FILE            write sweep results as CSV ('-' = stdout)
+)";
+
+Trace
+loadInput(const Args &args)
+{
+    if (args.has("trace")) {
+        Trace t = loadTrace(args.get("trace"));
+        if (args.has("refs"))
+            return cachelab::truncate(t, args.getUint("refs", t.size()));
+        return t;
+    }
+    if (args.has("profile")) {
+        const TraceProfile *p = findTraceProfile(args.get("profile"));
+        if (p == nullptr)
+            fatal("unknown profile '", args.get("profile"),
+                  "' (cachelab_gen --list shows the corpus)");
+        if (args.has("refs"))
+            return generateTrace(*p, args.getUint("refs", 0));
+        return generateTrace(*p);
+    }
+    fatal("need --trace FILE or --profile NAME\n", kUsage);
+}
+
+CacheConfig
+configFrom(const Args &args)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = args.getUint("size", 16384);
+    cfg.lineBytes = static_cast<std::uint32_t>(args.getUint("line", 16));
+    cfg.associativity =
+        static_cast<std::uint32_t>(args.getUint("assoc", 0));
+
+    const std::string repl = args.get("replacement", "lru");
+    if (repl == "lru")
+        cfg.replacement = ReplacementPolicy::LRU;
+    else if (repl == "fifo")
+        cfg.replacement = ReplacementPolicy::FIFO;
+    else if (repl == "random")
+        cfg.replacement = ReplacementPolicy::Random;
+    else
+        fatal("--replacement: unknown policy '", repl, "'");
+
+    const std::string write = args.get("write", "copyback");
+    if (write == "copyback")
+        cfg.writePolicy = WritePolicy::CopyBack;
+    else if (write == "writethrough")
+        cfg.writePolicy = WritePolicy::WriteThrough;
+    else
+        fatal("--write: unknown policy '", write, "'");
+
+    const std::string miss = args.get("write-miss", "allocate");
+    if (miss == "allocate")
+        cfg.writeMiss = WriteMissPolicy::FetchOnWrite;
+    else if (miss == "noallocate")
+        cfg.writeMiss = WriteMissPolicy::NoAllocate;
+    else
+        fatal("--write-miss: unknown policy '", miss, "'");
+
+    const std::string fetch = args.get("fetch", "demand");
+    if (fetch == "demand")
+        cfg.fetchPolicy = FetchPolicy::Demand;
+    else if (fetch == "prefetch")
+        cfg.fetchPolicy = FetchPolicy::PrefetchAlways;
+    else
+        fatal("--fetch: unknown policy '", fetch, "'");
+
+    cfg.validate();
+    return cfg;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+sweepRange(const Args &args)
+{
+    const std::string spec = args.get("sweep");
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        fatal("--sweep expects LO:HI, got '", spec, "'");
+    try {
+        return {std::stoull(spec.substr(0, colon)),
+                std::stoull(spec.substr(colon + 1))};
+    } catch (const std::exception &) {
+        fatal("--sweep: bad range '", spec, "'");
+    }
+}
+
+void
+printStats(const std::string &what, const CacheStats &s)
+{
+    std::cout << what << "\n  " << s.summarize() << "\n"
+              << "  fetches: " << formatCount(s.demandFetches) << " demand"
+              << (s.prefetchFetches
+                      ? " + " + formatCount(s.prefetchFetches) + " prefetch"
+                      : std::string{})
+              << "; pushes: " << formatCount(s.totalPushes()) << " ("
+              << formatCount(s.dirtyPushes()) << " dirty)\n";
+}
+
+int
+runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
+         const RunConfig &run)
+{
+    const auto [lo, hi] = sweepRange(args);
+    const auto sizes = powersOfTwo(lo, hi);
+
+    std::ofstream csv_file;
+    std::unique_ptr<CsvWriter> csv;
+    if (args.has("csv")) {
+        std::ostream *os = &std::cout;
+        if (args.get("csv") != "-") {
+            csv_file.open(args.get("csv"));
+            if (!csv_file)
+                fatal("cannot open '", args.get("csv"), "'");
+            os = &csv_file;
+        }
+        csv = std::make_unique<CsvWriter>(*os);
+        csv->header({"size", "miss_ratio", "imiss", "dmiss",
+                     "traffic_bytes"});
+    }
+
+    TextTable table("Sweep: " + trace.name() + " on " + base.describe() +
+                    " (size varied)");
+    table.setHeader({"size", "miss", "ifetch miss", "data miss",
+                     "traffic B/ref"});
+    table.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right});
+
+    if (args.has("stack-curve")) {
+        // One pass, all sizes: only valid for the Table 1 config.
+        const std::vector<double> curve =
+            lruMissRatioCurve(trace, sizes, base.lineBytes);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            table.addRow({formatSize(sizes[i]),
+                          formatPercent(curve[i]), "-", "-", "-"});
+            if (csv) {
+                csv->field(sizes[i]).field(curve[i], 6);
+                csv->field(std::string("")).field(std::string(""));
+                csv->field(std::string(""));
+                csv->endRow();
+            }
+        }
+    } else {
+        const auto points = sweepUnified(trace, sizes, base, run);
+        for (const SweepPoint &pt : points) {
+            table.addRow(
+                {formatSize(pt.cacheBytes),
+                 formatPercent(pt.stats.missRatio()),
+                 formatPercent(pt.stats.missRatio(AccessKind::IFetch)),
+                 formatPercent(pt.stats.dataMissRatio()),
+                 formatFixed(static_cast<double>(pt.stats.trafficBytes()) /
+                                 static_cast<double>(
+                                     pt.stats.totalAccesses()),
+                             2)});
+            if (csv) {
+                csv->field(pt.cacheBytes)
+                    .field(pt.stats.missRatio(), 6)
+                    .field(pt.stats.missRatio(AccessKind::IFetch), 6)
+                    .field(pt.stats.dataMissRatio(), 6)
+                    .field(pt.stats.trafficBytes());
+                csv->endRow();
+            }
+        }
+    }
+    if (!csv || args.get("csv") != "-")
+        std::cout << table;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+
+    const Trace trace = loadInput(args);
+    const CacheConfig base = configFrom(args);
+    RunConfig run;
+    run.purgeInterval = args.getUint("purge", 0);
+    run.warmupRefs = args.getUint("warmup", 0);
+
+    if (args.has("sweep"))
+        return runSweep(args, trace, base, run);
+
+    if (args.has("sector")) {
+        SectorCacheConfig cfg;
+        cfg.sizeBytes = base.sizeBytes;
+        cfg.sectorBytes = base.lineBytes;
+        cfg.subblockBytes =
+            static_cast<std::uint32_t>(args.getUint("sector", 4));
+        SectorCache cache(cfg);
+        std::uint64_t since_purge = 0;
+        for (const MemoryRef &ref : trace) {
+            if (run.purgeInterval && since_purge == run.purgeInterval) {
+                cache.purge();
+                since_purge = 0;
+            }
+            cache.access(ref);
+            ++since_purge;
+        }
+        printStats("sector cache " + formatSize(cfg.sizeBytes) + "/" +
+                       std::to_string(cfg.sectorBytes) + "B sectors/" +
+                       std::to_string(cfg.subblockBytes) + "B blocks on " +
+                       trace.name(),
+                   cache.stats());
+        return 0;
+    }
+
+    if (args.has("split")) {
+        SplitCache split(base, base);
+        const CacheStats s = runTrace(trace, split, run);
+        printStats("split " + base.describe() + " on " + trace.name(), s);
+        std::cout << "  I-cache: " << split.icache().stats().summarize()
+                  << "\n  D-cache: " << split.dcache().stats().summarize()
+                  << "\n";
+        return 0;
+    }
+
+    Cache cache(base);
+    const CacheStats s = runTrace(trace, cache, run);
+    printStats(base.describe() + " on " + trace.name(), s);
+
+    if (args.has("opt")) {
+        const CacheStats opt =
+            simulateOptimal(trace, base.sizeBytes, base.lineBytes);
+        std::cout << "  OPT bound: miss "
+                  << formatPercent(opt.missRatio()) << " ("
+                  << formatCount(opt.demandFetches) << " fetches vs "
+                  << formatCount(s.demandFetches) << ")\n";
+    }
+    return 0;
+}
