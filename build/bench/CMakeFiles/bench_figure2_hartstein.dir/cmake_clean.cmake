@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_hartstein.dir/bench_figure2_hartstein.cc.o"
+  "CMakeFiles/bench_figure2_hartstein.dir/bench_figure2_hartstein.cc.o.d"
+  "bench_figure2_hartstein"
+  "bench_figure2_hartstein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_hartstein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

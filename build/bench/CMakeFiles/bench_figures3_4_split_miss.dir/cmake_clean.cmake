@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures3_4_split_miss.dir/bench_figures3_4_split_miss.cc.o"
+  "CMakeFiles/bench_figures3_4_split_miss.dir/bench_figures3_4_split_miss.cc.o.d"
+  "bench_figures3_4_split_miss"
+  "bench_figures3_4_split_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures3_4_split_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

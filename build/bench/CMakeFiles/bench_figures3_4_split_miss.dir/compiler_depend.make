@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figures3_4_split_miss.
+# This may be replaced when dependencies are built.

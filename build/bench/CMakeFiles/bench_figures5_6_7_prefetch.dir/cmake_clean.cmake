@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures5_6_7_prefetch.dir/bench_figures5_6_7_prefetch.cc.o"
+  "CMakeFiles/bench_figures5_6_7_prefetch.dir/bench_figures5_6_7_prefetch.cc.o.d"
+  "bench_figures5_6_7_prefetch"
+  "bench_figures5_6_7_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures5_6_7_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

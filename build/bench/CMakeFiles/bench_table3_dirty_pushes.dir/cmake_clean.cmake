@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dirty_pushes.dir/bench_table3_dirty_pushes.cc.o"
+  "CMakeFiles/bench_table3_dirty_pushes.dir/bench_table3_dirty_pushes.cc.o.d"
+  "bench_table3_dirty_pushes"
+  "bench_table3_dirty_pushes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dirty_pushes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

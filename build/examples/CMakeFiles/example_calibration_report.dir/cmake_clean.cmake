@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_calibration_report.dir/calibration_report.cpp.o"
+  "CMakeFiles/example_calibration_report.dir/calibration_report.cpp.o.d"
+  "example_calibration_report"
+  "example_calibration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_calibration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

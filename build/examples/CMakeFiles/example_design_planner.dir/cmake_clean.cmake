@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_planner.dir/design_planner.cpp.o"
+  "CMakeFiles/example_design_planner.dir/design_planner.cpp.o.d"
+  "example_design_planner"
+  "example_design_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

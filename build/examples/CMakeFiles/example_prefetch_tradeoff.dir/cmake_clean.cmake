@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_prefetch_tradeoff.dir/prefetch_tradeoff.cpp.o"
+  "CMakeFiles/example_prefetch_tradeoff.dir/prefetch_tradeoff.cpp.o.d"
+  "example_prefetch_tradeoff"
+  "example_prefetch_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_prefetch_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_length_effects.dir/trace_length_effects.cpp.o"
+  "CMakeFiles/example_trace_length_effects.dir/trace_length_effects.cpp.o.d"
+  "example_trace_length_effects"
+  "example_trace_length_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_length_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

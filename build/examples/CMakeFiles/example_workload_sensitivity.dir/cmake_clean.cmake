@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_sensitivity.dir/workload_sensitivity.cpp.o"
+  "CMakeFiles/example_workload_sensitivity.dir/workload_sensitivity.cpp.o.d"
+  "example_workload_sensitivity"
+  "example_workload_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

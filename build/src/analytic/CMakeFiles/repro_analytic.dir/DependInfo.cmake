@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/bus_model.cc" "src/analytic/CMakeFiles/repro_analytic.dir/bus_model.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/bus_model.cc.o.d"
+  "/root/repo/src/analytic/design_estimate.cc" "src/analytic/CMakeFiles/repro_analytic.dir/design_estimate.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/design_estimate.cc.o.d"
+  "/root/repo/src/analytic/design_target.cc" "src/analytic/CMakeFiles/repro_analytic.dir/design_target.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/design_target.cc.o.d"
+  "/root/repo/src/analytic/fudge.cc" "src/analytic/CMakeFiles/repro_analytic.dir/fudge.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/fudge.cc.o.d"
+  "/root/repo/src/analytic/hartstein.cc" "src/analytic/CMakeFiles/repro_analytic.dir/hartstein.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/hartstein.cc.o.d"
+  "/root/repo/src/analytic/performance.cc" "src/analytic/CMakeFiles/repro_analytic.dir/performance.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/performance.cc.o.d"
+  "/root/repo/src/analytic/published.cc" "src/analytic/CMakeFiles/repro_analytic.dir/published.cc.o" "gcc" "src/analytic/CMakeFiles/repro_analytic.dir/published.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/repro_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

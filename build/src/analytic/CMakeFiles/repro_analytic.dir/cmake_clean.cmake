@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_analytic.dir/bus_model.cc.o"
+  "CMakeFiles/repro_analytic.dir/bus_model.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/design_estimate.cc.o"
+  "CMakeFiles/repro_analytic.dir/design_estimate.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/design_target.cc.o"
+  "CMakeFiles/repro_analytic.dir/design_target.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/fudge.cc.o"
+  "CMakeFiles/repro_analytic.dir/fudge.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/hartstein.cc.o"
+  "CMakeFiles/repro_analytic.dir/hartstein.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/performance.cc.o"
+  "CMakeFiles/repro_analytic.dir/performance.cc.o.d"
+  "CMakeFiles/repro_analytic.dir/published.cc.o"
+  "CMakeFiles/repro_analytic.dir/published.cc.o.d"
+  "librepro_analytic.a"
+  "librepro_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/interface_model.cc" "src/arch/CMakeFiles/repro_arch.dir/interface_model.cc.o" "gcc" "src/arch/CMakeFiles/repro_arch.dir/interface_model.cc.o.d"
+  "/root/repo/src/arch/profile.cc" "src/arch/CMakeFiles/repro_arch.dir/profile.cc.o" "gcc" "src/arch/CMakeFiles/repro_arch.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_arch.dir/interface_model.cc.o"
+  "CMakeFiles/repro_arch.dir/interface_model.cc.o.d"
+  "CMakeFiles/repro_arch.dir/profile.cc.o"
+  "CMakeFiles/repro_arch.dir/profile.cc.o.d"
+  "librepro_arch.a"
+  "librepro_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

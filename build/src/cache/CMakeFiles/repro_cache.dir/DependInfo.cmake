@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/belady.cc" "src/cache/CMakeFiles/repro_cache.dir/belady.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/belady.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/cache/CMakeFiles/repro_cache.dir/cache.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/cache.cc.o.d"
+  "/root/repo/src/cache/config.cc" "src/cache/CMakeFiles/repro_cache.dir/config.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/config.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/repro_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/organization.cc" "src/cache/CMakeFiles/repro_cache.dir/organization.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/organization.cc.o.d"
+  "/root/repo/src/cache/sector_cache.cc" "src/cache/CMakeFiles/repro_cache.dir/sector_cache.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/sector_cache.cc.o.d"
+  "/root/repo/src/cache/stack_analysis.cc" "src/cache/CMakeFiles/repro_cache.dir/stack_analysis.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/stack_analysis.cc.o.d"
+  "/root/repo/src/cache/stats.cc" "src/cache/CMakeFiles/repro_cache.dir/stats.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/stats.cc.o.d"
+  "/root/repo/src/cache/victim_cache.cc" "src/cache/CMakeFiles/repro_cache.dir/victim_cache.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/victim_cache.cc.o.d"
+  "/root/repo/src/cache/write_buffer.cc" "src/cache/CMakeFiles/repro_cache.dir/write_buffer.cc.o" "gcc" "src/cache/CMakeFiles/repro_cache.dir/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

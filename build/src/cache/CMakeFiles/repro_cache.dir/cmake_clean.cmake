@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cache.dir/belady.cc.o"
+  "CMakeFiles/repro_cache.dir/belady.cc.o.d"
+  "CMakeFiles/repro_cache.dir/cache.cc.o"
+  "CMakeFiles/repro_cache.dir/cache.cc.o.d"
+  "CMakeFiles/repro_cache.dir/config.cc.o"
+  "CMakeFiles/repro_cache.dir/config.cc.o.d"
+  "CMakeFiles/repro_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/repro_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/repro_cache.dir/organization.cc.o"
+  "CMakeFiles/repro_cache.dir/organization.cc.o.d"
+  "CMakeFiles/repro_cache.dir/sector_cache.cc.o"
+  "CMakeFiles/repro_cache.dir/sector_cache.cc.o.d"
+  "CMakeFiles/repro_cache.dir/stack_analysis.cc.o"
+  "CMakeFiles/repro_cache.dir/stack_analysis.cc.o.d"
+  "CMakeFiles/repro_cache.dir/stats.cc.o"
+  "CMakeFiles/repro_cache.dir/stats.cc.o.d"
+  "CMakeFiles/repro_cache.dir/victim_cache.cc.o"
+  "CMakeFiles/repro_cache.dir/victim_cache.cc.o.d"
+  "CMakeFiles/repro_cache.dir/write_buffer.cc.o"
+  "CMakeFiles/repro_cache.dir/write_buffer.cc.o.d"
+  "librepro_cache.a"
+  "librepro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

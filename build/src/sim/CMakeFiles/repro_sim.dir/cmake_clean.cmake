@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/experiments.cc.o"
+  "CMakeFiles/repro_sim.dir/experiments.cc.o.d"
+  "CMakeFiles/repro_sim.dir/run.cc.o"
+  "CMakeFiles/repro_sim.dir/run.cc.o.d"
+  "CMakeFiles/repro_sim.dir/sweep.cc.o"
+  "CMakeFiles/repro_sim.dir/sweep.cc.o.d"
+  "CMakeFiles/repro_sim.dir/timeline.cc.o"
+  "CMakeFiles/repro_sim.dir/timeline.cc.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

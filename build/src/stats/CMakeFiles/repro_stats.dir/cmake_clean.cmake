@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stats.dir/histogram.cc.o"
+  "CMakeFiles/repro_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/repro_stats.dir/summary.cc.o"
+  "CMakeFiles/repro_stats.dir/summary.cc.o.d"
+  "CMakeFiles/repro_stats.dir/table.cc.o"
+  "CMakeFiles/repro_stats.dir/table.cc.o.d"
+  "librepro_stats.a"
+  "librepro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cc" "src/trace/CMakeFiles/repro_trace.dir/analyzer.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/analyzer.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/repro_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/repro_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/transforms.cc" "src/trace/CMakeFiles/repro_trace.dir/transforms.cc.o" "gcc" "src/trace/CMakeFiles/repro_trace.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

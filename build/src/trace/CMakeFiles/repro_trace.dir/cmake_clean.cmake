@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_trace.dir/analyzer.cc.o"
+  "CMakeFiles/repro_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/repro_trace.dir/io.cc.o"
+  "CMakeFiles/repro_trace.dir/io.cc.o.d"
+  "CMakeFiles/repro_trace.dir/trace.cc.o"
+  "CMakeFiles/repro_trace.dir/trace.cc.o.d"
+  "CMakeFiles/repro_trace.dir/transforms.cc.o"
+  "CMakeFiles/repro_trace.dir/transforms.cc.o.d"
+  "librepro_trace.a"
+  "librepro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/csv.cc.o"
+  "CMakeFiles/repro_util.dir/csv.cc.o.d"
+  "CMakeFiles/repro_util.dir/format.cc.o"
+  "CMakeFiles/repro_util.dir/format.cc.o.d"
+  "CMakeFiles/repro_util.dir/logging.cc.o"
+  "CMakeFiles/repro_util.dir/logging.cc.o.d"
+  "CMakeFiles/repro_util.dir/random.cc.o"
+  "CMakeFiles/repro_util.dir/random.cc.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_model_test.dir/bus_model_test.cc.o"
+  "CMakeFiles/bus_model_test.dir/bus_model_test.cc.o.d"
+  "bus_model_test"
+  "bus_model_test.pdb"
+  "bus_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_estimate_test.dir/design_estimate_test.cc.o"
+  "CMakeFiles/design_estimate_test.dir/design_estimate_test.cc.o.d"
+  "design_estimate_test"
+  "design_estimate_test.pdb"
+  "design_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

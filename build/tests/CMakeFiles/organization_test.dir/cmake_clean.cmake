@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/organization_test.dir/organization_test.cc.o"
+  "CMakeFiles/organization_test.dir/organization_test.cc.o.d"
+  "organization_test"
+  "organization_test.pdb"
+  "organization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/organization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_analysis_test.dir/stack_analysis_test.cc.o"
+  "CMakeFiles/stack_analysis_test.dir/stack_analysis_test.cc.o.d"
+  "stack_analysis_test"
+  "stack_analysis_test.pdb"
+  "stack_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

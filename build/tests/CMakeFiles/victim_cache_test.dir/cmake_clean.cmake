@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_cache_test.dir/victim_cache_test.cc.o"
+  "CMakeFiles/victim_cache_test.dir/victim_cache_test.cc.o.d"
+  "victim_cache_test"
+  "victim_cache_test.pdb"
+  "victim_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachelab_gen.dir/cachelab_gen.cc.o"
+  "CMakeFiles/cachelab_gen.dir/cachelab_gen.cc.o.d"
+  "cachelab_gen"
+  "cachelab_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachelab_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachelab_sim.dir/cachelab_sim.cc.o"
+  "CMakeFiles/cachelab_sim.dir/cachelab_sim.cc.o.d"
+  "cachelab_sim"
+  "cachelab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachelab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_gen_list "/root/repo/build/tools/cachelab_gen" "--list")
+set_tests_properties(tools_gen_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_sim_profile "/root/repo/build/tools/cachelab_sim" "--profile" "ZGREP" "--refs" "20000" "--size" "4096")
+set_tests_properties(tools_sim_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_roundtrip "sh" "-c" "/root/repo/build/tools/cachelab_gen --profile ZOD --refs 5000 --out /root/repo/build/tools/zod.din && /root/repo/build/tools/cachelab_gen --analyze /root/repo/build/tools/zod.din && /root/repo/build/tools/cachelab_sim --trace /root/repo/build/tools/zod.din --size 1024 --assoc 2 --opt")
+set_tests_properties(tools_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_sim_sweep "/root/repo/build/tools/cachelab_sim" "--profile" "PLO" "--refs" "20000" "--sweep" "64:4096" "--stack-curve")
+set_tests_properties(tools_sim_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
