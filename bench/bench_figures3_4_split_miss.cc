@@ -28,7 +28,6 @@ main()
            "20,000 refs (15,000 for M68000)");
 
     const auto &sizes = paperCacheSizes();
-    TraceCorpus corpus;
 
     std::map<TraceGroup, std::vector<Summary>> icurves, dcurves;
     std::vector<Summary> ispread(sizes.size()), dspread(sizes.size());
@@ -37,19 +36,30 @@ main()
         dcurves[g].resize(sizes.size());
     }
 
-    for (const TraceProfile &p : allTraceProfiles()) {
-        const Trace &t = corpus.get(p);
-        RunConfig run;
-        run.purgeInterval = purgeIntervalFor(p.group);
-        const auto points = sweepSplit(t, sizes, table1Config(32), run);
+    struct SplitCurves
+    {
+        std::vector<double> imiss, dmiss;
+    };
+    const auto per_trace = mapProfilesParallel<SplitCurves>(
+        0, [&](const TraceProfile &p, const Trace &t) {
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p.group);
+            const auto points = sweepSplit(t, sizes, table1Config(32), run);
+            SplitCurves c;
+            for (const SplitSweepPoint &pt : points) {
+                c.imiss.push_back(pt.icache.missRatio(AccessKind::IFetch));
+                c.dmiss.push_back(pt.dcache.dataMissRatio());
+            }
+            return c;
+        });
+
+    for (std::size_t p = 0; p < allTraceProfiles().size(); ++p) {
+        const TraceGroup group = allTraceProfiles()[p].group;
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            const double imiss =
-                points[i].icache.missRatio(AccessKind::IFetch);
-            const double dmiss = points[i].dcache.dataMissRatio();
-            icurves[p.group][i].add(imiss);
-            dcurves[p.group][i].add(dmiss);
-            ispread[i].add(imiss);
-            dspread[i].add(dmiss);
+            icurves[group][i].add(per_trace[p].imiss[i]);
+            dcurves[group][i].add(per_trace[p].dmiss[i]);
+            ispread[i].add(per_trace[p].imiss[i]);
+            dspread[i].add(per_trace[p].dmiss[i]);
         }
     }
 

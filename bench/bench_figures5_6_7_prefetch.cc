@@ -30,24 +30,36 @@ main()
            "organizations; purge every 20,000 refs (15,000 for M68000)");
 
     const auto &sizes = paperCacheSizes();
-    TraceCorpus corpus;
 
     std::vector<Summary> unified(sizes.size()), instr(sizes.size()),
         data(sizes.size());
     std::vector<int> instr_improved(sizes.size()),
         data_improved(sizes.size()), counted(sizes.size());
 
-    for (const TraceProfile &p : allTraceProfiles()) {
-        const Trace &t = corpus.get(p);
-        RunConfig run;
-        run.purgeInterval = purgeIntervalFor(p.group);
+    struct PrefetchCurves
+    {
+        std::vector<SweepPoint> u_demand, u_prefetch;
+        std::vector<SplitSweepPoint> s_demand, s_prefetch;
+    };
+    const auto per_trace = mapProfilesParallel<PrefetchCurves>(
+        0, [&](const TraceProfile &p, const Trace &t) {
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p.group);
+            PrefetchCurves c;
+            c.u_demand = sweepUnified(t, sizes, table1Config(32), run);
+            c.u_prefetch = sweepUnified(
+                t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
+            c.s_demand = sweepSplit(t, sizes, table1Config(32), run);
+            c.s_prefetch = sweepSplit(
+                t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
+            return c;
+        });
 
-        const auto u_demand = sweepUnified(t, sizes, table1Config(32), run);
-        const auto u_prefetch = sweepUnified(
-            t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
-        const auto s_demand = sweepSplit(t, sizes, table1Config(32), run);
-        const auto s_prefetch = sweepSplit(
-            t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
+    for (const PrefetchCurves &c : per_trace) {
+        const auto &u_demand = c.u_demand;
+        const auto &u_prefetch = c.u_prefetch;
+        const auto &s_demand = c.s_demand;
+        const auto &s_prefetch = c.s_prefetch;
 
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             const double u_ratio = u_demand[i].stats.missRatio() > 0

@@ -27,7 +27,6 @@ main()
            "20,000 refs (15,000 for M68000); 16-byte lines");
 
     const auto &sizes = paperCacheSizes();
-    TraceCorpus corpus;
 
     std::vector<RatioOfSums> unified(sizes.size()), instr(sizes.size()),
         data(sizes.size());
@@ -36,25 +35,39 @@ main()
     std::map<std::string, std::vector<double>> fig_unified, fig_instr,
         fig_data;
 
-    for (const TraceProfile &p : allTraceProfiles()) {
-        const Trace &t = corpus.get(p);
-        RunConfig run;
-        run.purgeInterval = purgeIntervalFor(p.group);
+    struct TrafficCurves
+    {
+        std::vector<SweepPoint> u_d, u_p;
+        std::vector<SplitSweepPoint> s_d, s_p;
+    };
+    const auto per_trace = mapProfilesParallel<TrafficCurves>(
+        0, [&](const TraceProfile &p, const Trace &t) {
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p.group);
+            TrafficCurves c;
+            c.u_d = sweepUnified(t, sizes, table1Config(32), run);
+            c.u_p = sweepUnified(
+                t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
+            c.s_d = sweepSplit(t, sizes, table1Config(32), run);
+            c.s_p = sweepSplit(
+                t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
+            return c;
+        });
 
-        const auto u_d = sweepUnified(t, sizes, table1Config(32), run);
-        const auto u_p = sweepUnified(
-            t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
-        const auto s_d = sweepSplit(t, sizes, table1Config(32), run);
-        const auto s_p = sweepSplit(
-            t, sizes, table1Config(32, FetchPolicy::PrefetchAlways), run);
-
+    for (std::size_t t = 0; t < allTraceProfiles().size(); ++t) {
+        const TraceProfile &p = allTraceProfiles()[t];
+        const TrafficCurves &c = per_trace[t];
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            const auto ud = static_cast<double>(u_d[i].stats.trafficBytes());
-            const auto up = static_cast<double>(u_p[i].stats.trafficBytes());
-            const auto id = static_cast<double>(s_d[i].icache.trafficBytes());
-            const auto ip = static_cast<double>(s_p[i].icache.trafficBytes());
-            const auto dd = static_cast<double>(s_d[i].dcache.trafficBytes());
-            const auto dp = static_cast<double>(s_p[i].dcache.trafficBytes());
+            const auto ud = static_cast<double>(c.u_d[i].stats.trafficBytes());
+            const auto up = static_cast<double>(c.u_p[i].stats.trafficBytes());
+            const auto id =
+                static_cast<double>(c.s_d[i].icache.trafficBytes());
+            const auto ip =
+                static_cast<double>(c.s_p[i].icache.trafficBytes());
+            const auto dd =
+                static_cast<double>(c.s_d[i].dcache.trafficBytes());
+            const auto dp =
+                static_cast<double>(c.s_p[i].dcache.trafficBytes());
             unified[i].add(up, ud);
             instr[i].add(ip, id);
             data[i].add(dp, dd);

@@ -29,21 +29,36 @@ main()
            "(split, purged, Figures 3-4 setup); 16-byte lines");
 
     const auto &sizes = paperCacheSizes();
-    TraceCorpus corpus;
 
     std::vector<Summary> unified(sizes.size()), instr(sizes.size()),
         data(sizes.size());
 
-    for (const TraceProfile &p : allTraceProfiles()) {
-        const Trace &t = corpus.get(p);
-        const auto u = sweepUnified(t, sizes, table1Config(32));
-        RunConfig run;
-        run.purgeInterval = purgeIntervalFor(p.group);
-        const auto s = sweepSplit(t, sizes, table1Config(32), run);
+    struct TargetCurves
+    {
+        std::vector<double> u, i, d;
+    };
+    const auto per_trace = mapProfilesParallel<TargetCurves>(
+        0, [&](const TraceProfile &p, const Trace &t) {
+            // Unified/no-purge takes the single-pass fast path; the
+            // purged split sweep runs per size.
+            const auto u = sweepUnified(t, sizes, table1Config(32));
+            RunConfig run;
+            run.purgeInterval = purgeIntervalFor(p.group);
+            const auto s = sweepSplit(t, sizes, table1Config(32), run);
+            TargetCurves c;
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                c.u.push_back(u[i].stats.missRatio());
+                c.i.push_back(s[i].icache.missRatio(AccessKind::IFetch));
+                c.d.push_back(s[i].dcache.dataMissRatio());
+            }
+            return c;
+        });
+
+    for (const TargetCurves &c : per_trace) {
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            unified[i].add(u[i].stats.missRatio());
-            instr[i].add(s[i].icache.missRatio(AccessKind::IFetch));
-            data[i].add(s[i].dcache.dataMissRatio());
+            unified[i].add(c.u[i]);
+            instr[i].add(c.i[i]);
+            data[i].add(c.d[i]);
         }
     }
 

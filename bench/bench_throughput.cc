@@ -9,9 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "cache/cache.hh"
 #include "cache/sector_cache.hh"
 #include "sim/experiments.hh"
+#include "sim/sweep.hh"
 #include "trace/analyzer.hh"
 #include "workload/profiles.hh"
 
@@ -134,7 +138,69 @@ BM_TraceAnalyzer(benchmark::State &state)
 }
 BENCHMARK(BM_TraceAnalyzer);
 
+/**
+ * Wall-clock comparison of the three sweep engines on a Table-1-style
+ * sweep (fully associative LRU, no purges, the single-pass-eligible
+ * shape).  Emits one machine-readable JSON line per engine so CI can
+ * track the speedups; "refs" counts the simulated references a naive
+ * serial engine processes (trace length x size points), so refs_per_s
+ * is comparable across engines doing the same logical work.
+ */
+void
+runSweepEngineComparison()
+{
+    const Trace trace = generateTrace(*findTraceProfile("VSPICE"), 250000);
+    const auto &sizes = paperCacheSizes();
+    const CacheConfig base = table1Config(32);
+    const double total_refs =
+        static_cast<double>(trace.size()) * static_cast<double>(sizes.size());
+
+    struct Engine
+    {
+        const char *name;
+        SweepEngine engine;
+        unsigned jobs;
+    };
+    const Engine engines[] = {
+        {"serial", SweepEngine::PerSize, 1},
+        {"pool", SweepEngine::PerSize, 0},
+        {"single_pass", SweepEngine::SinglePass, 1},
+    };
+
+    double serial_wall = 0.0;
+    for (const Engine &e : engines) {
+        RunConfig run;
+        run.jobs = e.jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto points = sweepUnified(trace, sizes, base, run, e.engine);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall = std::chrono::duration<double>(t1 - t0).count();
+        if (e.engine == SweepEngine::PerSize && e.jobs == 1)
+            serial_wall = wall;
+        std::printf("{\"bench\":\"sweep_engine\",\"engine\":\"%s\","
+                    "\"trace\":\"VSPICE\",\"refs\":%.0f,\"sizes\":%zu,"
+                    "\"wall_s\":%.6f,\"refs_per_s\":%.0f,"
+                    "\"speedup_vs_serial\":%.2f,\"misses_64k\":%llu}\n",
+                    e.name, total_refs, sizes.size(), wall,
+                    wall > 0 ? total_refs / wall : 0.0,
+                    serial_wall > 0 && wall > 0 ? serial_wall / wall : 1.0,
+                    static_cast<unsigned long long>(
+                        points.back().stats.totalMisses()));
+    }
+    std::fflush(stdout);
+}
+
 } // namespace
 } // namespace cachelab
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    cachelab::runSweepEngineComparison();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

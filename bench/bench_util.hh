@@ -22,10 +22,44 @@
 #include "stats/table.hh"
 #include "trace/trace.hh"
 #include "util/format.hh"
+#include "util/thread_pool.hh"
 #include "workload/profiles.hh"
 
 namespace cachelab::bench
 {
+
+/**
+ * Fan one experiment out over the whole corpus: generate each
+ * profile's trace and evaluate fn(profile, trace) on the shared
+ * ThreadPool, returning results in corpus order (slot per profile, so
+ * ordering never depends on scheduling).  Traces are generated inside
+ * the workers and released when done, keeping at most #jobs traces in
+ * memory.  Sweeps called from fn detect they are on a pool worker and
+ * run their size axis serially — per-trace is the profitable
+ * granularity here.
+ *
+ * @param max_refs 0 = full published length per profile.
+ */
+template <typename R, typename Fn>
+std::vector<R>
+mapProfilesParallel(std::uint64_t max_refs, Fn &&fn)
+{
+    const auto &profiles = allTraceProfiles();
+    auto one = [&](std::size_t i) -> R {
+        const TraceProfile &p = profiles[i];
+        const Trace t =
+            max_refs ? generateTrace(p, max_refs) : generateTrace(p);
+        return fn(p, t);
+    };
+    if (ThreadPool::onWorkerThread()) {
+        std::vector<R> out;
+        out.reserve(profiles.size());
+        for (std::size_t i = 0; i < profiles.size(); ++i)
+            out.push_back(one(i));
+        return out;
+    }
+    return ThreadPool::shared().parallelMap<R>(profiles.size(), one);
+}
 
 /**
  * Lazily generated, cached traces for the whole corpus.  A bench

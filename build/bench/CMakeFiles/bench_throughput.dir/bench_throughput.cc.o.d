@@ -183,21 +183,11 @@ bench/CMakeFiles/bench_throughput.dir/bench_throughput.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/cache/cache.hh /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/cache/config.hh \
- /root/repo/src/cache/stats.hh /usr/include/c++/12/array \
- /root/repo/src/trace/memory_ref.hh /root/repo/src/util/random.hh \
- /root/repo/src/cache/sector_cache.hh /root/repo/src/sim/experiments.hh \
- /root/repo/src/sim/run.hh /root/repo/src/cache/organization.hh \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -210,8 +200,22 @@ bench/CMakeFiles/bench_throughput.dir/bench_throughput.cc.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cache/cache.hh \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/cache/config.hh \
+ /root/repo/src/cache/stats.hh /usr/include/c++/12/array \
+ /root/repo/src/trace/memory_ref.hh /root/repo/src/util/random.hh \
+ /root/repo/src/cache/sector_cache.hh /root/repo/src/sim/experiments.hh \
+ /root/repo/src/sim/run.hh /root/repo/src/cache/organization.hh \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -225,5 +229,5 @@ bench/CMakeFiles/bench_throughput.dir/bench_throughput.cc.o: \
  /root/repo/src/workload/profiles.hh \
  /root/repo/src/workload/program_model.hh \
  /root/repo/src/arch/interface_model.hh /root/repo/src/arch/profile.hh \
- /root/repo/src/workload/recency.hh /root/repo/src/trace/analyzer.hh \
- /root/repo/src/stats/histogram.hh
+ /root/repo/src/workload/recency.hh /root/repo/src/sim/sweep.hh \
+ /root/repo/src/trace/analyzer.hh /root/repo/src/stats/histogram.hh

@@ -209,4 +209,7 @@ src/sim/CMakeFiles/repro_sim.dir/run.cc.o: /root/repo/src/sim/run.cc \
  /root/repo/src/cache/stats.hh /usr/include/c++/12/array \
  /root/repo/src/trace/memory_ref.hh /root/repo/src/util/random.hh \
  /root/repo/src/trace/trace.hh /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef
+ /usr/include/c++/12/cstddef /root/repo/src/util/logging.hh \
+ /usr/include/c++/12/iostream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/format.cc" "src/util/CMakeFiles/repro_util.dir/format.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/format.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/repro_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/logging.cc.o.d"
   "/root/repo/src/util/random.cc" "src/util/CMakeFiles/repro_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/random.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/repro_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

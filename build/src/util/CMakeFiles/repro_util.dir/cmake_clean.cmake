@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/repro_util.dir/logging.cc.o.d"
   "CMakeFiles/repro_util.dir/random.cc.o"
   "CMakeFiles/repro_util.dir/random.cc.o.d"
+  "CMakeFiles/repro_util.dir/thread_pool.cc.o"
+  "CMakeFiles/repro_util.dir/thread_pool.cc.o.d"
   "librepro_util.a"
   "librepro_util.pdb"
 )

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_analysis_property_test.dir/stack_analysis_property_test.cc.o"
+  "CMakeFiles/stack_analysis_property_test.dir/stack_analysis_property_test.cc.o.d"
+  "stack_analysis_property_test"
+  "stack_analysis_property_test.pdb"
+  "stack_analysis_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_analysis_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

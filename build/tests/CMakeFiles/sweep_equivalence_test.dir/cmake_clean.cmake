@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_equivalence_test.dir/sweep_equivalence_test.cc.o"
+  "CMakeFiles/sweep_equivalence_test.dir/sweep_equivalence_test.cc.o.d"
+  "sweep_equivalence_test"
+  "sweep_equivalence_test.pdb"
+  "sweep_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

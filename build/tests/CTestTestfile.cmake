@@ -19,8 +19,11 @@ include("/root/repo/build/tests/performance_test[1]_include.cmake")
 include("/root/repo/build/tests/profiles_test[1]_include.cmake")
 include("/root/repo/build/tests/sector_cache_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stack_analysis_property_test[1]_include.cmake")
 include("/root/repo/build/tests/stack_analysis_test[1]_include.cmake")
 include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/thread_pool_test[1]_include.cmake")
 include("/root/repo/build/tests/timeline_io_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_test[1]_include.cmake")
 include("/root/repo/build/tests/util_test[1]_include.cmake")

@@ -13,35 +13,127 @@
 namespace cachelab
 {
 
+namespace
+{
+
+/** Initial Fenwick capacity; doubles as the trace's footprint grows. */
+constexpr std::uint64_t kInitialTimeCapacity = 1024;
+
+} // namespace
+
 StackAnalyzer::StackAnalyzer(std::uint32_t line_bytes)
     : lineBytes_(line_bytes)
 {
     CACHELAB_ASSERT(isPowerOfTwo(line_bytes),
                     "line size must be a power of two");
+    timeCapacity_ = kInitialTimeCapacity;
+    tree_.assign(timeCapacity_ + 1, 0);
+}
+
+void
+StackAnalyzer::bitAdd(std::uint64_t pos, std::int64_t delta)
+{
+    for (; pos <= timeCapacity_; pos += pos & (~pos + 1))
+        tree_[pos] += delta;
 }
 
 std::uint64_t
-StackAnalyzer::touchLine(Addr line_addr)
+StackAnalyzer::bitPrefix(std::uint64_t pos) const
 {
-    if (!present_.contains(line_addr)) {
-        present_.emplace(line_addr, 1);
-        stack_.insert(stack_.begin(), line_addr);
+    std::int64_t sum = 0;
+    for (; pos; pos -= pos & (~pos + 1))
+        sum += tree_[pos];
+    return static_cast<std::uint64_t>(sum);
+}
+
+std::uint64_t
+StackAnalyzer::depthOf(const LineState &state) const
+{
+    // Marked timestamps at or after the line's own = lines touched
+    // since (inclusive), which is its 1-based stack depth.
+    return lines_.size() - bitPrefix(state.lastTime - 1);
+}
+
+void
+StackAnalyzer::compact(std::uint64_t capacity)
+{
+    CACHELAB_ASSERT(lines_.size() < capacity, "compaction target too small");
+    std::vector<std::pair<std::uint64_t, Addr>> order;
+    order.reserve(lines_.size());
+    for (const auto &[addr, state] : lines_)
+        order.emplace_back(state.lastTime, addr);
+    std::sort(order.begin(), order.end());
+
+    timeCapacity_ = capacity;
+    tree_.assign(timeCapacity_ + 1, 0);
+    time_ = 0;
+    for (const auto &[old_time, addr] : order) {
+        lines_[addr].lastTime = ++time_;
+        bitAdd(time_, +1);
+    }
+}
+
+std::uint64_t
+StackAnalyzer::allocTimestamp()
+{
+    if (time_ == timeCapacity_) {
+        // Renumber in place when at most half the timestamps are
+        // live; otherwise double the tree as well.
+        compact(lines_.size() <= timeCapacity_ / 2 ? timeCapacity_
+                                                   : timeCapacity_ * 2);
+    }
+    return ++time_;
+}
+
+void
+StackAnalyzer::recordDirtyPushes(std::uint64_t first, std::uint64_t last)
+{
+    // +1 dirty push for every cache size N in [first, last].
+    if (dirtyPushDelta_.size() < last + 2)
+        dirtyPushDelta_.resize(last + 2, 0);
+    dirtyPushDelta_[first] += 1;
+    dirtyPushDelta_[last + 1] -= 1;
+}
+
+std::uint64_t
+StackAnalyzer::touchLine(Addr line_addr, bool is_write)
+{
+    ++lineTouches_;
+    const auto it = lines_.find(line_addr);
+    if (it == lines_.end()) {
+        const std::uint64_t t = allocTimestamp();
+        lines_.emplace(line_addr,
+                       LineState{t, is_write ? 1 : kClean});
+        bitAdd(t, +1);
         ++cold_;
-        ++lineTouches_;
         return 0;
     }
-    // Walk from the MRU end to find the line's (1-based) depth.
-    const auto it = std::find(stack_.begin(), stack_.end(), line_addr);
-    CACHELAB_ASSERT(it != stack_.end(), "index/stack divergence");
-    const auto depth =
-        static_cast<std::uint64_t>(it - stack_.begin()) + 1;
-    stack_.erase(it);
-    stack_.insert(stack_.begin(), line_addr);
+
+    LineState &state = it->second;
+    const std::uint64_t depth = depthOf(state);
+    CACHELAB_ASSERT(depth >= 1 && depth <= lines_.size(),
+                    "corrupt stack depth");
+
+    // Since its last touch the line sank from depth 1 to this depth,
+    // so every cache of size N in [1, depth-1] evicted it; those
+    // pushes were dirty where the line's dirty threshold reaches.
+    if (state.dirtyFrom != kClean && state.dirtyFrom < depth)
+        recordDirtyPushes(state.dirtyFrom, depth - 1);
+    state.dirtyFrom = is_write
+        ? 1
+        : (state.dirtyFrom == kClean ? kClean
+                                     : std::max(state.dirtyFrom, depth));
+
+    // Re-stamp: allocate first (compaction keeps one mark per line),
+    // then move the line's mark to the fresh timestamp.
+    const std::uint64_t t = allocTimestamp();
+    bitAdd(state.lastTime, -1);
+    bitAdd(t, +1);
+    state.lastTime = t;
 
     if (depth > distances_.size())
         distances_.resize(depth, 0);
     ++distances_[depth - 1];
-    ++lineTouches_;
     return depth;
 }
 
@@ -50,12 +142,16 @@ StackAnalyzer::access(const MemoryRef &ref)
 {
     CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
     ++refs_;
+    const auto kind = static_cast<std::size_t>(ref.kind);
+    ++refsByKind_[kind];
+    const bool is_write = ref.kind == AccessKind::Write;
+
     const Addr first = alignDown(ref.addr, lineBytes_);
     const Addr last = alignDown(ref.addr + ref.size - 1, lineBytes_);
     std::uint64_t worst = 1;
     bool any_cold = false;
     for (Addr line = first;; line += lineBytes_) {
-        const std::uint64_t d = touchLine(line);
+        const std::uint64_t d = touchLine(line, is_write);
         if (d == 0)
             any_cold = true;
         else
@@ -64,11 +160,12 @@ StackAnalyzer::access(const MemoryRef &ref)
             break;
     }
     if (any_cold) {
-        ++refColdOrDeep_;
+        ++refColdByKind_[kind];
     } else {
-        if (worst > refWorst_.size())
-            refWorst_.resize(worst, 0);
-        ++refWorst_[worst - 1];
+        auto &hist = refWorstByKind_[kind];
+        if (worst > hist.size())
+            hist.resize(worst, 0);
+        ++hist[worst - 1];
     }
 }
 
@@ -104,9 +201,13 @@ StackAnalyzer::refMissRatioFor(std::uint64_t size_bytes) const
     if (refs_ == 0)
         return 0.0;
     const std::uint64_t lines = size_bytes / lineBytes_;
-    std::uint64_t misses = refColdOrDeep_;
-    for (std::uint64_t d = lines + 1; d <= refWorst_.size(); ++d)
-        misses += refWorst_[d - 1];
+    std::uint64_t misses = 0;
+    for (std::size_t k = 0; k < 3; ++k) {
+        misses += refColdByKind_[k];
+        const auto &hist = refWorstByKind_[k];
+        for (std::uint64_t w = lines + 1; w <= hist.size(); ++w)
+            misses += hist[w - 1];
+    }
     return static_cast<double>(misses) / static_cast<double>(refs_);
 }
 
@@ -121,6 +222,53 @@ StackAnalyzer::meanDistance() const
             static_cast<double>(distances_[d - 1]);
     }
     return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+CacheStats
+StackAnalyzer::table1StatsFor(std::uint64_t size_bytes) const
+{
+    CACHELAB_ASSERT(size_bytes >= lineBytes_,
+                    "cache smaller than one line");
+    const std::uint64_t lines = size_bytes / lineBytes_;
+
+    CacheStats stats;
+    for (std::size_t k = 0; k < 3; ++k) {
+        stats.accesses[k] = refsByKind_[k];
+        stats.misses[k] = refColdByKind_[k];
+        const auto &hist = refWorstByKind_[k];
+        for (std::uint64_t w = lines + 1; w <= hist.size(); ++w)
+            stats.misses[k] += hist[w - 1];
+    }
+
+    stats.demandFetches = missCountFor(size_bytes);
+    stats.bytesFromMemory = stats.demandFetches * lineBytes_;
+
+    // Every fetch either fills an empty way or evicts a valid line.
+    const std::uint64_t resident =
+        std::min<std::uint64_t>(lines, lines_.size());
+    stats.replacementPushes = stats.demandFetches - resident;
+
+    // Dirty pushes already completed (the pushed line was touched
+    // again afterwards) live in the difference array ...
+    std::int64_t dirty = 0;
+    const std::uint64_t bound =
+        std::min<std::uint64_t>(lines,
+                                dirtyPushDelta_.empty()
+                                    ? 0
+                                    : dirtyPushDelta_.size() - 1);
+    for (std::uint64_t n = 1; n <= bound; ++n)
+        dirty += dirtyPushDelta_[n];
+    // ... plus lines never touched again: pushed from every size
+    // smaller than their current depth, dirty down to their threshold.
+    for (const auto &[addr, state] : lines_) {
+        if (state.dirtyFrom == kClean || state.dirtyFrom > lines)
+            continue;
+        if (lines < depthOf(state))
+            ++dirty;
+    }
+    stats.dirtyReplacementPushes = static_cast<std::uint64_t>(dirty);
+    stats.bytesToMemory = stats.dirtyReplacementPushes * lineBytes_;
+    return stats;
 }
 
 SetAssocStackAnalyzer::SetAssocStackAnalyzer(std::uint64_t set_count,

@@ -9,6 +9,16 @@
  * standard trick behind 1980s trace-driven studies like this paper's,
  * where "computer time is a limited resource" (section 3.2).
  *
+ * Distances are computed with the Fenwick-tree-over-timestamps
+ * counting algorithm: each line remembers the timestamp of its last
+ * touch, a binary indexed tree marks which timestamps are the *most
+ * recent* touch of some line, and the stack distance of a touch is
+ * the number of marked timestamps at or after the line's previous
+ * one — O(log n) per access instead of the O(depth) walk of a
+ * move-to-front list.  Timestamps are periodically compacted
+ * (renumbered 1..#lines) so the tree never grows past ~2x the number
+ * of distinct lines.
+ *
  * The distances this class records are per-line-touch distances for
  * the line containing each reference; a multi-line reference records
  * one distance per touched line.  missCountFor() therefore agrees
@@ -16,15 +26,26 @@
  * refMissRatioFor() with its per-reference miss ratio, for the
  * Table 1 configuration (fully associative, LRU, demand fetch,
  * write-allocate, no purges).
+ *
+ * Beyond distances, the analyzer tracks enough per-kind and dirty
+ * state to reconstruct the *complete* CacheStats of a Table 1 run at
+ * any size from the single pass — see table1StatsFor().  Dirty
+ * accounting rests on an LRU invariant: after any access to a line,
+ * the set of cache sizes at which the line is dirty is always of the
+ * form {N >= t} for one threshold t (a write makes it dirty
+ * everywhere; a read at stack distance d means sizes < d refetched
+ * the line clean), so one integer per line suffices.
  */
 
 #ifndef CACHELAB_CACHE_STACK_ANALYSIS_HH
 #define CACHELAB_CACHE_STACK_ANALYSIS_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "cache/stats.hh"
 #include "trace/trace.hh"
 
 namespace cachelab
@@ -34,9 +55,7 @@ namespace cachelab
  * Incremental LRU stack profiler.
  *
  * Feed references with access(); query miss counts or full curves at
- * any point.  The stack is a move-to-front list over line addresses;
- * lookups use a hash index and distance is found by walking from the
- * front (cheap for the local traces this library produces).
+ * any point.
  */
 class StackAnalyzer
 {
@@ -62,6 +81,9 @@ class StackAnalyzer
     /** First-touch (cold) line accesses. */
     std::uint64_t coldCount() const { return cold_; }
 
+    /** Distinct lines seen so far. */
+    std::uint64_t distinctLineCount() const { return lines_.size(); }
+
     /**
      * Line fetches a fully associative LRU cache of @p size_bytes
      * would perform on the recorded stream (distance > lines + cold).
@@ -82,7 +104,46 @@ class StackAnalyzer
     /** Mean stack distance of non-cold line touches. */
     double meanDistance() const;
 
+    /**
+     * The complete statistics a Table 1 run (fully associative LRU,
+     * demand fetch, copy-back with fetch-on-write, no purges, no
+     * warm-up) of @p size_bytes would produce over the recorded
+     * stream — bit-identical to runTrace() with a Cache, including
+     * per-kind misses, replacement pushes and dirty-push traffic.
+     */
+    CacheStats table1StatsFor(std::uint64_t size_bytes) const;
+
   private:
+    /** Sentinel dirty threshold: clean at every size. */
+    static constexpr std::uint64_t kClean = ~std::uint64_t{0};
+
+    struct LineState
+    {
+        std::uint64_t lastTime;  ///< timestamp of the last touch
+        std::uint64_t dirtyFrom; ///< dirty at sizes >= this (kClean: none)
+    };
+
+    /** @return stack distance (1-based) or 0 for a cold touch. */
+    std::uint64_t touchLine(Addr line_addr, bool is_write);
+
+    /** Fenwick add at timestamp @p pos. */
+    void bitAdd(std::uint64_t pos, std::int64_t delta);
+
+    /** @return number of marked timestamps in [1, pos]. */
+    std::uint64_t bitPrefix(std::uint64_t pos) const;
+
+    /** Current 1-based stack depth of @p state's line. */
+    std::uint64_t depthOf(const LineState &state) const;
+
+    /** @return a fresh timestamp, compacting/growing the tree first. */
+    std::uint64_t allocTimestamp();
+
+    /** Renumber live timestamps 1..n and rebuild the tree at @p cap. */
+    void compact(std::uint64_t capacity);
+
+    /** Record one push range [first, last] into the delta array. */
+    void recordDirtyPushes(std::uint64_t first, std::uint64_t last);
+
     std::uint32_t lineBytes_;
     std::uint64_t refs_ = 0;
     std::uint64_t lineTouches_ = 0;
@@ -91,16 +152,25 @@ class StackAnalyzer
     /** distances_[d-1] = touches at stack distance d. */
     std::vector<std::uint64_t> distances_;
 
-    /** Per-reference worst distances (0 = cold touch present). */
-    std::vector<std::uint64_t> refWorst_;
-    std::uint64_t refColdOrDeep_ = 0;
+    /** Per-kind reference counts and worst-distance histograms. */
+    std::array<std::uint64_t, 3> refsByKind_{};
+    std::array<std::uint64_t, 3> refColdByKind_{};
+    std::array<std::vector<std::uint64_t>, 3> refWorstByKind_{};
 
-    // Move-to-front stack with hash membership.
-    std::vector<Addr> stack_; ///< front = most recent
-    std::unordered_map<Addr, std::uint8_t> present_;
+    /**
+     * Completed dirty evictions by cache size, as a difference array:
+     * the number of dirty pushes a size-N cache performed is the
+     * prefix sum dirtyPushDelta_[1..N] plus the still-resident lines'
+     * contribution computed at query time.
+     */
+    std::vector<std::int64_t> dirtyPushDelta_;
 
-    /** @return stack distance (1-based) or 0 for a cold touch. */
-    std::uint64_t touchLine(Addr line_addr);
+    // Fenwick tree over timestamps; tree_[0] unused.
+    std::vector<std::int64_t> tree_;
+    std::uint64_t timeCapacity_ = 0;
+    std::uint64_t time_ = 0;
+
+    std::unordered_map<Addr, LineState> lines_;
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "cache/organization.hh"
 #include "trace/transforms.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace cachelab
 {
@@ -47,17 +48,27 @@ buildMixTrace(const MultiprogramMix &mix)
     CACHELAB_ASSERT(!mix.traceNames.empty(), "empty multiprogram mix");
 
     // Give each program its own address-space slice so the streams do
-    // not alias one another between purges.
+    // not alias one another between purges.  Members are independent,
+    // so generate them on the pool (slot order keeps determinism).
     constexpr Addr kSliceBytes = 0x1000'0000;
+    for (const std::string &name : mix.traceNames) {
+        if (findTraceProfile(name) == nullptr)
+            fatal("mix '", mix.name, "' references unknown trace '", name,
+                  "'");
+    }
+    auto generateMember = [&](std::size_t i) {
+        const TraceProfile &profile = *findTraceProfile(mix.traceNames[i]);
+        return offsetAddresses(generateTrace(profile),
+                               static_cast<Addr>(i) * kSliceBytes);
+    };
     std::vector<Trace> members;
-    members.reserve(mix.traceNames.size());
-    for (std::size_t i = 0; i < mix.traceNames.size(); ++i) {
-        const TraceProfile *profile = findTraceProfile(mix.traceNames[i]);
-        if (profile == nullptr)
-            fatal("mix '", mix.name, "' references unknown trace '",
-                  mix.traceNames[i], "'");
-        members.push_back(offsetAddresses(generateTrace(*profile),
-                                          static_cast<Addr>(i) * kSliceBytes));
+    if (ThreadPool::onWorkerThread()) {
+        members.reserve(mix.traceNames.size());
+        for (std::size_t i = 0; i < mix.traceNames.size(); ++i)
+            members.push_back(generateMember(i));
+    } else {
+        members = ThreadPool::shared().parallelMap<Trace>(
+            mix.traceNames.size(), generateMember);
     }
     return interleaveRoundRobin(members, kPurgeInterval, mix.name);
 }

@@ -5,6 +5,8 @@
 
 #include "sim/run.hh"
 
+#include "util/logging.hh"
+
 namespace cachelab
 {
 
@@ -17,12 +19,27 @@ CacheStats
 drive(const Trace &trace, System &system, const RunConfig &config,
       StatsFn &&stats_of)
 {
+    // Guard against configurations that would silently measure the
+    // wrong thing: a warm-up at least as long as the trace leaves no
+    // measured references, and a purge interval of one whole trace
+    // never fires.  All index arithmetic is 64-bit so the counters
+    // cannot wrap on long (multi-billion-reference) streams.
+    CACHELAB_ASSERT(config.warmupRefs <= trace.size(),
+                    "warmupRefs (", config.warmupRefs,
+                    ") exceeds trace length (", trace.size(), ")");
+    CACHELAB_ASSERT(config.purgeInterval == 0 ||
+                        config.purgeInterval <= trace.size(),
+                    "purgeInterval (", config.purgeInterval,
+                    ") exceeds trace length (", trace.size(),
+                    "); no purge would ever fire");
+
     std::uint64_t since_purge = 0;
     std::uint64_t seen = 0;
     bool counting = config.warmupRefs == 0;
 
     for (const MemoryRef &ref : trace) {
-        if (config.purgeInterval && since_purge == config.purgeInterval) {
+        if (config.purgeInterval != 0 &&
+            since_purge == config.purgeInterval) {
             system.purge();
             since_purge = 0;
         }

@@ -29,9 +29,20 @@ struct RunConfig
     /**
      * References to run before statistics begin (cold-start warm-up).
      * The paper's runs are cold-start (a trace *is* the program's
-     * start), so the default is 0.
+     * start), so the default is 0.  Must not exceed the trace length
+     * (runTrace() asserts; a longer warm-up would silently measure
+     * nothing).
      */
     std::uint64_t warmupRefs = 0;
+
+    /**
+     * Concurrency of the sweep/experiment layers driving this run:
+     * 0 = the shared pool's width (CACHELAB_JOBS or hardware
+     * concurrency), 1 = force serial, k = a pool of exactly k jobs.
+     * A single runTrace() call is always sequential — the knob
+     * controls how many independent runs execute at once.
+     */
+    unsigned jobs = 0;
 };
 
 /**

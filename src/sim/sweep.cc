@@ -5,11 +5,136 @@
 
 #include "sim/sweep.hh"
 
+#include <cstring>
+
 #include "cache/organization.hh"
+#include "cache/stack_analysis.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace cachelab
 {
+
+namespace
+{
+
+/** Run fn(i) for i in [0, n), parallel when the run config allows. */
+template <typename Fn>
+void
+sweepFor(std::size_t n, const RunConfig &run, Fn &&fn)
+{
+    // A sweep reached from inside a pool task (e.g. a bench fanning
+    // out per-trace work) runs its size axis serially rather than
+    // deadlocking the fixed-size pool.
+    if (run.jobs == 1 || ThreadPool::onWorkerThread()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (run.jobs == 0) {
+        ThreadPool::shared().parallelFor(n, fn);
+        return;
+    }
+    ThreadPool pool(run.jobs);
+    pool.parallelFor(n, fn);
+}
+
+/** @return @p base with sizeBytes = @p size, validated. */
+CacheConfig
+configAt(const CacheConfig &base, std::uint64_t size)
+{
+    CacheConfig config = base;
+    config.sizeBytes = size;
+    config.validate();
+    return config;
+}
+
+bool
+statsEqual(const CacheStats &a, const CacheStats &b)
+{
+    return std::memcmp(&a, &b, sizeof(CacheStats)) == 0;
+}
+
+[[noreturn]] void
+reportMismatch(const char *what, std::uint64_t size, const CacheStats &per_size,
+               const CacheStats &single_pass)
+{
+    panic("sweep verify: ", what, " mismatch at ", size, " bytes\n",
+          "  per-size:    ", per_size.summarize(), "\n",
+          "  single-pass: ", single_pass.summarize());
+}
+
+std::vector<SweepPoint>
+sweepUnifiedPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+                    const CacheConfig &base, const RunConfig &run)
+{
+    std::vector<SweepPoint> out(sizes.size());
+    sweepFor(sizes.size(), run, [&](std::size_t i) {
+        Cache cache(configAt(base, sizes[i]));
+        out[i] = {sizes[i], runTrace(trace, cache, run)};
+    });
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepUnifiedSinglePass(const Trace &trace,
+                       const std::vector<std::uint64_t> &sizes,
+                       const CacheConfig &base, const RunConfig &run)
+{
+    CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
+                    "single-pass sweep requires the Table 1 shape");
+    StackAnalyzer analyzer(base.lineBytes);
+    analyzer.accessAll(trace);
+    std::vector<SweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        configAt(base, size); // same validation as a real run
+        out.push_back({size, analyzer.table1StatsFor(size)});
+    }
+    return out;
+}
+
+std::vector<SplitSweepPoint>
+sweepSplitPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+                  const CacheConfig &base, const RunConfig &run)
+{
+    std::vector<SplitSweepPoint> out(sizes.size());
+    sweepFor(sizes.size(), run, [&](std::size_t i) {
+        const CacheConfig config = configAt(base, sizes[i]);
+        SplitCache split(config, config);
+        runTrace(trace, split, run);
+        out[i] = {sizes[i], split.icache().stats(), split.dcache().stats()};
+    });
+    return out;
+}
+
+std::vector<SplitSweepPoint>
+sweepSplitSinglePass(const Trace &trace,
+                     const std::vector<std::uint64_t> &sizes,
+                     const CacheConfig &base, const RunConfig &run)
+{
+    CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
+                    "single-pass sweep requires the Table 1 shape");
+    // The split organization routes ifetches and data to independent
+    // caches, so each side is its own fully associative LRU stream.
+    StackAnalyzer istream(base.lineBytes), dstream(base.lineBytes);
+    for (const MemoryRef &ref : trace) {
+        if (ref.kind == AccessKind::IFetch)
+            istream.access(ref);
+        else
+            dstream.access(ref);
+    }
+    std::vector<SplitSweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        configAt(base, size);
+        out.push_back({size, istream.table1StatsFor(size),
+                       dstream.table1StatsFor(size)});
+    }
+    return out;
+}
+
+} // namespace
 
 std::vector<std::uint64_t>
 powersOfTwo(std::uint64_t lo, std::uint64_t hi)
@@ -28,35 +153,73 @@ paperCacheSizes()
     return sizes;
 }
 
+bool
+sweepSinglePassEligible(const CacheConfig &base, const RunConfig &run)
+{
+    return base.associativity == 0 &&
+        base.replacement == ReplacementPolicy::LRU &&
+        base.fetchPolicy == FetchPolicy::Demand &&
+        base.writePolicy == WritePolicy::CopyBack &&
+        base.writeMiss == WriteMissPolicy::FetchOnWrite &&
+        run.purgeInterval == 0 && run.warmupRefs == 0;
+}
+
 std::vector<SweepPoint>
 sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
-             const CacheConfig &base, const RunConfig &run)
+             const CacheConfig &base, const RunConfig &run,
+             SweepEngine engine)
 {
-    std::vector<SweepPoint> out;
-    out.reserve(sizes.size());
-    for (std::uint64_t size : sizes) {
-        CacheConfig config = base;
-        config.sizeBytes = size;
-        Cache cache(config);
-        out.push_back({size, runTrace(trace, cache, run)});
+    switch (engine) {
+      case SweepEngine::Auto:
+        return sweepSinglePassEligible(base, run)
+            ? sweepUnifiedSinglePass(trace, sizes, base, run)
+            : sweepUnifiedPerSize(trace, sizes, base, run);
+      case SweepEngine::PerSize:
+        return sweepUnifiedPerSize(trace, sizes, base, run);
+      case SweepEngine::SinglePass:
+        return sweepUnifiedSinglePass(trace, sizes, base, run);
+      case SweepEngine::Verify: {
+        const auto per_size = sweepUnifiedPerSize(trace, sizes, base, run);
+        const auto fast = sweepUnifiedSinglePass(trace, sizes, base, run);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (!statsEqual(per_size[i].stats, fast[i].stats))
+                reportMismatch("unified", sizes[i], per_size[i].stats,
+                               fast[i].stats);
+        }
+        return per_size;
+      }
     }
-    return out;
+    panic("unreachable sweep engine");
 }
 
 std::vector<SplitSweepPoint>
 sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
-           const CacheConfig &base, const RunConfig &run)
+           const CacheConfig &base, const RunConfig &run, SweepEngine engine)
 {
-    std::vector<SplitSweepPoint> out;
-    out.reserve(sizes.size());
-    for (std::uint64_t size : sizes) {
-        CacheConfig config = base;
-        config.sizeBytes = size;
-        SplitCache split(config, config);
-        runTrace(trace, split, run);
-        out.push_back({size, split.icache().stats(), split.dcache().stats()});
+    switch (engine) {
+      case SweepEngine::Auto:
+        return sweepSinglePassEligible(base, run)
+            ? sweepSplitSinglePass(trace, sizes, base, run)
+            : sweepSplitPerSize(trace, sizes, base, run);
+      case SweepEngine::PerSize:
+        return sweepSplitPerSize(trace, sizes, base, run);
+      case SweepEngine::SinglePass:
+        return sweepSplitSinglePass(trace, sizes, base, run);
+      case SweepEngine::Verify: {
+        const auto per_size = sweepSplitPerSize(trace, sizes, base, run);
+        const auto fast = sweepSplitSinglePass(trace, sizes, base, run);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (!statsEqual(per_size[i].icache, fast[i].icache))
+                reportMismatch("split icache", sizes[i], per_size[i].icache,
+                               fast[i].icache);
+            if (!statsEqual(per_size[i].dcache, fast[i].dcache))
+                reportMismatch("split dcache", sizes[i], per_size[i].dcache,
+                               fast[i].dcache);
+        }
+        return per_size;
+      }
     }
-    return out;
+    panic("unreachable sweep engine");
 }
 
 } // namespace cachelab

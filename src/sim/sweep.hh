@@ -3,6 +3,21 @@
  * Parameter-sweep engine: run one trace across a family of cache
  * configurations and collect per-point results.  This is the workhorse
  * behind Table 1 / Figures 1 and 3-10.
+ *
+ * Two orthogonal accelerations over the naive |sizes| serial runs:
+ *
+ *  - **Parallel per-size runs**: each size point owns its Cache, so
+ *    points are data-race-free by construction and fan out over the
+ *    shared ThreadPool (RunConfig::jobs picks the width; jobs = 1
+ *    forces serial, as does already running on a pool worker).
+ *  - **Single-pass fast path**: when the configuration is the
+ *    Table 1 shape (fully associative, LRU, demand fetch, copy-back
+ *    with fetch-on-write, no purging, no warm-up), one Mattson
+ *    stack-analysis pass reconstructs the statistics of *every* size
+ *    at once — see StackAnalyzer::table1StatsFor().
+ *
+ * Both produce CacheStats bit-identical to the serial per-size runs;
+ * SweepEngine::Verify asserts that equivalence at runtime.
  */
 
 #ifndef CACHELAB_SIM_SWEEP_HH
@@ -32,6 +47,26 @@ struct SweepPoint
     CacheStats stats;
 };
 
+/** How a sweep turns its size axis into results. */
+enum class SweepEngine
+{
+    /** Single-pass when the config allows it, else parallel per-size. */
+    Auto,
+    /** One full cache run per size (parallel unless jobs = 1). */
+    PerSize,
+    /** One Mattson pass for the whole curve; fatal if config unfit. */
+    SinglePass,
+    /** Run both PerSize and SinglePass and panic on any mismatch. */
+    Verify,
+};
+
+/**
+ * @return true when (@p base, @p run) is the Table 1 shape the
+ * single-pass engine handles: fully associative LRU, demand fetch,
+ * copy-back with fetch-on-write, no purging, no warm-up.
+ */
+bool sweepSinglePassEligible(const CacheConfig &base, const RunConfig &run);
+
 /**
  * Sweep a unified cache over @p sizes for one trace.
  *
@@ -40,7 +75,8 @@ struct SweepPoint
 std::vector<SweepPoint> sweepUnified(const Trace &trace,
                                      const std::vector<std::uint64_t> &sizes,
                                      const CacheConfig &base,
-                                     const RunConfig &run = {});
+                                     const RunConfig &run = {},
+                                     SweepEngine engine = SweepEngine::Auto);
 
 /** Result of a split-cache sweep: per-size I and D statistics. */
 struct SplitSweepPoint
@@ -56,7 +92,8 @@ struct SplitSweepPoint
  */
 std::vector<SplitSweepPoint> sweepSplit(
     const Trace &trace, const std::vector<std::uint64_t> &sizes,
-    const CacheConfig &base, const RunConfig &run = {});
+    const CacheConfig &base, const RunConfig &run = {},
+    SweepEngine engine = SweepEngine::Auto);
 
 } // namespace cachelab
 

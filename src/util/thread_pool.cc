@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of the fixed-size worker pool.
+ */
+
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+/** Set while a thread is executing pool tasks. */
+thread_local bool tls_in_pool_task = false;
+
+} // namespace
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("CACHELAB_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            fatal("CACHELAB_JOBS must be a positive integer, got '", env,
+                  "'");
+        return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tls_in_pool_task;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs ? jobs : defaultJobs())
+{
+    // The calling thread participates in every batch, so a pool of k
+    // jobs needs k-1 dedicated workers (k = 1 spawns none and runs
+    // everything inline).
+    workers_.reserve(jobs_ - 1);
+    for (unsigned i = 0; i + 1 < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    tls_in_pool_task = true;
+    std::size_t ran = 0;
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.size)
+            break;
+        if (!batch.failed.load(std::memory_order_relaxed)) {
+            try {
+                (*batch.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!batch.firstError)
+                    batch.firstError = std::current_exception();
+                batch.failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        ++ran;
+    }
+    tls_in_pool_task = false;
+    if (ran) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch.completed += ran;
+        if (batch.completed == batch.size)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ ||
+                    (batch_ != nullptr && generation_ != seen_generation);
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            batch = batch_;
+        }
+        runBatch(*batch);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (tls_in_pool_task)
+        throw std::logic_error(
+            "nested ThreadPool::parallelFor from a pool task");
+    if (n == 0)
+        return;
+
+    if (jobs_ == 1 || n == 1) {
+        // Serial degradation: run inline, still guarding nested use.
+        tls_in_pool_task = true;
+        try {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+        } catch (...) {
+            tls_in_pool_task = false;
+            throw;
+        }
+        tls_in_pool_task = false;
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->size = n;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = batch;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is one of the pool's jobs.
+    runBatch(*batch);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return batch->completed == batch->size; });
+    if (batch_ == batch)
+        batch_ = nullptr;
+    if (batch->firstError)
+        std::rethrow_exception(batch->firstError);
+}
+
+} // namespace cachelab
+

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel loops.
+ *
+ * The paper's tables and figures are parameter sweeps: the same trace
+ * run over many cache sizes, and the same experiment run over 57
+ * traces.  Each point is independent, so the sweep engine fans them
+ * out over a pool of workers.  Results are deterministic regardless
+ * of scheduling: every index writes to a pre-sized slot, so output
+ * order never depends on which worker ran which index.
+ *
+ * Sizing: an explicit job count wins; otherwise the CACHELAB_JOBS
+ * environment variable; otherwise std::thread::hardware_concurrency().
+ * A pool of one job runs everything inline on the calling thread.
+ *
+ * Nested use is rejected: calling parallelFor()/parallelMap() from
+ * inside a task throws std::logic_error (it would deadlock a
+ * fixed-size pool).  Layers that may legitimately be reached from a
+ * worker (the sweep engine, the bench fan-outs) check
+ * onWorkerThread() and fall back to their serial path instead.
+ */
+
+#ifndef CACHELAB_UTIL_THREAD_POOL_HH
+#define CACHELAB_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cachelab
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs number of concurrent jobs; 0 resolves via
+     * defaultJobs() (CACHELAB_JOBS, then hardware concurrency).
+     */
+    explicit ThreadPool(unsigned jobs = 0);
+
+    /** Joins all workers; outstanding parallelFor calls must be done. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return resolved number of concurrent jobs (>= 1). */
+    unsigned jobCount() const { return jobs_; }
+
+    /**
+     * Run fn(0) .. fn(n-1), distributed over the pool; the calling
+     * thread participates.  Blocks until every index completed.  The
+     * first exception a task throws is rethrown here (remaining
+     * indices are skipped on a best-effort basis).
+     *
+     * @throws std::logic_error when called from inside a pool task.
+     */
+    void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+    /**
+     * parallelFor producing a value per index.  out[i] = fn(i); slot
+     * assignment makes the result order independent of scheduling.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    parallelMap(std::size_t n, Fn &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Job count used when a pool is built with jobs = 0: the
+     * CACHELAB_JOBS environment variable when set (fatal() when set
+     * but not a positive integer), else hardware concurrency.
+     */
+    static unsigned defaultJobs();
+
+    /** Process-wide pool sized with defaultJobs(), built on first use. */
+    static ThreadPool &shared();
+
+    /**
+     * @return true while the current thread is executing a pool task
+     * (including the calling thread inside its own parallelFor).
+     */
+    static bool onWorkerThread();
+
+  private:
+    /**
+     * State of one parallelFor call.  Workers hold a shared_ptr, so a
+     * worker that wakes late simply finds the index counter exhausted;
+     * it can never mix one batch's function with another's counter.
+     */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t size = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t completed = 0; ///< guarded by pool mutex
+        std::atomic<bool> failed{false};
+        std::exception_ptr firstError; ///< guarded by pool mutex
+    };
+
+    void workerLoop();
+    /** Pull indices of @p batch until exhausted. */
+    void runBatch(Batch &batch);
+
+    unsigned jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_; ///< workers wait for a batch
+    std::condition_variable done_; ///< caller waits for completion
+    bool stop_ = false;
+
+    std::shared_ptr<Batch> batch_; ///< guarded by mutex
+    std::uint64_t generation_ = 0; ///< bumped per batch, guarded by mutex
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_THREAD_POOL_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Equivalence tests for the sweep engines: parallel per-size sweeps
+ * must be bitwise identical to serial ones (each size point owns its
+ * cache, so scheduling can never leak into results), and the
+ * single-pass Mattson engine must reproduce the per-size statistics
+ * exactly for the Table 1 configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "sim/sweep.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+bool
+statsIdentical(const CacheStats &a, const CacheStats &b)
+{
+    return std::memcmp(&a, &b, sizeof(CacheStats)) == 0;
+}
+
+Trace
+seededTrace(std::uint64_t seed, std::uint64_t refs = 20000)
+{
+    WorkloadParams params;
+    params.machine = Machine::VAX;
+    params.refCount = refs;
+    params.seed = seed;
+    return generateWorkload(params, "sweep-equivalence");
+}
+
+class SweepSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepSeeds, ::testing::Values(1, 42, 1985));
+
+TEST_P(SweepSeeds, ParallelUnifiedSweepMatchesSerialBitwise)
+{
+    const Trace t = seededTrace(GetParam());
+    const auto sizes = powersOfTwo(64, 8192);
+    const CacheConfig base = table1Config(64);
+
+    RunConfig serial, parallel;
+    serial.jobs = 1;
+    parallel.jobs = 4;
+    // Purged runs are not single-pass eligible, so force PerSize on
+    // both sides anyway to compare scheduling, not engines.
+    for (std::uint64_t purge : {std::uint64_t{0}, std::uint64_t{5000}}) {
+        serial.purgeInterval = parallel.purgeInterval = purge;
+        const auto a =
+            sweepUnified(t, sizes, base, serial, SweepEngine::PerSize);
+        const auto b =
+            sweepUnified(t, sizes, base, parallel, SweepEngine::PerSize);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].cacheBytes, b[i].cacheBytes);
+            EXPECT_TRUE(statsIdentical(a[i].stats, b[i].stats))
+                << "purge " << purge << " size " << sizes[i];
+        }
+    }
+}
+
+TEST_P(SweepSeeds, ParallelSplitSweepMatchesSerialBitwise)
+{
+    const Trace t = seededTrace(GetParam());
+    const auto sizes = powersOfTwo(64, 4096);
+    const CacheConfig base = table1Config(64);
+
+    RunConfig serial, parallel;
+    serial.jobs = 1;
+    parallel.jobs = 3;
+    for (std::uint64_t purge : {std::uint64_t{0}, std::uint64_t{4000}}) {
+        serial.purgeInterval = parallel.purgeInterval = purge;
+        const auto a = sweepSplit(t, sizes, base, serial, SweepEngine::PerSize);
+        const auto b =
+            sweepSplit(t, sizes, base, parallel, SweepEngine::PerSize);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(statsIdentical(a[i].icache, b[i].icache))
+                << "icache, purge " << purge << " size " << sizes[i];
+            EXPECT_TRUE(statsIdentical(a[i].dcache, b[i].dcache))
+                << "dcache, purge " << purge << " size " << sizes[i];
+        }
+    }
+}
+
+TEST_P(SweepSeeds, SinglePassMatchesPerSizeForTable1Shape)
+{
+    const Trace t = seededTrace(GetParam() * 31);
+    const auto sizes = powersOfTwo(32, 16384);
+    const CacheConfig base = table1Config(32);
+
+    const auto slow = sweepUnified(t, sizes, base, {}, SweepEngine::PerSize);
+    const auto fast =
+        sweepUnified(t, sizes, base, {}, SweepEngine::SinglePass);
+    ASSERT_EQ(slow.size(), fast.size());
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+        EXPECT_TRUE(statsIdentical(slow[i].stats, fast[i].stats))
+            << "size " << sizes[i] << "\n  per-size:    "
+            << slow[i].stats.summarize() << "\n  single-pass: "
+            << fast[i].stats.summarize();
+    }
+
+    const auto ssl = sweepSplit(t, sizes, base, {}, SweepEngine::PerSize);
+    const auto ssf = sweepSplit(t, sizes, base, {}, SweepEngine::SinglePass);
+    for (std::size_t i = 0; i < ssl.size(); ++i) {
+        EXPECT_TRUE(statsIdentical(ssl[i].icache, ssf[i].icache))
+            << "icache size " << sizes[i];
+        EXPECT_TRUE(statsIdentical(ssl[i].dcache, ssf[i].dcache))
+            << "dcache size " << sizes[i];
+    }
+}
+
+TEST(SweepEngine, AutoPicksSinglePassOnlyWhenEligible)
+{
+    const CacheConfig table1 = table1Config(32);
+    RunConfig plain;
+    EXPECT_TRUE(sweepSinglePassEligible(table1, plain));
+
+    RunConfig purged;
+    purged.purgeInterval = 1000;
+    EXPECT_FALSE(sweepSinglePassEligible(table1, purged));
+
+    RunConfig warm;
+    warm.warmupRefs = 10;
+    EXPECT_FALSE(sweepSinglePassEligible(table1, warm));
+
+    CacheConfig set_assoc = table1;
+    set_assoc.associativity = 2;
+    EXPECT_FALSE(sweepSinglePassEligible(set_assoc, plain));
+
+    CacheConfig prefetch = table1Config(32, FetchPolicy::PrefetchAlways);
+    EXPECT_FALSE(sweepSinglePassEligible(prefetch, plain));
+
+    CacheConfig fifo = table1;
+    fifo.replacement = ReplacementPolicy::FIFO;
+    EXPECT_FALSE(sweepSinglePassEligible(fifo, plain));
+
+    CacheConfig through = table1;
+    through.writePolicy = WritePolicy::WriteThrough;
+    through.writeMiss = WriteMissPolicy::NoAllocate;
+    EXPECT_FALSE(sweepSinglePassEligible(through, plain));
+}
+
+TEST(SweepEngine, AutoEqualsExplicitEngines)
+{
+    const Trace t = seededTrace(7, 10000);
+    const auto sizes = powersOfTwo(64, 2048);
+
+    // Eligible shape: Auto == SinglePass.
+    const CacheConfig table1 = table1Config(64);
+    const auto auto_u = sweepUnified(t, sizes, table1);
+    const auto fast_u =
+        sweepUnified(t, sizes, table1, {}, SweepEngine::SinglePass);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        EXPECT_TRUE(statsIdentical(auto_u[i].stats, fast_u[i].stats));
+
+    // Ineligible shape: Auto == PerSize.
+    RunConfig purged;
+    purged.purgeInterval = 2500;
+    const auto auto_p = sweepUnified(t, sizes, table1, purged);
+    const auto slow_p =
+        sweepUnified(t, sizes, table1, purged, SweepEngine::PerSize);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        EXPECT_TRUE(statsIdentical(auto_p[i].stats, slow_p[i].stats));
+}
+
+TEST(SweepEngine, VerifyEngineAcceptsTable1Shape)
+{
+    // Verify runs both engines and panics on divergence; surviving it
+    // is the assertion.
+    const Trace t = seededTrace(11, 8000);
+    const auto sizes = powersOfTwo(64, 1024);
+    const auto u =
+        sweepUnified(t, sizes, table1Config(64), {}, SweepEngine::Verify);
+    EXPECT_EQ(u.size(), sizes.size());
+    const auto s =
+        sweepSplit(t, sizes, table1Config(64), {}, SweepEngine::Verify);
+    EXPECT_EQ(s.size(), sizes.size());
+}
+
+} // namespace
+} // namespace cachelab

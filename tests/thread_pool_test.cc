@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the worker pool behind the sweep engine: sizing (explicit,
+ * CACHELAB_JOBS, serial degradation), deterministic result ordering,
+ * exception propagation, and nested-use rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+/** Set/unset CACHELAB_JOBS for one test, restoring on destruction. */
+class ScopedJobsEnv
+{
+  public:
+    explicit ScopedJobsEnv(const char *value)
+    {
+        const char *old = std::getenv("CACHELAB_JOBS");
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value != nullptr)
+            setenv("CACHELAB_JOBS", value, 1);
+        else
+            unsetenv("CACHELAB_JOBS");
+    }
+
+    ~ScopedJobsEnv()
+    {
+        if (hadOld_)
+            setenv("CACHELAB_JOBS", old_.c_str(), 1);
+        else
+            unsetenv("CACHELAB_JOBS");
+    }
+
+  private:
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+TEST(ThreadPool, ExplicitJobCountWins)
+{
+    ScopedJobsEnv env("7");
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.jobCount(), 3u);
+}
+
+TEST(ThreadPool, JobsEnvSizesDefaultPool)
+{
+    ScopedJobsEnv env("5");
+    ThreadPool pool; // jobs = 0 resolves via CACHELAB_JOBS
+    EXPECT_EQ(pool.jobCount(), 5u);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 5u);
+}
+
+TEST(ThreadPool, JobsEnvOneDegradesToSerial)
+{
+    // CACHELAB_JOBS=1 must run every index inline on the caller.
+    ScopedJobsEnv env("1");
+    ThreadPool pool;
+    EXPECT_EQ(pool.jobCount(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(64);
+    pool.parallelFor(ran.size(),
+                     [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+    for (const auto &id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, AllIndicesRunExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapOrderIsDeterministic)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap<std::size_t>(
+        500, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must survive a failed batch.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SerialTaskExceptionPropagates)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(
+        pool.parallelFor(3, [](std::size_t) { throw std::range_error("x"); }),
+        std::range_error);
+    // The inline path must clear its in-task flag on the way out.
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+}
+
+TEST(ThreadPool, NestedParallelForThrows)
+{
+    ThreadPool pool(2);
+    std::atomic<int> nested_throws{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        EXPECT_TRUE(ThreadPool::onWorkerThread());
+        try {
+            pool.parallelFor(2, [](std::size_t) {});
+        } catch (const std::logic_error &) {
+            ++nested_throws;
+        }
+    });
+    EXPECT_EQ(nested_throws.load(), 4);
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+}
+
+TEST(ThreadPool, NestedUseOfOtherPoolAlsoThrows)
+{
+    // The guard is per-thread, not per-pool: a task must not block on
+    // any pool, including a different one.
+    ThreadPool outer(1), inner(2);
+    EXPECT_THROW(outer.parallelFor(
+                     1, [&](std::size_t) { inner.parallelFor(1, [](std::size_t) {}); }),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace cachelab
