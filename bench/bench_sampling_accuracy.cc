@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Sampled-vs-full accuracy and speedup over the Table 1 corpus.
+ *
+ * For every trace profile, runs the Table 1 configuration end to end
+ * and under interval sampling, then emits one JSON line per trace
+ * with the full-run miss ratio, the sampled estimate and its
+ * confidence interval, the relative error, and the single-core
+ * wall-clock speedup.  Two sampled variants are reported:
+ *
+ *  - "warmed":     5% measured, fixed warm-up (skips between
+ *                  intervals) — the fast configuration; this is the
+ *                  one the >= 5x speedup claim is about;
+ *  - "functional": 10% measured, functional warming (every reference
+ *                  simulated) — the unbiased configuration; no skip
+ *                  speedup, used to separate statistical error from
+ *                  cold-start bias.
+ *
+ * A final JSON summary line aggregates error, CI coverage, and the
+ * wall-clock speedup distribution.  Timings exclude trace generation
+ * and all runs are serial (jobs = 1), so the speedup column is a
+ * genuine single-core number.
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "sim/run.hh"
+#include "sim/sampled.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+namespace
+{
+
+constexpr std::uint64_t kCacheBytes = 1024;
+
+/** Wall-clock seconds fn() takes. */
+template <typename Fn>
+double
+timeSeconds(Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+SampleConfig
+warmedConfig()
+{
+    SampleConfig cfg;
+    cfg.unitRefs = 2000;
+    cfg.fraction = 0.05;
+    cfg.warming = WarmingPolicy::FixedWarmup;
+    cfg.warmupRefs = 2000;
+    return cfg;
+}
+
+SampleConfig
+functionalConfig()
+{
+    SampleConfig cfg;
+    cfg.unitRefs = 1000;
+    cfg.fraction = 0.10;
+    cfg.warming = WarmingPolicy::Functional;
+    return cfg;
+}
+
+void
+emitVariant(const std::string &label, const SampledRunResult &r,
+            double full_miss, double seconds, double full_seconds,
+            bool first)
+{
+    const double est = r.missRatio.mean;
+    const double rel_error =
+        full_miss != 0.0 ? std::abs(est - full_miss) / full_miss : 0.0;
+    const double speedup = seconds > 0.0 ? full_seconds / seconds : 0.0;
+    std::cout << (first ? "" : ",") << "\"" << label << "\":{"
+              << "\"est_miss\":" << formatFixed(est, 6)
+              << ",\"ci_low\":" << formatFixed(r.missRatio.low, 6)
+              << ",\"ci_high\":" << formatFixed(r.missRatio.high, 6)
+              << ",\"rel_error\":" << formatFixed(rel_error, 4)
+              << ",\"in_ci\":" << (r.missRatio.contains(full_miss) ? 1 : 0)
+              << ",\"intervals\":" << r.missRatio.samples
+              << ",\"measured_fraction\":"
+              << formatFixed(r.measuredFraction(), 4)
+              << ",\"processed_fraction\":"
+              << formatFixed(r.processedFraction(), 4)
+              << ",\"speedup\":" << formatFixed(speedup, 2) << "}";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Sampling accuracy — sampled vs full Table 1 miss ratios",
+           "fully associative LRU, 16-byte lines, " +
+               formatSize(kCacheBytes) +
+               "; JSON lines: per-trace error, CI coverage, speedup");
+
+    RunConfig serial;
+    serial.jobs = 1;
+
+    Summary warmed_err, warmed_speedup, functional_err;
+    std::uint64_t warmed_in_ci = 0, functional_in_ci = 0, traces = 0;
+
+    for (const TraceProfile &profile : allTraceProfiles()) {
+        const Trace trace = generateTrace(profile);
+        Cache full_cache(table1Config(kCacheBytes));
+        CacheStats full;
+        const double full_seconds = timeSeconds(
+            [&] { full = runTrace(trace, full_cache, serial); });
+
+        SampledRunResult warmed;
+        const double warmed_seconds = timeSeconds([&] {
+            Cache cache(table1Config(kCacheBytes));
+            warmed = runSampled(trace, cache, warmedConfig(), serial);
+        });
+        SampledRunResult functional;
+        const double functional_seconds = timeSeconds([&] {
+            Cache cache(table1Config(kCacheBytes));
+            functional =
+                runSampled(trace, cache, functionalConfig(), serial);
+        });
+
+        const double full_miss = full.missRatio();
+        std::cout << "{\"trace\":\"" << profile.name << "\""
+                  << ",\"refs\":" << trace.size()
+                  << ",\"cache_bytes\":" << kCacheBytes
+                  << ",\"full_miss\":" << formatFixed(full_miss, 6) << ",";
+        emitVariant("warmed", warmed, full_miss, warmed_seconds,
+                    full_seconds, true);
+        emitVariant("functional", functional, full_miss,
+                    functional_seconds, full_seconds, false);
+        std::cout << "}\n";
+
+        ++traces;
+        if (full_miss != 0.0) {
+            warmed_err.add(std::abs(warmed.missRatio.mean - full_miss) /
+                           full_miss);
+            functional_err.add(
+                std::abs(functional.missRatio.mean - full_miss) /
+                full_miss);
+        }
+        warmed_speedup.add(warmed_seconds > 0.0
+                               ? full_seconds / warmed_seconds
+                               : 0.0);
+        warmed_in_ci += warmed.missRatio.contains(full_miss) ? 1 : 0;
+        functional_in_ci += functional.missRatio.contains(full_miss) ? 1 : 0;
+    }
+
+    std::cout << "{\"summary\":{"
+              << "\"traces\":" << traces
+              << ",\"warmed_mean_rel_error\":"
+              << formatFixed(warmed_err.mean(), 4)
+              << ",\"warmed_max_rel_error\":"
+              << formatFixed(warmed_err.max(), 4)
+              << ",\"warmed_ci_coverage\":"
+              << formatFixed(static_cast<double>(warmed_in_ci) /
+                                 static_cast<double>(traces),
+                             4)
+              << ",\"warmed_median_speedup\":"
+              << formatFixed(warmed_speedup.percentile(0.5), 2)
+              << ",\"warmed_min_speedup\":"
+              << formatFixed(warmed_speedup.min(), 2)
+              << ",\"functional_mean_rel_error\":"
+              << formatFixed(functional_err.mean(), 4)
+              << ",\"functional_ci_coverage\":"
+              << formatFixed(static_cast<double>(functional_in_ci) /
+                                 static_cast<double>(traces),
+                             4)
+              << "}}\n";
+    return 0;
+}

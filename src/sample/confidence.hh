@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Confidence engine: CLT-based interval estimates over per-interval
+ * metric samples.
+ *
+ * A sampled run reduces each measured interval to scalar metrics
+ * (miss ratio, traffic per reference, ...) collected in a
+ * stats::Summary; this layer turns a Summary into a confidence
+ * interval at a requested level, and supplies the SMARTS-style
+ * sample-size recommendation the sequential stopping rule uses.
+ */
+
+#ifndef CACHELAB_SAMPLE_CONFIDENCE_HH
+#define CACHELAB_SAMPLE_CONFIDENCE_HH
+
+#include <cstdint>
+
+#include "stats/summary.hh"
+
+namespace cachelab
+{
+
+/**
+ * @return the two-sided standard-normal critical value for
+ * @p confidence in (0, 1): the z with P(-z <= N(0,1) <= z) =
+ * confidence (e.g. 1.96 at 0.95).
+ */
+double zScore(double confidence);
+
+/** A CLT confidence interval for one metric. */
+struct ConfidenceInterval
+{
+    double mean = 0.0;
+    double stdError = 0.0;  ///< standard error of the mean
+    double halfWidth = 0.0; ///< z * stdError
+    double low = 0.0;       ///< mean - halfWidth
+    double high = 0.0;      ///< mean + halfWidth
+    double confidence = 0.0;
+    std::uint64_t samples = 0;
+
+    /** @return halfWidth / |mean| (0 when the mean is 0). */
+    double relativeHalfWidth() const;
+
+    /** @return true when @p value lies inside [low, high]. */
+    bool contains(double value) const;
+
+    /**
+     * @return true when the interval is at least as tight as
+     * @p target_relative_error (relative to the mean).
+     */
+    bool meetsRelativeError(double target_relative_error) const;
+};
+
+/**
+ * @return the CLT confidence interval over the samples in @p summary
+ * at level @p confidence.  With fewer than 2 samples the interval
+ * degenerates to the mean with zero width — callers gate on
+ * samples >= some minimum before trusting it.
+ */
+ConfidenceInterval confidenceInterval(const Summary &summary,
+                                      double confidence);
+
+/**
+ * @return the estimated number of samples needed to reach
+ * @p target_relative_error at @p confidence, given the variability
+ * observed so far: n = (z * cv / target)^2 with cv the coefficient of
+ * variation (SMARTS eq. 1).  0 when the summary is empty or has zero
+ * mean.
+ */
+std::uint64_t recommendedSampleCount(const Summary &summary,
+                                     double target_relative_error,
+                                     double confidence);
+
+} // namespace cachelab
+
+#endif // CACHELAB_SAMPLE_CONFIDENCE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of sampled-run configuration helpers.
+ */
+
+#include "sample/sample_config.hh"
+
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+std::string
+toString(IntervalSelection selection)
+{
+    switch (selection) {
+      case IntervalSelection::Systematic:
+        return "systematic";
+      case IntervalSelection::Random:
+        return "random";
+    }
+    panic("unreachable interval selection");
+}
+
+std::string
+toString(WarmingPolicy warming)
+{
+    switch (warming) {
+      case WarmingPolicy::Cold:
+        return "cold";
+      case WarmingPolicy::FixedWarmup:
+        return "fixed-warmup";
+      case WarmingPolicy::Functional:
+        return "functional";
+    }
+    panic("unreachable warming policy");
+}
+
+void
+SampleConfig::validate() const
+{
+    if (unitRefs == 0)
+        fatal("sample: unitRefs must be positive");
+    if (!(fraction > 0.0) || fraction > 1.0)
+        fatal("sample: fraction must be in (0, 1], got ", fraction);
+    if (!(confidence > 0.0) || confidence >= 1.0)
+        fatal("sample: confidence must be in (0, 1), got ", confidence);
+    if (targetRelativeError < 0.0)
+        fatal("sample: targetRelativeError must be >= 0, got ",
+              targetRelativeError);
+    if (warming == WarmingPolicy::FixedWarmup && warmupRefs == 0)
+        fatal("sample: FixedWarmup warming needs warmupRefs > 0");
+    if (warming != WarmingPolicy::FixedWarmup && warmupRefs != 0)
+        fatal("sample: warmupRefs only applies to FixedWarmup warming");
+    if (minIntervals == 0)
+        fatal("sample: minIntervals must be positive");
+}
+
+std::string
+SampleConfig::describe() const
+{
+    std::ostringstream os;
+    os << formatFixed(fraction * 100.0, fraction < 0.01 ? 2 : 1) << "% x "
+       << unitRefs << " " << toString(selection) << "/"
+       << toString(warming);
+    if (warming == WarmingPolicy::FixedWarmup)
+        os << "(" << warmupRefs << ")";
+    if (targetRelativeError > 0.0)
+        os << " seq<=" << formatFixed(targetRelativeError * 100.0, 1) << "%";
+    return os.str();
+}
+
+} // namespace cachelab

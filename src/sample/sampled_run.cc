@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Implementation of sampled-run result helpers.
+ */
+
+#include "sample/sampled_run.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+std::uint64_t
+scaleCounter(std::uint64_t value, double factor)
+{
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(value) * factor));
+}
+
+} // namespace
+
+CacheStats
+scaleStatsToTrace(const CacheStats &measured, std::uint64_t trace_refs,
+                  std::uint64_t measured_refs)
+{
+    if (measured_refs == trace_refs || measured_refs == 0)
+        return measured;
+    const double factor = static_cast<double>(trace_refs) /
+        static_cast<double>(measured_refs);
+    CacheStats out;
+    for (std::size_t k = 0; k < measured.accesses.size(); ++k) {
+        out.accesses[k] = scaleCounter(measured.accesses[k], factor);
+        out.misses[k] = scaleCounter(measured.misses[k], factor);
+    }
+    out.demandFetches = scaleCounter(measured.demandFetches, factor);
+    out.prefetchFetches = scaleCounter(measured.prefetchFetches, factor);
+    out.bytesFromMemory = scaleCounter(measured.bytesFromMemory, factor);
+    out.bytesToMemory = scaleCounter(measured.bytesToMemory, factor);
+    out.replacementPushes = scaleCounter(measured.replacementPushes, factor);
+    out.dirtyReplacementPushes =
+        scaleCounter(measured.dirtyReplacementPushes, factor);
+    out.purgePushes = scaleCounter(measured.purgePushes, factor);
+    out.dirtyPurgePushes = scaleCounter(measured.dirtyPurgePushes, factor);
+    out.writeThroughs = scaleCounter(measured.writeThroughs, factor);
+    out.purges = scaleCounter(measured.purges, factor);
+    return out;
+}
+
+double
+SampledRunResult::measuredFraction() const
+{
+    if (traceRefs == 0)
+        return 0.0;
+    return static_cast<double>(measuredRefs) /
+        static_cast<double>(traceRefs);
+}
+
+double
+SampledRunResult::processedFraction() const
+{
+    if (traceRefs == 0)
+        return 0.0;
+    return static_cast<double>(processedRefs) /
+        static_cast<double>(traceRefs);
+}
+
+double
+SampledRunResult::speedupEstimate() const
+{
+    if (processedRefs == 0)
+        return 0.0;
+    return static_cast<double>(traceRefs) /
+        static_cast<double>(processedRefs);
+}
+
+std::string
+SampledRunResult::summarize() const
+{
+    std::ostringstream os;
+    os << "miss " << formatPercent(missRatio.mean) << " +/- "
+       << formatPercent(missRatio.halfWidth) << " ("
+       << formatFixed(missRatio.confidence * 100.0, 0) << "% CI, "
+       << missRatio.samples << " intervals)"
+       << "; measured " << formatPercent(measuredFraction()) << " of "
+       << formatCount(traceRefs) << " refs"
+       << ", simulated " << formatPercent(processedFraction())
+       << " (est. speedup " << formatFixed(speedupEstimate(), 1) << "x)";
+    if (stoppedEarly)
+        os << ", stopped early";
+    return os.str();
+}
+
+} // namespace cachelab

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Result of a statistically sampled simulation run: estimated
+ * counters, per-metric confidence intervals, and the measured /
+ * processed fractions that determine speedup.
+ */
+
+#ifndef CACHELAB_SAMPLE_SAMPLED_RUN_HH
+#define CACHELAB_SAMPLE_SAMPLED_RUN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/stats.hh"
+#include "sample/confidence.hh"
+#include "sample/sample_config.hh"
+
+namespace cachelab
+{
+
+/**
+ * Scale the counters measured in the sampled intervals up to the full
+ * trace length.  When @p measured_refs equals @p trace_refs (fraction
+ * 1.0) the input is returned untouched, so a full-fraction sampled
+ * run stays bitwise identical to an unsampled run.
+ */
+CacheStats scaleStatsToTrace(const CacheStats &measured,
+                             std::uint64_t trace_refs,
+                             std::uint64_t measured_refs);
+
+/** Everything a sampled run reports. */
+struct SampledRunResult
+{
+    SampleConfig config;
+
+    std::uint64_t traceRefs = 0;     ///< full trace length
+    std::uint64_t measuredRefs = 0;  ///< refs inside measured intervals
+    std::uint64_t processedRefs = 0; ///< refs actually simulated
+    std::uint64_t intervalsMeasured = 0; ///< incl. a partial tail interval
+    bool stoppedEarly = false; ///< sequential stopping rule fired
+
+    /** Counters summed over the measured intervals only. */
+    CacheStats measured;
+
+    /** measured scaled to the full trace (the headline estimate). */
+    CacheStats estimated;
+
+    // CLT confidence intervals over per-(full-)interval metrics.
+    ConfidenceInterval missRatio;
+    ConfidenceInterval instructionMissRatio;
+    ConfidenceInterval dataMissRatio;
+    ConfidenceInterval trafficPerRef; ///< bytes moved per reference
+
+    /** @return measured refs / trace refs. */
+    double measuredFraction() const;
+
+    /** @return simulated refs / trace refs (warming included). */
+    double processedFraction() const;
+
+    /**
+     * @return trace refs / simulated refs — the wall-clock speedup a
+     * skipping warming policy buys over a full run (1.0 under
+     * functional warming, which simulates everything).
+     */
+    double speedupEstimate() const;
+
+    /** Render a short human-readable summary. */
+    std::string summarize() const;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_SAMPLE_SAMPLED_RUN_HH

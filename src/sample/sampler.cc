@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of measurement-interval selection.
+ */
+
+#include "sample/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+/** Clip [begin, begin + unit) to the trace and append it. */
+void
+appendInterval(std::vector<SampleInterval> &plan, std::uint64_t begin,
+               std::uint64_t unit, std::uint64_t trace_refs)
+{
+    const std::uint64_t end = std::min(begin + unit, trace_refs);
+    if (begin < end)
+        plan.push_back({begin, end});
+}
+
+std::vector<SampleInterval>
+selectSystematic(std::uint64_t trace_refs, const SampleConfig &config)
+{
+    // One measured unit every `period` references.  Rounding the
+    // period (rather than the interval count) keeps the measured
+    // fraction within half a unit of the target and makes
+    // fraction = 1.0 tile exactly (period == unitRefs).
+    const auto period = std::max<std::uint64_t>(
+        config.unitRefs,
+        static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(config.unitRefs) / config.fraction)));
+    std::vector<SampleInterval> plan;
+    plan.reserve(trace_refs / period + 1);
+    for (std::uint64_t begin = 0; begin < trace_refs; begin += period)
+        appendInterval(plan, begin, config.unitRefs, trace_refs);
+    return plan;
+}
+
+std::vector<SampleInterval>
+selectRandom(std::uint64_t trace_refs, const SampleConfig &config)
+{
+    // Partition the trace into unit-sized slots and draw the target
+    // number of them without replacement (partial Fisher-Yates), so
+    // intervals can never overlap and fraction = 1.0 selects every
+    // slot — preserving the tiling guarantee of the systematic plan.
+    const std::uint64_t slots =
+        (trace_refs + config.unitRefs - 1) / config.unitRefs;
+    if (slots == 0)
+        return {};
+    const auto want = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(slots) * config.fraction)),
+        1, slots);
+
+    std::vector<std::uint64_t> order(slots);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(config.seed);
+    for (std::uint64_t i = 0; i < want; ++i)
+        std::swap(order[i], order[i + rng.uniformInt(slots - i)]);
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(want));
+
+    std::vector<SampleInterval> plan;
+    plan.reserve(want);
+    for (std::uint64_t i = 0; i < want; ++i)
+        appendInterval(plan, order[i] * config.unitRefs, config.unitRefs,
+                       trace_refs);
+    return plan;
+}
+
+} // namespace
+
+std::vector<SampleInterval>
+selectIntervals(std::uint64_t trace_refs, const SampleConfig &config)
+{
+    config.validate();
+    if (trace_refs == 0)
+        return {};
+    switch (config.selection) {
+      case IntervalSelection::Systematic:
+        return selectSystematic(trace_refs, config);
+      case IntervalSelection::Random:
+        return selectRandom(trace_refs, config);
+    }
+    panic("unreachable interval selection");
+}
+
+std::uint64_t
+plannedMeasuredRefs(const std::vector<SampleInterval> &plan)
+{
+    std::uint64_t total = 0;
+    for (const SampleInterval &interval : plan)
+        total += interval.length();
+    return total;
+}
+
+} // namespace cachelab

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Interval selection over a trace: turn a SampleConfig into the list
+ * of measurement intervals a sampled run will collect statistics in.
+ */
+
+#ifndef CACHELAB_SAMPLE_SAMPLER_HH
+#define CACHELAB_SAMPLE_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/sample_config.hh"
+
+namespace cachelab
+{
+
+/** One measurement interval: references [begin, end). */
+struct SampleInterval
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t length() const { return end - begin; }
+
+    bool operator==(const SampleInterval &) const = default;
+};
+
+/**
+ * Select the measurement intervals for a trace of @p trace_refs
+ * references under @p config.
+ *
+ * Guarantees, independent of selection policy:
+ *  - intervals are sorted, non-overlapping, and within [0, trace_refs);
+ *  - every interval is unitRefs long except possibly a final partial
+ *    interval at the very end of the trace;
+ *  - with fraction = 1.0 the intervals tile the whole trace
+ *    contiguously (this is what makes a full-fraction sampled run
+ *    reproduce an unsampled run bitwise);
+ *  - the plan depends only on (trace_refs, config) — equal seeds give
+ *    equal random plans.
+ */
+std::vector<SampleInterval> selectIntervals(std::uint64_t trace_refs,
+                                            const SampleConfig &config);
+
+/** @return total references covered by @p plan. */
+std::uint64_t plannedMeasuredRefs(const std::vector<SampleInterval> &plan);
+
+} // namespace cachelab
+
+#endif // CACHELAB_SAMPLE_SAMPLER_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Warming layer: how a sampled run carries cache state from one
+ * measurement interval to the next.
+ *
+ * The policy enum lives in sample_config.hh; this header implements
+ * the behaviour as a template over anything with the runTrace() duck
+ * type (access()/purge()), so the same layer drives a bare Cache and
+ * every CacheSystem organization.
+ */
+
+#ifndef CACHELAB_SAMPLE_WARMING_HH
+#define CACHELAB_SAMPLE_WARMING_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sample/sample_config.hh"
+#include "sample/sampler.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+/**
+ * Advance the simulation from reference @p pos to the start of
+ * @p interval, applying @p config's warming policy:
+ *
+ *  - Cold skips straight to the interval and purges;
+ *  - FixedWarmup skips, then replays the last warmupRefs references
+ *    before the interval (state left stale, not purged — strictly
+ *    less biased than purging at the same cost);
+ *  - Functional replays every skipped reference, honouring the
+ *    task-switch purge schedule (@p purge_interval, @p since_purge).
+ *
+ * @p pos is advanced to interval.begin; @p processed counts every
+ * reference actually applied to @p system.  Statistics accumulated
+ * while warming are the caller's to discard (reset at interval start).
+ */
+template <typename System>
+void
+warmToInterval(const Trace &trace, System &system,
+               const SampleConfig &config, std::uint64_t purge_interval,
+               const SampleInterval &interval, std::uint64_t &pos,
+               std::uint64_t &since_purge, std::uint64_t &processed)
+{
+    CACHELAB_ASSERT(pos <= interval.begin,
+                    "warming cursor ", pos, " past interval start ",
+                    interval.begin);
+    switch (config.warming) {
+      case WarmingPolicy::Cold:
+        pos = interval.begin;
+        system.purge();
+        return;
+      case WarmingPolicy::FixedWarmup:
+        pos = std::max(pos, interval.begin -
+                                std::min(interval.begin, config.warmupRefs));
+        break;
+      case WarmingPolicy::Functional:
+        break;
+    }
+    for (; pos < interval.begin; ++pos) {
+        if (purge_interval != 0 && since_purge == purge_interval) {
+            system.purge();
+            since_purge = 0;
+        }
+        system.access(trace[pos]);
+        ++since_purge;
+        ++processed;
+    }
+}
+
+} // namespace cachelab
+
+#endif // CACHELAB_SAMPLE_WARMING_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Implementation of the sampled simulation driver.
+ */
+
+#include "sim/sampled.hh"
+
+#include "sample/sampler.hh"
+#include "sample/warming.hh"
+#include "sim/sweep.hh"
+#include "stats/summary.hh"
+#include "trace/transforms.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+namespace
+{
+
+/** Per-interval metric accumulators (full-length intervals only). */
+struct IntervalSummaries
+{
+    Summary missRatio;
+    Summary instructionMissRatio;
+    Summary dataMissRatio;
+    Summary trafficPerRef;
+
+    void
+    add(const CacheStats &s)
+    {
+        missRatio.add(s.missRatio());
+        if (s.accesses[static_cast<std::size_t>(AccessKind::IFetch)] != 0)
+            instructionMissRatio.add(s.missRatio(AccessKind::IFetch));
+        if (s.accesses[static_cast<std::size_t>(AccessKind::Read)] +
+                s.accesses[static_cast<std::size_t>(AccessKind::Write)] !=
+            0)
+            dataMissRatio.add(s.dataMissRatio());
+        if (s.totalAccesses() != 0)
+            trafficPerRef.add(static_cast<double>(s.trafficBytes()) /
+                              static_cast<double>(s.totalAccesses()));
+    }
+};
+
+/** Shared sampled driver over anything with the runTrace duck type. */
+template <typename System, typename StatsFn>
+SampledRunResult
+driveSampled(const Trace &trace, System &system, const SampleConfig &sample,
+             const RunConfig &run, StatsFn &&stats_of)
+{
+    sample.validate();
+    CACHELAB_ASSERT(run.warmupRefs == 0,
+                    "runSampled: warm-up is the warming policy's job; "
+                    "RunConfig::warmupRefs must be 0");
+    CACHELAB_ASSERT(run.purgeInterval == 0 ||
+                        sample.warming == WarmingPolicy::Functional,
+                    "runSampled: purgeInterval (", run.purgeInterval,
+                    ") requires functional warming — a skipping policy "
+                    "cannot replay the purge schedule");
+    CACHELAB_ASSERT(run.purgeInterval == 0 ||
+                        run.purgeInterval <= trace.size(),
+                    "purgeInterval (", run.purgeInterval,
+                    ") exceeds trace length (", trace.size(), ")");
+
+    const std::vector<SampleInterval> plan =
+        selectIntervals(trace.size(), sample);
+
+    SampledRunResult result;
+    result.config = sample;
+    result.traceRefs = trace.size();
+
+    IntervalSummaries summaries;
+    std::uint64_t pos = 0;
+    std::uint64_t since_purge = 0;
+    std::uint64_t processed = 0;
+
+    for (const SampleInterval &interval : plan) {
+        warmToInterval(trace, system, sample, run.purgeInterval, interval,
+                       pos, since_purge, processed);
+        system.resetStats();
+        for (; pos < interval.end; ++pos) {
+            if (run.purgeInterval != 0 &&
+                since_purge == run.purgeInterval) {
+                system.purge();
+                since_purge = 0;
+            }
+            system.access(trace[pos]);
+            ++since_purge;
+            ++processed;
+        }
+        const CacheStats interval_stats = stats_of(system);
+        result.measured += interval_stats;
+        result.measuredRefs += interval.length();
+        ++result.intervalsMeasured;
+        if (interval.length() == sample.unitRefs)
+            summaries.add(interval_stats);
+
+        if (sample.targetRelativeError > 0.0 &&
+            summaries.missRatio.count() >= sample.minIntervals &&
+            confidenceInterval(summaries.missRatio, sample.confidence)
+                .meetsRelativeError(sample.targetRelativeError)) {
+            result.stoppedEarly = true;
+            break;
+        }
+    }
+
+    result.processedRefs = processed;
+    result.estimated = scaleStatsToTrace(result.measured, trace.size(),
+                                         result.measuredRefs);
+    result.missRatio =
+        confidenceInterval(summaries.missRatio, sample.confidence);
+    result.instructionMissRatio =
+        confidenceInterval(summaries.instructionMissRatio,
+                           sample.confidence);
+    result.dataMissRatio =
+        confidenceInterval(summaries.dataMissRatio, sample.confidence);
+    result.trafficPerRef =
+        confidenceInterval(summaries.trafficPerRef, sample.confidence);
+    return result;
+}
+
+} // namespace
+
+SampledRunResult
+runSampled(const Trace &trace, Cache &cache, const SampleConfig &sample,
+           const RunConfig &run)
+{
+    return driveSampled(trace, cache, sample, run,
+                        [](Cache &c) { return c.stats(); });
+}
+
+SampledRunResult
+runSampled(const Trace &trace, CacheSystem &system,
+           const SampleConfig &sample, const RunConfig &run)
+{
+    return driveSampled(trace, system, sample, run,
+                        [](CacheSystem &s) { return s.combinedStats(); });
+}
+
+std::vector<SampledSweepPoint>
+sweepUnifiedSampled(const Trace &trace,
+                    const std::vector<std::uint64_t> &sizes,
+                    const CacheConfig &base, const SampleConfig &sample,
+                    const RunConfig &run)
+{
+    std::vector<SampledSweepPoint> out(sizes.size());
+    detail::sweepParallelFor(sizes.size(), run, [&](std::size_t i) {
+        CacheConfig config = base;
+        config.sizeBytes = sizes[i];
+        config.validate();
+        Cache cache(config);
+        out[i] = {sizes[i], runSampled(trace, cache, sample, run)};
+    });
+    return out;
+}
+
+std::vector<SplitSampledSweepPoint>
+sweepSplitSampled(const Trace &trace, const std::vector<std::uint64_t> &sizes,
+                  const CacheConfig &base, const SampleConfig &sample,
+                  const RunConfig &run)
+{
+    CACHELAB_ASSERT(run.purgeInterval == 0,
+                    "sampled split sweep: purge schedule is defined on the "
+                    "combined stream; run unsampled or purge-free");
+    const Trace istream = filter(
+        trace, [](const MemoryRef &r) { return r.kind == AccessKind::IFetch; },
+        trace.name() + ".I");
+    const Trace dstream = filter(
+        trace, [](const MemoryRef &r) { return isData(r.kind); },
+        trace.name() + ".D");
+
+    std::vector<SplitSampledSweepPoint> out(sizes.size());
+    detail::sweepParallelFor(sizes.size(), run, [&](std::size_t i) {
+        CacheConfig config = base;
+        config.sizeBytes = sizes[i];
+        config.validate();
+        Cache icache(config), dcache(config);
+        out[i] = {sizes[i], runSampled(istream, icache, sample, run),
+                  runSampled(dstream, dcache, sample, run)};
+    });
+    return out;
+}
+
+} // namespace cachelab

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sampled simulation driver: runTrace() over a sampling plan.
+ *
+ * runSampled() feeds a trace through a cache (or any CacheSystem
+ * organization) measuring only the intervals the sampler selected,
+ * with the configured warming policy between them, and reports
+ * estimated statistics with CLT confidence intervals
+ * (SampledRunResult).  Guarantees:
+ *
+ *  - fraction = 1.0 with functional warming reproduces an unsampled
+ *    runTrace() bitwise (the intervals tile the trace and the summed
+ *    counters are exact);
+ *  - with targetRelativeError > 0 the run stops adding intervals as
+ *    soon as the miss-ratio confidence interval is tight enough
+ *    (sequential sampling).
+ *
+ * sweepUnifiedSampled() fans a sampled run out over the size axis on
+ * the shared thread pool, mirroring sweepUnified().
+ */
+
+#ifndef CACHELAB_SIM_SAMPLED_HH
+#define CACHELAB_SIM_SAMPLED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/config.hh"
+#include "cache/organization.hh"
+#include "sample/sampled_run.hh"
+#include "sim/run.hh"
+#include "trace/trace.hh"
+
+namespace cachelab
+{
+
+/**
+ * Run @p trace through @p cache, measuring only the sampled
+ * intervals.
+ *
+ * RunConfig::purgeInterval is honoured only under functional warming
+ * (a skipping policy cannot replay the purge schedule faithfully;
+ * runSampled() asserts).  RunConfig::warmupRefs must be 0 — warm-up
+ * is the warming policy's job here.
+ */
+SampledRunResult runSampled(const Trace &trace, Cache &cache,
+                            const SampleConfig &sample,
+                            const RunConfig &run = {});
+
+/** Overload for composite organizations (split, hierarchy, ...). */
+SampledRunResult runSampled(const Trace &trace, CacheSystem &system,
+                            const SampleConfig &sample,
+                            const RunConfig &run = {});
+
+/** One point of a sampled size sweep. */
+struct SampledSweepPoint
+{
+    std::uint64_t cacheBytes = 0;
+    SampledRunResult result;
+};
+
+/**
+ * Sweep a unified cache over @p sizes with a sampled run per size,
+ * fanned out over the thread pool per RunConfig::jobs (each point
+ * owns its cache, so points are data-race-free by construction).
+ */
+std::vector<SampledSweepPoint> sweepUnifiedSampled(
+    const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run = {});
+
+/** One point of a sampled split-cache sweep. */
+struct SplitSampledSweepPoint
+{
+    std::uint64_t cacheBytes = 0; ///< per-side capacity
+    SampledRunResult icache;
+    SampledRunResult dcache;
+};
+
+/**
+ * Sampled variant of sweepSplit(): the instruction and data streams
+ * are separated once (the split organization routes them to
+ * independent caches) and each side is sampled over its own stream.
+ * Task-switch purging is not supported here — the purge schedule is
+ * defined on the combined stream and cannot be replayed faithfully on
+ * the per-side streams (asserts purgeInterval == 0).
+ */
+std::vector<SplitSampledSweepPoint> sweepSplitSampled(
+    const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run = {});
+
+} // namespace cachelab
+
+#endif // CACHELAB_SIM_SAMPLED_HH

@@ -9,19 +9,19 @@
 
 #include "cache/organization.hh"
 #include "cache/stack_analysis.hh"
+#include "sim/sampled.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace cachelab
 {
 
-namespace
+namespace detail
 {
 
-/** Run fn(i) for i in [0, n), parallel when the run config allows. */
-template <typename Fn>
 void
-sweepFor(std::size_t n, const RunConfig &run, Fn &&fn)
+sweepParallelFor(std::size_t n, const RunConfig &run,
+                 const std::function<void(std::size_t)> &fn)
 {
     // A sweep reached from inside a pool task (e.g. a bench fanning
     // out per-trace work) runs its size axis serially rather than
@@ -37,6 +37,19 @@ sweepFor(std::size_t n, const RunConfig &run, Fn &&fn)
     }
     ThreadPool pool(run.jobs);
     pool.parallelFor(n, fn);
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** Run fn(i) for i in [0, n), parallel when the run config allows. */
+template <typename Fn>
+void
+sweepFor(std::size_t n, const RunConfig &run, Fn &&fn)
+{
+    detail::sweepParallelFor(n, run, fn);
 }
 
 /** @return @p base with sizeBytes = @p size, validated. */
@@ -188,6 +201,15 @@ sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
         }
         return per_size;
       }
+      case SweepEngine::Sampled: {
+        const auto sampled =
+            sweepUnifiedSampled(trace, sizes, base, SampleConfig{}, run);
+        std::vector<SweepPoint> out;
+        out.reserve(sampled.size());
+        for (const SampledSweepPoint &pt : sampled)
+            out.push_back({pt.cacheBytes, pt.result.estimated});
+        return out;
+      }
     }
     panic("unreachable sweep engine");
 }
@@ -217,6 +239,16 @@ sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                                fast[i].dcache);
         }
         return per_size;
+      }
+      case SweepEngine::Sampled: {
+        const auto sampled =
+            sweepSplitSampled(trace, sizes, base, SampleConfig{}, run);
+        std::vector<SplitSweepPoint> out;
+        out.reserve(sampled.size());
+        for (const SplitSampledSweepPoint &pt : sampled)
+            out.push_back({pt.cacheBytes, pt.icache.estimated,
+                           pt.dcache.estimated});
+        return out;
       }
     }
     panic("unreachable sweep engine");

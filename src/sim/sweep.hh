@@ -24,6 +24,7 @@
 #define CACHELAB_SIM_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cache/config.hh"
@@ -33,6 +34,19 @@
 
 namespace cachelab
 {
+
+namespace detail
+{
+
+/**
+ * Run fn(0) .. fn(n-1), fanned out per RunConfig::jobs (serial when
+ * jobs = 1 or when already on a pool worker).  Shared by the sweep
+ * engines and the sampled sweep drivers.
+ */
+void sweepParallelFor(std::size_t n, const RunConfig &run,
+                      const std::function<void(std::size_t)> &fn);
+
+} // namespace detail
 
 /** @return powers of two from @p lo to @p hi inclusive. */
 std::vector<std::uint64_t> powersOfTwo(std::uint64_t lo, std::uint64_t hi);
@@ -58,6 +72,14 @@ enum class SweepEngine
     SinglePass,
     /** Run both PerSize and SinglePass and panic on any mismatch. */
     Verify,
+    /**
+     * Statistically sampled per-size runs with a default SampleConfig
+     * (10% systematic sampling, functional warming).  The returned
+     * statistics are *estimates*, not bitwise results; use
+     * sweepUnifiedSampled() / sweepSplitSampled() (sim/sampled.hh)
+     * directly to control the plan and read confidence intervals.
+     */
+    Sampled,
 };
 
 /**

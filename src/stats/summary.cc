@@ -46,6 +46,28 @@ Summary::stddev() const
 }
 
 double
+Summary::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
+Summary::meanStdError() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return sampleStddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
 Summary::min() const
 {
     if (samples_.empty())

@@ -41,6 +41,21 @@ class Summary
     /** @return population standard deviation. */
     double stddev() const;
 
+    /**
+     * @return unbiased sample variance, m2 / (n - 1) — the estimator
+     * confidence intervals need (0 when fewer than 2 samples).
+     */
+    double sampleVariance() const;
+
+    /** @return unbiased sample standard deviation. */
+    double sampleStddev() const;
+
+    /**
+     * @return the standard error of the mean, sampleStddev() /
+     * sqrt(n) (0 when fewer than 2 samples).
+     */
+    double meanStdError() const;
+
     /** @return smallest sample (0 when empty). */
     double min() const;
 

@@ -27,6 +27,49 @@ TEST(Summary, EmptyIsAllZero)
     EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
 }
 
+TEST(Summary, SingleSampleIsDegenerate)
+{
+    Summary s;
+    s.add(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    // Sample (n-1) statistics are undefined for one sample; they must
+    // degrade to zero rather than divide by zero.
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sampleStddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.meanStdError(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.5);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 7.5);
+}
+
+TEST(Summary, SampleVarianceUsesBesselCorrection)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    // Population variance 8/3; sample variance 4.
+    EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.sampleVariance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.sampleStddev(), 2.0, 1e-12);
+    EXPECT_NEAR(s.meanStdError(), 2.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(Summary, PercentileBoundaryInterpolation)
+{
+    Summary s;
+    s.add(10.0);
+    s.add(20.0);
+    // Just inside the boundaries: interpolation between the two
+    // samples, never an out-of-range read.
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+    EXPECT_NEAR(s.percentile(0.001), 10.01, 1e-9);
+    EXPECT_NEAR(s.percentile(0.999), 19.99, 1e-9);
+}
+
 TEST(Summary, MeanAndExtrema)
 {
     Summary s;

@@ -210,6 +210,39 @@ TEST(Transforms, RoundRobinDropsExhaustedTraces)
         EXPECT_EQ(mix[i].addr, 0x2000u + 4 * (i - 1));
 }
 
+TEST(Transforms, RoundRobinUnequalLengthsKeepEveryRef)
+{
+    // Three traces of very different lengths: every reference must
+    // appear exactly once, in round-robin order while a trace lasts,
+    // with exhausted traces dropped from later rounds.
+    Trace a("a"), b("b"), c("c");
+    for (int i = 0; i < 7; ++i)
+        a.append(0x1000 + 4 * static_cast<Addr>(i), 4, AccessKind::Read);
+    for (int i = 0; i < 3; ++i)
+        b.append(0x2000 + 4 * static_cast<Addr>(i), 4, AccessKind::Read);
+    c.append(0x3000, 4, AccessKind::Read);
+
+    const Trace mix = interleaveRoundRobin({a, b, c}, 3, "mix");
+    ASSERT_EQ(mix.size(), 11u);
+    // Round 1: a0 a1 a2 | b0 b1 b2 | c0.  Round 2: a3 a4 a5 (b and c
+    // exhausted).  Round 3: a6.
+    const Addr expected[] = {0x1000, 0x1004, 0x1008, 0x2000, 0x2004,
+                             0x2008, 0x3000, 0x100c, 0x1010, 0x1014,
+                             0x1018};
+    for (std::size_t i = 0; i < mix.size(); ++i)
+        EXPECT_EQ(mix[i].addr, expected[i]) << "ref " << i;
+
+    std::uint64_t from_a = 0, from_b = 0, from_c = 0;
+    for (const MemoryRef &ref : mix) {
+        from_a += ref.addr >= 0x1000 && ref.addr < 0x2000;
+        from_b += ref.addr >= 0x2000 && ref.addr < 0x3000;
+        from_c += ref.addr >= 0x3000;
+    }
+    EXPECT_EQ(from_a, a.size());
+    EXPECT_EQ(from_b, b.size());
+    EXPECT_EQ(from_c, c.size());
+}
+
 TEST(Transforms, RoundRobinHonorsMaxRefs)
 {
     Trace a("a");

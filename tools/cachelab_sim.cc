@@ -26,6 +26,7 @@
 #include "cache/sector_cache.hh"
 #include "cache/stack_analysis.hh"
 #include "sim/run.hh"
+#include "sim/sampled.hh"
 #include "sim/sweep.hh"
 #include "stats/table.hh"
 #include "trace/io.hh"
@@ -67,6 +68,22 @@ modes:
   --stack-curve         one-pass Mattson LRU curve over --sweep range
   --opt                 also report the Belady OPT bound
   --csv FILE            write sweep results as CSV ('-' = stdout)
+
+sampled simulation (estimates with confidence intervals):
+  --sample F            measure only fraction F of the trace (0 < F <= 1)
+  --sample-unit U       measured interval length in refs (default 1000)
+  --sample-select P     systematic | random (default systematic)
+  --sample-warming P    functional | fixed | cold (default functional)
+  --sample-warmup W     warm-up refs per interval (fixed warming;
+                        default = interval length)
+  --sample-confidence C confidence level (default 0.95)
+  --sample-error R      sequential mode: stop when the miss-ratio CI is
+                        within +/- R relative (e.g. 0.05)
+
+execution:
+  --jobs N              sweep concurrency: 0 = auto, 1 = serial (default 0)
+  --seed S              seed for random replacement and random interval
+                        selection (default 1)
 )";
 
 Trace
@@ -133,8 +150,65 @@ configFrom(const Args &args)
     else
         fatal("--fetch: unknown policy '", fetch, "'");
 
+    cfg.randomSeed = args.getUint("seed", cfg.randomSeed);
+
     cfg.validate();
     return cfg;
+}
+
+/** @return the sampling plan described by the --sample-* flags. */
+SampleConfig
+sampleConfigFrom(const Args &args)
+{
+    SampleConfig cfg;
+    cfg.fraction = args.getDouble("sample", cfg.fraction);
+    cfg.unitRefs = args.getUint("sample-unit", cfg.unitRefs);
+    cfg.seed = args.getUint("seed", cfg.seed);
+
+    const std::string select = args.get("sample-select", "systematic");
+    if (select == "systematic")
+        cfg.selection = IntervalSelection::Systematic;
+    else if (select == "random")
+        cfg.selection = IntervalSelection::Random;
+    else
+        fatal("--sample-select: unknown policy '", select, "'");
+
+    const std::string warming = args.get("sample-warming", "functional");
+    if (warming == "functional")
+        cfg.warming = WarmingPolicy::Functional;
+    else if (warming == "fixed")
+        cfg.warming = WarmingPolicy::FixedWarmup;
+    else if (warming == "cold")
+        cfg.warming = WarmingPolicy::Cold;
+    else
+        fatal("--sample-warming: unknown policy '", warming, "'");
+    if (cfg.warming == WarmingPolicy::FixedWarmup)
+        cfg.warmupRefs = args.getUint("sample-warmup", cfg.unitRefs);
+    else if (args.has("sample-warmup"))
+        fatal("--sample-warmup requires --sample-warming fixed");
+
+    cfg.confidence = args.getDouble("sample-confidence", cfg.confidence);
+    cfg.targetRelativeError =
+        args.getDouble("sample-error", cfg.targetRelativeError);
+    cfg.validate();
+    return cfg;
+}
+
+/** Print a sampled-run report (estimate, CI, speedup). */
+void
+printSampled(const std::string &what, const SampledRunResult &r)
+{
+    std::cout << what << " [sampled " << r.config.describe() << "]\n"
+              << "  " << r.summarize() << "\n"
+              << "  estimated: " << r.estimated.summarize() << "\n"
+              << "  ifetch miss "
+              << formatPercent(r.instructionMissRatio.mean) << " +/- "
+              << formatPercent(r.instructionMissRatio.halfWidth)
+              << "; data miss " << formatPercent(r.dataMissRatio.mean)
+              << " +/- " << formatPercent(r.dataMissRatio.halfWidth)
+              << "; traffic "
+              << formatFixed(r.trafficPerRef.mean, 2) << " +/- "
+              << formatFixed(r.trafficPerRef.halfWidth, 2) << " B/ref\n";
 }
 
 std::pair<std::uint64_t, std::uint64_t>
@@ -162,6 +236,62 @@ printStats(const std::string &what, const CacheStats &s)
                       : std::string{})
               << "; pushes: " << formatCount(s.totalPushes()) << " ("
               << formatCount(s.dirtyPushes()) << " dirty)\n";
+}
+
+int
+runSampledSweep(const Args &args, const Trace &trace,
+                const CacheConfig &base, const RunConfig &run,
+                const SampleConfig &sample)
+{
+    const auto [lo, hi] = sweepRange(args);
+    const auto sizes = powersOfTwo(lo, hi);
+    const auto points = sweepUnifiedSampled(trace, sizes, base, sample, run);
+
+    std::ofstream csv_file;
+    std::unique_ptr<CsvWriter> csv;
+    if (args.has("csv")) {
+        std::ostream *os = &std::cout;
+        if (args.get("csv") != "-") {
+            csv_file.open(args.get("csv"));
+            if (!csv_file)
+                fatal("cannot open '", args.get("csv"), "'");
+            os = &csv_file;
+        }
+        csv = std::make_unique<CsvWriter>(*os);
+        csv->header({"size", "miss_ratio", "ci_low", "ci_high", "std_error",
+                     "intervals", "measured_fraction", "est_speedup"});
+    }
+
+    TextTable table("Sampled sweep: " + trace.name() + " on " +
+                    base.describe() + " [" + sample.describe() + "]");
+    table.setHeader({"size", "miss", "95% CI", "intervals", "measured",
+                     "est speedup"});
+    table.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right});
+    for (const SampledSweepPoint &pt : points) {
+        const SampledRunResult &r = pt.result;
+        table.addRow({formatSize(pt.cacheBytes),
+                      formatPercent(r.missRatio.mean),
+                      "+/- " + formatPercent(r.missRatio.halfWidth),
+                      std::to_string(r.missRatio.samples),
+                      formatPercent(r.measuredFraction()),
+                      formatFixed(r.speedupEstimate(), 1) + "x"});
+        if (csv) {
+            csv->field(pt.cacheBytes)
+                .field(r.missRatio.mean, 6)
+                .field(r.missRatio.low, 6)
+                .field(r.missRatio.high, 6)
+                .field(r.missRatio.stdError, 6)
+                .field(r.missRatio.samples)
+                .field(r.measuredFraction(), 4)
+                .field(r.speedupEstimate(), 2);
+            csv->endRow();
+        }
+    }
+    if (!csv || args.get("csv") != "-")
+        std::cout << table;
+    return 0;
 }
 
 int
@@ -251,9 +381,24 @@ main(int argc, char **argv)
     RunConfig run;
     run.purgeInterval = args.getUint("purge", 0);
     run.warmupRefs = args.getUint("warmup", 0);
+    run.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
 
-    if (args.has("sweep"))
+    const bool sampling = args.has("sample");
+    if (sampling && args.has("stack-curve"))
+        fatal("--sample and --stack-curve are mutually exclusive");
+    if (sampling && args.has("warmup"))
+        fatal("--sample replaces --warmup with --sample-warming/"
+              "--sample-warmup");
+
+    if (args.has("sweep")) {
+        if (sampling)
+            return runSampledSweep(args, trace, base, run,
+                                   sampleConfigFrom(args));
         return runSweep(args, trace, base, run);
+    }
+
+    if (sampling && args.has("sector"))
+        fatal("--sample does not support sector caches yet");
 
     if (args.has("sector")) {
         SectorCacheConfig cfg;
@@ -281,11 +426,28 @@ main(int argc, char **argv)
 
     if (args.has("split")) {
         SplitCache split(base, base);
+        if (sampling) {
+            const SampledRunResult r = runSampled(
+                trace, split, sampleConfigFrom(args), run);
+            printSampled("split " + base.describe() + " on " + trace.name(),
+                         r);
+            return 0;
+        }
         const CacheStats s = runTrace(trace, split, run);
         printStats("split " + base.describe() + " on " + trace.name(), s);
         std::cout << "  I-cache: " << split.icache().stats().summarize()
                   << "\n  D-cache: " << split.dcache().stats().summarize()
                   << "\n";
+        return 0;
+    }
+
+    if (sampling) {
+        if (args.has("opt"))
+            fatal("--sample does not support the OPT bound");
+        Cache cache(base);
+        const SampledRunResult r =
+            runSampled(trace, cache, sampleConfigFrom(args), run);
+        printSampled(base.describe() + " on " + trace.name(), r);
         return 0;
     }
 

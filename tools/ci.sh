@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and test the default configuration and a
+# sanitized one.  Usage:
+#
+#   tools/ci.sh [jobs]
+#
+# Build trees go to build-ci/ and build-ci-asan/ so they never clash
+# with a developer's build/.  Exits non-zero on the first failure.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+run_config() {
+    local dir="$1"
+    shift
+    echo "==> configure ${dir} ($*)"
+    cmake -B "${dir}" -S . "$@"
+    echo "==> build ${dir}"
+    cmake --build "${dir}" -j "${jobs}"
+    echo "==> test ${dir}"
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config build-ci -DCACHELAB_WERROR=ON
+run_config build-ci-asan -DCACHELAB_WERROR=ON \
+    -DCACHELAB_SANITIZE=address,undefined
+
+echo "==> ci passed (default + address,undefined)"
