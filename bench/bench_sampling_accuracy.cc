@@ -31,6 +31,7 @@
 #include "cache/cache.hh"
 #include "sim/run.hh"
 #include "sim/sampled.hh"
+#include "util/json_writer.hh"
 
 using namespace cachelab;
 using namespace cachelab::bench;
@@ -73,26 +74,25 @@ functionalConfig()
 }
 
 void
-emitVariant(const std::string &label, const SampledRunResult &r,
-            double full_miss, double seconds, double full_seconds,
-            bool first)
+emitVariant(JsonWriter &w, const std::string &label,
+            const SampledRunResult &r, double full_miss, double seconds,
+            double full_seconds)
 {
     const double est = r.missRatio.mean;
     const double rel_error =
         full_miss != 0.0 ? std::abs(est - full_miss) / full_miss : 0.0;
     const double speedup = seconds > 0.0 ? full_seconds / seconds : 0.0;
-    std::cout << (first ? "" : ",") << "\"" << label << "\":{"
-              << "\"est_miss\":" << formatFixed(est, 6)
-              << ",\"ci_low\":" << formatFixed(r.missRatio.low, 6)
-              << ",\"ci_high\":" << formatFixed(r.missRatio.high, 6)
-              << ",\"rel_error\":" << formatFixed(rel_error, 4)
-              << ",\"in_ci\":" << (r.missRatio.contains(full_miss) ? 1 : 0)
-              << ",\"intervals\":" << r.missRatio.samples
-              << ",\"measured_fraction\":"
-              << formatFixed(r.measuredFraction(), 4)
-              << ",\"processed_fraction\":"
-              << formatFixed(r.processedFraction(), 4)
-              << ",\"speedup\":" << formatFixed(speedup, 2) << "}";
+    w.key(label).beginObject();
+    w.member("est_miss", est)
+        .member("ci_low", r.missRatio.low)
+        .member("ci_high", r.missRatio.high)
+        .member("rel_error", rel_error)
+        .member("in_ci", r.missRatio.contains(full_miss))
+        .member("intervals", r.missRatio.samples)
+        .member("measured_fraction", r.measuredFraction())
+        .member("processed_fraction", r.processedFraction())
+        .member("speedup", speedup)
+        .endObject();
 }
 
 } // namespace
@@ -131,15 +131,21 @@ main()
         });
 
         const double full_miss = full.missRatio();
-        std::cout << "{\"trace\":\"" << profile.name << "\""
-                  << ",\"refs\":" << trace.size()
-                  << ",\"cache_bytes\":" << kCacheBytes
-                  << ",\"full_miss\":" << formatFixed(full_miss, 6) << ",";
-        emitVariant("warmed", warmed, full_miss, warmed_seconds,
-                    full_seconds, true);
-        emitVariant("functional", functional, full_miss,
-                    functional_seconds, full_seconds, false);
-        std::cout << "}\n";
+        {
+            // One compact JSON line per trace (schema: DESIGN.md §4d).
+            JsonWriter w(std::cout, JsonWriter::Compact);
+            w.beginObject()
+                .member("trace", profile.name)
+                .member("refs", trace.size())
+                .member("cache_bytes", kCacheBytes)
+                .member("full_miss", full_miss);
+            emitVariant(w, "warmed", warmed, full_miss, warmed_seconds,
+                        full_seconds);
+            emitVariant(w, "functional", functional, full_miss,
+                        functional_seconds, full_seconds);
+            w.endObject();
+            std::cout << "\n";
+        }
 
         ++traces;
         if (full_miss != 0.0) {
@@ -156,26 +162,24 @@ main()
         functional_in_ci += functional.missRatio.contains(full_miss) ? 1 : 0;
     }
 
-    std::cout << "{\"summary\":{"
-              << "\"traces\":" << traces
-              << ",\"warmed_mean_rel_error\":"
-              << formatFixed(warmed_err.mean(), 4)
-              << ",\"warmed_max_rel_error\":"
-              << formatFixed(warmed_err.max(), 4)
-              << ",\"warmed_ci_coverage\":"
-              << formatFixed(static_cast<double>(warmed_in_ci) /
-                                 static_cast<double>(traces),
-                             4)
-              << ",\"warmed_median_speedup\":"
-              << formatFixed(warmed_speedup.percentile(0.5), 2)
-              << ",\"warmed_min_speedup\":"
-              << formatFixed(warmed_speedup.min(), 2)
-              << ",\"functional_mean_rel_error\":"
-              << formatFixed(functional_err.mean(), 4)
-              << ",\"functional_ci_coverage\":"
-              << formatFixed(static_cast<double>(functional_in_ci) /
-                                 static_cast<double>(traces),
-                             4)
-              << "}}\n";
+    {
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject().key("summary").beginObject();
+        w.member("traces", traces)
+            .member("warmed_mean_rel_error", warmed_err.mean())
+            .member("warmed_max_rel_error", warmed_err.max())
+            .member("warmed_ci_coverage",
+                    static_cast<double>(warmed_in_ci) /
+                        static_cast<double>(traces))
+            .member("warmed_median_speedup", warmed_speedup.percentile(0.5))
+            .member("warmed_min_speedup", warmed_speedup.min())
+            .member("functional_mean_rel_error", functional_err.mean())
+            .member("functional_ci_coverage",
+                    static_cast<double>(functional_in_ci) /
+                        static_cast<double>(traces))
+            .endObject()
+            .endObject();
+        std::cout << "\n";
+    }
     return 0;
 }

@@ -10,13 +10,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstdio>
+#include <iostream>
 
 #include "cache/cache.hh"
 #include "cache/sector_cache.hh"
 #include "sim/experiments.hh"
 #include "sim/sweep.hh"
 #include "trace/analyzer.hh"
+#include "util/json_writer.hh"
 #include "workload/profiles.hh"
 
 namespace cachelab
@@ -177,17 +178,23 @@ runSweepEngineComparison()
         const double wall = std::chrono::duration<double>(t1 - t0).count();
         if (e.engine == SweepEngine::PerSize && e.jobs == 1)
             serial_wall = wall;
-        std::printf("{\"bench\":\"sweep_engine\",\"engine\":\"%s\","
-                    "\"trace\":\"VSPICE\",\"refs\":%.0f,\"sizes\":%zu,"
-                    "\"wall_s\":%.6f,\"refs_per_s\":%.0f,"
-                    "\"speedup_vs_serial\":%.2f,\"misses_64k\":%llu}\n",
-                    e.name, total_refs, sizes.size(), wall,
-                    wall > 0 ? total_refs / wall : 0.0,
-                    serial_wall > 0 && wall > 0 ? serial_wall / wall : 1.0,
-                    static_cast<unsigned long long>(
-                        points.back().stats.totalMisses()));
+        // One compact JSON line per engine (schema: DESIGN.md §4d).
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject()
+            .member("bench", "sweep_engine")
+            .member("engine", e.name)
+            .member("trace", "VSPICE")
+            .member("refs", static_cast<std::uint64_t>(total_refs))
+            .member("sizes", static_cast<std::uint64_t>(sizes.size()))
+            .member("wall_s", wall)
+            .member("refs_per_s", wall > 0 ? total_refs / wall : 0.0)
+            .member("speedup_vs_serial",
+                    serial_wall > 0 && wall > 0 ? serial_wall / wall : 1.0)
+            .member("misses_64k", points.back().stats.totalMisses())
+            .endObject();
+        std::cout << "\n";
     }
-    std::fflush(stdout);
+    std::cout.flush();
 }
 
 } // namespace

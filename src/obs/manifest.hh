@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Run manifests: one schema-versioned JSON document per invocation.
+ *
+ * A manifest is the machine-readable record of everything a run was
+ * and did — the resolved configuration, the build that produced the
+ * binary, the seed, per-phase wall clock, thread-pool utilization,
+ * throughput, the metrics-registry snapshot, and the run's exact
+ * CacheStats counters (uint64, bitwise-faithful) with sampled
+ * confidence intervals when applicable.  `cachelab_sim --metrics-json`
+ * and the bench binaries emit it; scripts consume it instead of
+ * scraping tables.
+ *
+ * Schema: the top-level object carries
+ *   "schema": "cachelab.run_manifest", "schema_version": 1
+ * and consumers must ignore unknown keys, so the version only bumps on
+ * incompatible changes.  Key order is fixed (JsonWriter preserves
+ * insertion order), making manifests diffable.
+ */
+
+#ifndef CACHELAB_OBS_MANIFEST_HH
+#define CACHELAB_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/stats.hh"
+#include "sample/sampled_run.hh"
+
+namespace cachelab
+{
+
+class JsonWriter;
+class ThreadPool;
+
+namespace obs
+{
+
+/** Compile-time build identification baked in by CMake. */
+struct BuildInfo
+{
+    std::string gitDescribe; ///< `git describe --always --dirty`
+    std::string compiler;    ///< __VERSION__
+    std::string buildType;   ///< CMAKE_BUILD_TYPE
+};
+
+/** @return this binary's build identification. */
+BuildInfo buildInfo();
+
+/** One simulated result attached to a manifest. */
+struct ManifestResult
+{
+    std::string name;             ///< e.g. "unified", "icache", "sweep"
+    std::uint64_t cacheBytes = 0; ///< capacity of this result's cache
+    CacheStats stats;
+};
+
+/** One sampled result (estimate + confidence intervals). */
+struct ManifestSampledResult
+{
+    std::string name;
+    std::uint64_t cacheBytes = 0;
+    SampledRunResult result;
+};
+
+/** Everything writeManifest() serializes. */
+struct RunManifest
+{
+    std::string tool;      ///< binary name, e.g. "cachelab_sim"
+    std::string traceName; ///< input trace / profile
+    std::uint64_t traceRefs = 0;
+    std::uint64_t seed = 0;
+    double wallSeconds = 0.0; ///< whole-invocation wall clock
+    std::uint64_t refsProcessed = 0; ///< simulated refs (all engines)
+
+    /** Resolved configuration, in presentation order. */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    std::vector<ManifestResult> results;
+    std::vector<ManifestSampledResult> sampledResults;
+
+    /** Include the global metrics-registry snapshot (default on). */
+    bool includeMetrics = true;
+
+    /** Include the phase-profile report (default on). */
+    bool includeProfile = true;
+
+    /** Pool whose utilization to record; nullptr = shared pool. */
+    const ThreadPool *pool = nullptr;
+};
+
+/** Serialize @p manifest to @p os as the schema-versioned document. */
+void writeManifest(std::ostream &os, const RunManifest &manifest);
+
+/**
+ * Emit every CacheStats counter (exact uint64) plus the derived
+ * ratios the paper's tables use.  Shared by the manifest and any
+ * bench that reports full statistics.
+ */
+void writeCacheStatsJson(JsonWriter &w, const CacheStats &stats);
+
+/** Emit one confidence interval as an object. */
+void writeConfidenceJson(JsonWriter &w, const ConfidenceInterval &ci);
+
+/** Emit a SampledRunResult: plan, fractions, estimate, intervals. */
+void writeSampledResultJson(JsonWriter &w, const SampledRunResult &r);
+
+} // namespace obs
+} // namespace cachelab
+
+#endif // CACHELAB_OBS_MANIFEST_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Implementation of phase profiling.
+ */
+
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "stats/table.hh"
+#include "util/format.hh"
+#include "util/json_writer.hh"
+#include "util/thread_pool.hh"
+
+namespace cachelab::obs
+{
+
+namespace
+{
+
+std::atomic<bool> gProfilingEnabled{false};
+
+/** Accumulator for one (phase, thread) pair. */
+struct Accumulator
+{
+    std::uint64_t calls = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxNs = 0;
+};
+
+/**
+ * Stable per-thread key: pool workers use their slot (so the report
+ * lines up with the trace lanes), other threads get unique ids from
+ * 1000 up.
+ */
+long
+threadKey()
+{
+    const int slot = ThreadPool::currentSlot();
+    if (slot >= 0)
+        return slot;
+    static std::atomic<long> next{1000};
+    thread_local const long key = next.fetch_add(1);
+    return key;
+}
+
+struct ProfileStore
+{
+    std::mutex mutex;
+    std::map<std::pair<std::string, long>, Accumulator> rows;
+};
+
+ProfileStore &
+store()
+{
+    static ProfileStore s;
+    return s;
+}
+
+} // namespace
+
+void
+setProfilingEnabled(bool enabled)
+{
+    gProfilingEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+profilingEnabled()
+{
+    return gProfilingEnabled.load(std::memory_order_relaxed);
+}
+
+void
+resetProfiles()
+{
+    std::lock_guard<std::mutex> lock(store().mutex);
+    store().rows.clear();
+}
+
+ProfileScope::ProfileScope(std::string_view phase)
+    : phase_(phase), active_(profilingEnabled())
+{
+    if (active_)
+        start_ = std::chrono::steady_clock::now();
+}
+
+ProfileScope::~ProfileScope()
+{
+    if (!active_)
+        return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    ProfileStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    Accumulator &acc = s.rows[{std::string(phase_), threadKey()}];
+    ++acc.calls;
+    acc.totalNs += ns;
+    acc.minNs = std::min(acc.minNs, ns);
+    acc.maxNs = std::max(acc.maxNs, ns);
+}
+
+std::vector<PhaseProfile>
+profileReport()
+{
+    std::map<std::string, PhaseProfile> merged;
+    {
+        ProfileStore &s = store();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        for (const auto &[key, acc] : s.rows) {
+            PhaseProfile &p = merged[key.first];
+            p.phase = key.first;
+            p.calls += acc.calls;
+            p.totalNs += acc.totalNs;
+            p.minNs = p.threads ? std::min(p.minNs, acc.minNs) : acc.minNs;
+            p.maxNs = std::max(p.maxNs, acc.maxNs);
+            p.maxThreadNs = std::max(p.maxThreadNs, acc.totalNs);
+            ++p.threads;
+        }
+    }
+    std::vector<PhaseProfile> out;
+    out.reserve(merged.size());
+    for (auto &[name, profile] : merged)
+        out.push_back(std::move(profile));
+    std::sort(out.begin(), out.end(),
+              [](const PhaseProfile &a, const PhaseProfile &b) {
+                  return a.totalNs != b.totalNs ? a.totalNs > b.totalNs
+                                                : a.phase < b.phase;
+              });
+    return out;
+}
+
+std::string
+renderProfileTable(const std::vector<PhaseProfile> &report)
+{
+    TextTable table("Phase profile (per-thread times summed; "
+                    "'busiest' bounds the wall clock)");
+    table.setHeader({"phase", "calls", "threads", "total", "busiest",
+                     "mean", "min", "max"});
+    table.setAlignment({TextTable::Align::Left, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right,
+                        TextTable::Align::Right, TextTable::Align::Right});
+    auto ms = [](std::uint64_t ns) {
+        return formatFixed(static_cast<double>(ns) * 1e-6, 3) + " ms";
+    };
+    for (const PhaseProfile &p : report) {
+        table.addRow({p.phase, std::to_string(p.calls),
+                      std::to_string(p.threads), ms(p.totalNs),
+                      ms(p.maxThreadNs),
+                      ms(p.calls ? p.totalNs / p.calls : 0), ms(p.minNs),
+                      ms(p.maxNs)});
+    }
+    return table.render();
+}
+
+void
+writeProfileJson(JsonWriter &w, const std::vector<PhaseProfile> &report)
+{
+    w.beginArray();
+    for (const PhaseProfile &p : report) {
+        w.beginObject();
+        w.member("phase", p.phase);
+        w.member("calls", p.calls);
+        w.member("threads", static_cast<std::uint64_t>(p.threads));
+        w.member("total_ns", p.totalNs);
+        w.member("busiest_thread_ns", p.maxThreadNs);
+        w.member("min_ns", p.minNs);
+        w.member("max_ns", p.maxNs);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace cachelab::obs

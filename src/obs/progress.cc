@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Implementation of the progress meter.
+ */
+
+#include "obs/progress.hh"
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace cachelab::obs
+{
+
+ProgressMeter &
+ProgressMeter::global()
+{
+    static ProgressMeter meter;
+    return meter;
+}
+
+void
+ProgressMeter::start(std::uint64_t total_refs, std::string label)
+{
+    totalRefs_ = total_refs;
+    label_ = std::move(label);
+    processed_.store(0, std::memory_order_relaxed);
+    lastEmitNs_.store(0, std::memory_order_relaxed);
+    startTime_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::setReportInterval(std::chrono::nanoseconds interval)
+{
+    intervalNs_.store(
+        static_cast<std::uint64_t>(interval.count()),
+        std::memory_order_relaxed);
+}
+
+void
+ProgressMeter::setSink(std::function<void(const std::string &)> sink)
+{
+    sink_ = std::move(sink);
+}
+
+void
+ProgressMeter::advance(std::uint64_t refs)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t done =
+        processed_.fetch_add(refs, std::memory_order_relaxed) + refs;
+    const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    std::uint64_t last = lastEmitNs_.load(std::memory_order_relaxed);
+    if (elapsed_ns - last < intervalNs_.load(std::memory_order_relaxed))
+        return;
+    // One thread wins the right to print this period's line.
+    if (!lastEmitNs_.compare_exchange_strong(last, elapsed_ns,
+                                             std::memory_order_relaxed))
+        return;
+    emit(done, elapsed_ns);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (!enabled())
+        return;
+    const std::uint64_t elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    emit(processed_.load(std::memory_order_relaxed), elapsed_ns);
+}
+
+void
+ProgressMeter::emit(std::uint64_t processed, std::uint64_t elapsed_ns)
+{
+    const double seconds = static_cast<double>(elapsed_ns) * 1e-9;
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(processed) / seconds : 0.0;
+
+    std::string line = label_ + ": " + formatCount(processed) + " refs";
+    if (totalRefs_ != 0) {
+        line += " (" +
+            formatPercent(static_cast<double>(processed) /
+                              static_cast<double>(totalRefs_),
+                          1) +
+            ")";
+    }
+    line += ", " + formatFixed(rate * 1e-6, 1) + "M refs/s";
+    if (totalRefs_ != 0 && rate > 0.0 && processed < totalRefs_) {
+        const double eta =
+            static_cast<double>(totalRefs_ - processed) / rate;
+        line += ", eta " + formatFixed(eta, 0) + "s";
+    }
+
+    if (sink_) {
+        sink_(line);
+        return;
+    }
+    inform(line);
+}
+
+} // namespace cachelab::obs

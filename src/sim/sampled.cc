@@ -5,6 +5,9 @@
 
 #include "sim/sampled.hh"
 
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/trace_event.hh"
 #include "sample/sampler.hh"
 #include "sample/warming.hh"
 #include "sim/sweep.hh"
@@ -74,14 +77,28 @@ driveSampled(const Trace &trace, System &system, const SampleConfig &sample,
     std::uint64_t since_purge = 0;
     std::uint64_t processed = 0;
 
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    const bool record_purges = recorder.enabled();
+
     for (const SampleInterval &interval : plan) {
-        warmToInterval(trace, system, sample, run.purgeInterval, interval,
-                       pos, since_purge, processed);
+        {
+            obs::ProfileScope warm_profile("sample.warm");
+            obs::TraceSpan warm_span("warm", "sample");
+            warmToInterval(trace, system, sample, run.purgeInterval,
+                           interval, pos, since_purge, processed);
+        }
         system.resetStats();
+        obs::ProfileScope measure_profile("sample.measure");
+        obs::TraceSpan measure_span(
+            "interval", "sample",
+            {{"begin", std::to_string(interval.begin)},
+             {"end", std::to_string(interval.end)}});
         for (; pos < interval.end; ++pos) {
             if (run.purgeInterval != 0 &&
                 since_purge == run.purgeInterval) {
                 system.purge();
+                if (record_purges)
+                    recorder.instant("purge", "sample");
                 since_purge = 0;
             }
             system.access(trace[pos]);
@@ -103,6 +120,11 @@ driveSampled(const Trace &trace, System &system, const SampleConfig &sample,
             break;
         }
     }
+
+    obs::Registry &registry = obs::Registry::global();
+    registry.counter("sample.runs").add(1);
+    registry.counter("sample.intervals").add(result.intervalsMeasured);
+    registry.counter("sample.refs_processed").add(processed);
 
     result.processedRefs = processed;
     result.estimated = scaleStatsToTrace(result.measured, trace.size(),

@@ -9,7 +9,12 @@
 
 #include "cache/organization.hh"
 #include "cache/stack_analysis.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "sim/sampled.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -37,6 +42,10 @@ sweepParallelFor(std::size_t n, const RunConfig &run,
     }
     ThreadPool pool(run.jobs);
     pool.parallelFor(n, fn);
+    // The pool dies with this sweep; keep its utilization visible in
+    // the pool.* gauges (the manifest's thread_pool section records
+    // the process-wide shared pool).
+    obs::publishThreadPool(obs::Registry::global(), pool);
 }
 
 } // namespace detail
@@ -81,8 +90,13 @@ std::vector<SweepPoint>
 sweepUnifiedPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                     const CacheConfig &base, const RunConfig &run)
 {
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
     std::vector<SweepPoint> out(sizes.size());
     sweepFor(sizes.size(), run, [&](std::size_t i) {
+        obs::ProfileScope profile("sweep.point");
+        obs::TraceSpan span("sweep_point", "sweep",
+                            {{"bytes", formatSize(sizes[i])},
+                             {"trace", trace.name()}});
         Cache cache(configAt(base, sizes[i]));
         out[i] = {sizes[i], runTrace(trace, cache, run)};
     });
@@ -96,8 +110,17 @@ sweepUnifiedSinglePass(const Trace &trace,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.single_pass");
+    obs::TraceSpan span("single_pass", "sweep",
+                        {{"trace", trace.name()}});
     StackAnalyzer analyzer(base.lineBytes);
     analyzer.accessAll(trace);
+    // The single pass covers every size at once, so the whole sweep
+    // costs one trace worth of simulated references.
+    obs::Registry::global().counter("sim.refs").add(trace.size());
+    if (obs::ProgressMeter::global().enabled())
+        obs::ProgressMeter::global().advance(trace.size());
     std::vector<SweepPoint> out;
     out.reserve(sizes.size());
     for (std::uint64_t size : sizes) {
@@ -111,8 +134,14 @@ std::vector<SplitSweepPoint>
 sweepSplitPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                   const CacheConfig &base, const RunConfig &run)
 {
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
     std::vector<SplitSweepPoint> out(sizes.size());
     sweepFor(sizes.size(), run, [&](std::size_t i) {
+        obs::ProfileScope profile("sweep.point");
+        obs::TraceSpan span("sweep_point", "sweep",
+                            {{"bytes", formatSize(sizes[i])},
+                             {"trace", trace.name()},
+                             {"organization", "split"}});
         const CacheConfig config = configAt(base, sizes[i]);
         SplitCache split(config, config);
         runTrace(trace, split, run);
@@ -128,6 +157,11 @@ sweepSplitSinglePass(const Trace &trace,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.single_pass");
+    obs::TraceSpan span("single_pass", "sweep",
+                        {{"trace", trace.name()},
+                         {"organization", "split"}});
     // The split organization routes ifetches and data to independent
     // caches, so each side is its own fully associative LRU stream.
     StackAnalyzer istream(base.lineBytes), dstream(base.lineBytes);
@@ -137,6 +171,9 @@ sweepSplitSinglePass(const Trace &trace,
         else
             dstream.access(ref);
     }
+    obs::Registry::global().counter("sim.refs").add(trace.size());
+    if (obs::ProgressMeter::global().enabled())
+        obs::ProgressMeter::global().advance(trace.size());
     std::vector<SplitSweepPoint> out;
     out.reserve(sizes.size());
     for (std::uint64_t size : sizes) {

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer.
+ */
+
+#include "util/json_writer.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // A destructor must not throw/abort during unwinding from another
+    // error, so only check balance when not already unwinding.
+    if (!std::uncaught_exceptions() && !stack_.empty())
+        panic("JsonWriter destroyed with ", stack_.size(),
+              " unclosed scope(s)");
+}
+
+void
+JsonWriter::newlineAndIndent()
+{
+    if (indent_ < 0)
+        return;
+    os_ << '\n';
+    const std::size_t spaces = stack_.size() * static_cast<std::size_t>(indent_);
+    for (std::size_t i = 0; i < spaces; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::prepareForValue(bool is_key)
+{
+    if (keyPending_) {
+        CACHELAB_ASSERT(!is_key, "JsonWriter: key after key");
+        keyPending_ = false;
+        return; // the key already positioned us; value follows ": "
+    }
+    if (!stack_.empty()) {
+        CACHELAB_ASSERT(stack_.back() == Scope::Array || is_key,
+                        "JsonWriter: object member needs key() first");
+        if (!firstInScope_)
+            os_ << ',';
+        newlineAndIndent();
+    }
+    firstInScope_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareForValue(false);
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    CACHELAB_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                    "JsonWriter: endObject without matching beginObject");
+    CACHELAB_ASSERT(!keyPending_, "JsonWriter: endObject after dangling key");
+    const bool was_empty = firstInScope_;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineAndIndent();
+    os_ << '}';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareForValue(false);
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    firstInScope_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    CACHELAB_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                    "JsonWriter: endArray without matching beginArray");
+    const bool was_empty = firstInScope_;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineAndIndent();
+    os_ << ']';
+    firstInScope_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    CACHELAB_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                    "JsonWriter: key() outside an object");
+    prepareForValue(true);
+    os_ << '"' << escape(name) << (indent_ < 0 ? "\":" : "\": ");
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    prepareForValue(false);
+    os_ << '"' << escape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    prepareForValue(false);
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareForValue(false);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareForValue(false);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    prepareForValue(false);
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    CACHELAB_ASSERT(res.ec == std::errc{}, "double formatting failed");
+    os_.write(buf, res.ptr - buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prepareForValue(false);
+    os_ << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c; // UTF-8 bytes pass through unmodified
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cachelab

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal streaming JSON writer: proper string escaping, stable
+ * (caller-controlled) key order, round-trippable number formatting.
+ *
+ * This is the single JSON emission path for the repository — run
+ * manifests (obs/manifest), Chrome trace files (obs/trace_event) and
+ * the bench binaries' machine-readable lines all go through it, so
+ * escaping and number formatting bugs can only exist in one place.
+ *
+ * Usage:
+ *   JsonWriter w(std::cout);         // pretty, 2-space indent
+ *   JsonWriter w(os, JsonWriter::Compact);  // single line, no spaces
+ *   w.beginObject();
+ *   w.member("name", "VSPICE");
+ *   w.key("sizes").beginArray();
+ *   w.value(32).value(64);
+ *   w.endArray();
+ *   w.endObject();
+ *
+ * The writer asserts (via CACHELAB_ASSERT) on structural misuse — a
+ * value without a key inside an object, unbalanced begin/end — so
+ * malformed documents fail loudly in tests rather than downstream in
+ * a JSON parser.
+ */
+
+#ifndef CACHELAB_UTIL_JSON_WRITER_HH
+#define CACHELAB_UTIL_JSON_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cachelab
+{
+
+class JsonWriter
+{
+  public:
+    /** Indent sentinel: emit the whole document on one line. */
+    static constexpr int Compact = -1;
+
+    /** @param indent spaces per nesting level, or Compact. */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    /** Every begin must be balanced by an end before destruction. */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write the key of the next member (objects only). */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(bool b);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    /**
+     * Doubles use shortest round-trip formatting (std::to_chars), so
+     * 0.1 prints as "0.1" and a parser recovers the exact bit
+     * pattern.  NaN and infinities, unrepresentable in JSON, print as
+     * null.
+     */
+    JsonWriter &value(double v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    member(std::string_view name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** null literal. */
+    JsonWriter &null();
+
+    /** @return @p s escaped for use inside a JSON string literal. */
+    static std::string escape(std::string_view s);
+
+  private:
+    enum class Scope { Object, Array };
+
+    /** Comma/newline/indent bookkeeping before a key or value. */
+    void prepareForValue(bool is_key);
+    void newlineAndIndent();
+
+    std::ostream &os_;
+    int indent_;
+    std::vector<Scope> stack_;
+    bool firstInScope_ = true;
+    bool keyPending_ = false; ///< key() written, value must follow
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_JSON_WRITER_HH

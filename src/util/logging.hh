@@ -53,7 +53,12 @@ renderMessage(std::string_view tag, const Args &...args)
     return os.str();
 }
 
-/** Emit one already-rendered line to the log sink (stderr by default). */
+/**
+ * Emit one already-rendered line to the log sink (stderr by default).
+ * Thread-safe: a process-wide mutex serializes whole lines, so
+ * inform()/warn() calls from parallel sweep workers never interleave
+ * mid-line.
+ */
 void emitLine(const std::string &line);
 
 } // namespace detail
@@ -64,12 +69,38 @@ void setLoggingEnabled(bool enabled);
 /** @return true when inform()/warn() output is currently emitted. */
 bool loggingEnabled();
 
+/**
+ * Minimum severity that is emitted.  The initial value comes from the
+ * CACHELAB_LOG environment variable: "silent" (or "quiet"/"none"),
+ * "warn", or "info" (the default).  fatal()/panic() always print.
+ */
+enum class LogLevel
+{
+    Silent = 0, ///< suppress inform() and warn()
+    Warn = 1,   ///< suppress inform(), keep warn()
+    Info = 2,   ///< everything (default)
+};
+
+/** Override the CACHELAB_LOG-derived level at runtime. */
+void setLogLevel(LogLevel level);
+
+/** @return the current log level. */
+LogLevel logLevel();
+
+/** @return true when messages of @p severity are emitted. */
+inline bool
+logLevelEnabled(LogLevel severity)
+{
+    return loggingEnabled() &&
+        static_cast<int>(logLevel()) >= static_cast<int>(severity);
+}
+
 /** Print an informational status message. */
 template <typename... Args>
 void
 inform(const Args &...args)
 {
-    if (loggingEnabled())
+    if (logLevelEnabled(LogLevel::Info))
         detail::emitLine(detail::renderMessage("info", args...));
 }
 
@@ -78,7 +109,7 @@ template <typename... Args>
 void
 warn(const Args &...args)
 {
-    if (loggingEnabled())
+    if (logLevelEnabled(LogLevel::Warn))
         detail::emitLine(detail::renderMessage("warn", args...));
 }
 

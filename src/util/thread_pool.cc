@@ -5,6 +5,7 @@
 
 #include "util/thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -19,7 +20,37 @@ namespace
 /** Set while a thread is executing pool tasks. */
 thread_local bool tls_in_pool_task = false;
 
+/** Worker slot of the batch the thread is running; -1 outside. */
+thread_local int tls_pool_slot = -1;
+
+std::uint64_t
+monotonicNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
+
+std::uint64_t
+ThreadPool::Utilization::totalTasks() const
+{
+    std::uint64_t total = 0;
+    for (const Slot &slot : slots)
+        total += slot.tasks;
+    return total;
+}
+
+std::uint64_t
+ThreadPool::Utilization::totalBusyNs() const
+{
+    std::uint64_t total = 0;
+    for (const Slot &slot : slots)
+        total += slot.busyNs;
+    return total;
+}
 
 unsigned
 ThreadPool::defaultJobs()
@@ -49,15 +80,39 @@ ThreadPool::onWorkerThread()
     return tls_in_pool_task;
 }
 
+int
+ThreadPool::currentSlot()
+{
+    return tls_pool_slot;
+}
+
+ThreadPool::Utilization
+ThreadPool::utilization() const
+{
+    Utilization u;
+    u.slots.resize(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i) {
+        u.slots[i].tasks =
+            slotCounters_[i].tasks.load(std::memory_order_relaxed);
+        u.slots[i].busyNs =
+            slotCounters_[i].busyNs.load(std::memory_order_relaxed);
+    }
+    u.batches = batches_.load(std::memory_order_relaxed);
+    u.queueHighWater = queueHighWater_.load(std::memory_order_relaxed);
+    return u;
+}
+
 ThreadPool::ThreadPool(unsigned jobs)
-    : jobs_(jobs ? jobs : defaultJobs())
+    : jobs_(jobs ? jobs : defaultJobs()),
+      slotCounters_(std::make_unique<SlotCounters[]>(jobs_))
 {
     // The calling thread participates in every batch, so a pool of k
     // jobs needs k-1 dedicated workers (k = 1 spawns none and runs
-    // everything inline).
+    // everything inline).  Slot 0 is the caller; dedicated workers
+    // occupy slots 1..jobs-1.
     workers_.reserve(jobs_ - 1);
     for (unsigned i = 0; i + 1 < jobs_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, slot = i + 1] { workerLoop(slot); });
 }
 
 ThreadPool::~ThreadPool()
@@ -72,9 +127,11 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::runBatch(Batch &batch)
+ThreadPool::runBatch(Batch &batch, unsigned slot)
 {
     tls_in_pool_task = true;
+    tls_pool_slot = static_cast<int>(slot);
+    SlotCounters &counters = slotCounters_[slot];
     std::size_t ran = 0;
     for (;;) {
         const std::size_t i =
@@ -82,6 +139,7 @@ ThreadPool::runBatch(Batch &batch)
         if (i >= batch.size)
             break;
         if (!batch.failed.load(std::memory_order_relaxed)) {
+            const std::uint64_t t0 = monotonicNs();
             try {
                 (*batch.fn)(i);
             } catch (...) {
@@ -90,10 +148,14 @@ ThreadPool::runBatch(Batch &batch)
                     batch.firstError = std::current_exception();
                 batch.failed.store(true, std::memory_order_relaxed);
             }
+            counters.busyNs.fetch_add(monotonicNs() - t0,
+                                      std::memory_order_relaxed);
+            counters.tasks.fetch_add(1, std::memory_order_relaxed);
         }
         ++ran;
     }
     tls_in_pool_task = false;
+    tls_pool_slot = -1;
     if (ran) {
         std::lock_guard<std::mutex> lock(mutex_);
         batch.completed += ran;
@@ -103,7 +165,7 @@ ThreadPool::runBatch(Batch &batch)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned slot)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
@@ -119,7 +181,7 @@ ThreadPool::workerLoop()
             seen_generation = generation_;
             batch = batch_;
         }
-        runBatch(*batch);
+        runBatch(*batch, slot);
     }
 }
 
@@ -133,17 +195,34 @@ ThreadPool::parallelFor(std::size_t n,
     if (n == 0)
         return;
 
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t high = queueHighWater_.load(std::memory_order_relaxed);
+    while (n > high &&
+           !queueHighWater_.compare_exchange_weak(
+               high, n, std::memory_order_relaxed)) {
+    }
+
     if (jobs_ == 1 || n == 1) {
         // Serial degradation: run inline, still guarding nested use.
+        // The whole range is timed as one stretch of slot-0 work.
         tls_in_pool_task = true;
+        tls_pool_slot = 0;
+        const std::uint64_t t0 = monotonicNs();
         try {
             for (std::size_t i = 0; i < n; ++i)
                 fn(i);
         } catch (...) {
+            slotCounters_[0].busyNs.fetch_add(monotonicNs() - t0,
+                                              std::memory_order_relaxed);
             tls_in_pool_task = false;
+            tls_pool_slot = -1;
             throw;
         }
+        slotCounters_[0].busyNs.fetch_add(monotonicNs() - t0,
+                                          std::memory_order_relaxed);
+        slotCounters_[0].tasks.fetch_add(n, std::memory_order_relaxed);
         tls_in_pool_task = false;
+        tls_pool_slot = -1;
         return;
     }
 
@@ -157,8 +236,8 @@ ThreadPool::parallelFor(std::size_t n,
     }
     wake_.notify_all();
 
-    // The caller is one of the pool's jobs.
-    runBatch(*batch);
+    // The caller is one of the pool's jobs, occupying slot 0.
+    runBatch(*batch, 0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return batch->completed == batch->size; });

@@ -94,6 +94,39 @@ class ThreadPool
      */
     static bool onWorkerThread();
 
+    /**
+     * @return the worker slot the current thread occupies inside a
+     * pool task (0 = the calling thread, 1..jobs-1 = dedicated
+     * workers), or -1 when not inside a pool task.  Observability
+     * layers key trace lanes and profile rows on this.
+     */
+    static int currentSlot();
+
+    /** Point-in-time utilization counters (see utilization()). */
+    struct Utilization
+    {
+        struct Slot
+        {
+            std::uint64_t tasks = 0;  ///< indices executed by this slot
+            std::uint64_t busyNs = 0; ///< time spent inside task bodies
+        };
+
+        std::vector<Slot> slots; ///< one entry per job slot
+        std::uint64_t batches = 0;        ///< parallelFor calls served
+        std::uint64_t queueHighWater = 0; ///< largest batch submitted
+
+        std::uint64_t totalTasks() const;
+        std::uint64_t totalBusyNs() const;
+    };
+
+    /**
+     * @return cumulative per-slot work counters since construction.
+     * Safe to call concurrently with running batches; counters are
+     * individually atomic, so a snapshot taken mid-batch may lag but
+     * never tears.
+     */
+    Utilization utilization() const;
+
   private:
     /**
      * State of one parallelFor call.  Workers hold a shared_ptr, so a
@@ -110,12 +143,22 @@ class ThreadPool
         std::exception_ptr firstError; ///< guarded by pool mutex
     };
 
-    void workerLoop();
-    /** Pull indices of @p batch until exhausted. */
-    void runBatch(Batch &batch);
+    /** Per-slot utilization counters (relaxed atomics). */
+    struct SlotCounters
+    {
+        std::atomic<std::uint64_t> tasks{0};
+        std::atomic<std::uint64_t> busyNs{0};
+    };
+
+    void workerLoop(unsigned slot);
+    /** Pull indices of @p batch until exhausted, as @p slot. */
+    void runBatch(Batch &batch, unsigned slot);
 
     unsigned jobs_;
     std::vector<std::thread> workers_;
+    std::unique_ptr<SlotCounters[]> slotCounters_; ///< [jobs_]
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> queueHighWater_{0};
 
     std::mutex mutex_;
     std::condition_variable wake_; ///< workers wait for a batch

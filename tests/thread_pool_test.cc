@@ -157,5 +157,82 @@ TEST(ThreadPool, NestedUseOfOtherPoolAlsoThrows)
                  std::logic_error);
 }
 
+TEST(ThreadPoolUtilization, FreshPoolReportsNothing)
+{
+    ThreadPool pool(3);
+    const auto u = pool.utilization();
+    ASSERT_EQ(u.slots.size(), 3u);
+    EXPECT_EQ(u.totalTasks(), 0u);
+    EXPECT_EQ(u.totalBusyNs(), 0u);
+    EXPECT_EQ(u.batches, 0u);
+    EXPECT_EQ(u.queueHighWater, 0u);
+}
+
+TEST(ThreadPoolUtilization, EveryTaskIsCountedOnExactlyOneSlot)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::atomic<std::uint64_t> sink{0};
+    pool.parallelFor(n, [&](std::size_t i) { sink += i; });
+    const auto u = pool.utilization();
+    ASSERT_EQ(u.slots.size(), 4u);
+    EXPECT_EQ(u.totalTasks(), n);
+    EXPECT_GT(u.totalBusyNs(), 0u);
+    EXPECT_EQ(u.batches, 1u);
+    EXPECT_EQ(u.queueHighWater, n);
+}
+
+TEST(ThreadPoolUtilization, QueueHighWaterIsTheLargestBatch)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(10, [](std::size_t) {});
+    pool.parallelFor(64, [](std::size_t) {});
+    pool.parallelFor(3, [](std::size_t) {});
+    const auto u = pool.utilization();
+    EXPECT_EQ(u.batches, 3u);
+    EXPECT_EQ(u.queueHighWater, 64u);
+    EXPECT_EQ(u.totalTasks(), 77u);
+}
+
+TEST(ThreadPoolUtilization, SerialPathChargesSlotZero)
+{
+    ThreadPool pool(1);
+    pool.parallelFor(42, [](std::size_t) {});
+    const auto u = pool.utilization();
+    ASSERT_EQ(u.slots.size(), 1u);
+    EXPECT_EQ(u.slots[0].tasks, 42u);
+    EXPECT_GT(u.slots[0].busyNs, 0u);
+    EXPECT_EQ(u.batches, 1u);
+    EXPECT_EQ(u.queueHighWater, 42u);
+}
+
+TEST(ThreadPoolUtilization, CurrentSlotIsVisibleInsideTasksOnly)
+{
+    EXPECT_EQ(ThreadPool::currentSlot(), -1);
+    ThreadPool pool(3);
+    std::atomic<int> bad{0};
+    pool.parallelFor(100, [&](std::size_t) {
+        const int slot = ThreadPool::currentSlot();
+        if (slot < 0 || slot >= 3)
+            ++bad;
+    });
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(ThreadPool::currentSlot(), -1);
+}
+
+TEST(ThreadPoolUtilization, FailedTasksStillAccountTheOnesThatRan)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(
+        pool.parallelFor(5, [](std::size_t) { throw std::runtime_error("x"); }),
+        std::runtime_error);
+    // The serial path times the aborted stretch but only credits tasks
+    // on success; the pool must stay usable and keep counting.
+    pool.parallelFor(7, [](std::size_t) {});
+    const auto u = pool.utilization();
+    EXPECT_EQ(u.slots[0].tasks, 7u);
+    EXPECT_EQ(u.batches, 2u);
+}
+
 } // namespace
 } // namespace cachelab

@@ -5,7 +5,10 @@
  * Input is either a trace file (din text or binary) or a named corpus
  * profile; the cache is fully parameterizable; sweeps, split
  * organizations, sector caches, the OPT bound and the one-pass Mattson
- * curve are available, plus CSV emission for scripting.
+ * curve are available, plus CSV emission for scripting and a full
+ * observability surface: run manifests (--metrics-json), Chrome trace
+ * export (--trace-out), phase profiling (--phase-profile) and periodic
+ * progress lines (--progress).
  *
  * Examples:
  *   cachelab_sim --profile VSPICE --size 16384 --assoc 2
@@ -14,8 +17,12 @@
  *   cachelab_sim --profile MVS1 --sweep 32:65536 --purge 20000 --csv -
  *   cachelab_sim --profile FGO1 --size 4096 --opt
  *   cachelab_sim --profile ZGREP --sector 4 --size 256
+ *   cachelab_sim --profile VSPICE --sweep 32:65536 \
+ *                --metrics-json run.json --trace-out trace.json \
+ *                --phase-profile --progress
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -25,6 +32,11 @@
 #include "cache/organization.hh"
 #include "cache/sector_cache.hh"
 #include "cache/stack_analysis.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
 #include "sim/run.hh"
 #include "sim/sampled.hh"
 #include "sim/sweep.hh"
@@ -33,6 +45,8 @@
 #include "trace/transforms.hh"
 #include "util/csv.hh"
 #include "util/format.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workload/profiles.hh"
 
 #include "args.hh"
@@ -80,6 +94,16 @@ sampled simulation (estimates with confidence intervals):
   --sample-error R      sequential mode: stop when the miss-ratio CI is
                         within +/- R relative (e.g. 0.05)
 
+observability:
+  --metrics-json FILE   write a schema-versioned run manifest as JSON
+                        ('-' = stdout): config, build, per-phase wall
+                        clock, pool utilization, metrics, exact stats
+  --trace-out FILE      write a Chrome trace-event file (load it in
+                        chrome://tracing or ui.perfetto.dev)
+  --phase-profile       print the per-phase profile table after the
+                        run (--profile with no value also works)
+  --progress            periodic progress lines (refs done, ETA)
+
 execution:
   --jobs N              sweep concurrency: 0 = auto, 1 = serial (default 0)
   --seed S              seed for random replacement and random interval
@@ -95,7 +119,9 @@ loadInput(const Args &args)
             return cachelab::truncate(t, args.getUint("refs", t.size()));
         return t;
     }
-    if (args.has("profile")) {
+    // A bare --profile (empty value) means phase profiling, not a
+    // workload; the workload spelling is --profile NAME.
+    if (!args.get("profile").empty()) {
         const TraceProfile *p = findTraceProfile(args.get("profile"));
         if (p == nullptr)
             fatal("unknown profile '", args.get("profile"),
@@ -241,11 +267,14 @@ printStats(const std::string &what, const CacheStats &s)
 int
 runSampledSweep(const Args &args, const Trace &trace,
                 const CacheConfig &base, const RunConfig &run,
-                const SampleConfig &sample)
+                const SampleConfig &sample, obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
     const auto points = sweepUnifiedSampled(trace, sizes, base, sample, run);
+    for (const SampledSweepPoint &pt : points)
+        manifest.sampledResults.push_back(
+            {"sweep", pt.cacheBytes, pt.result});
 
     std::ofstream csv_file;
     std::unique_ptr<CsvWriter> csv;
@@ -296,7 +325,7 @@ runSampledSweep(const Args &args, const Trace &trace,
 
 int
 runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
-         const RunConfig &run)
+         const RunConfig &run, obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
@@ -328,6 +357,9 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
         // One pass, all sizes: only valid for the Table 1 config.
         const std::vector<double> curve =
             lruMissRatioCurve(trace, sizes, base.lineBytes);
+        obs::Registry::global().counter("sim.refs").add(trace.size());
+        if (obs::ProgressMeter::global().enabled())
+            obs::ProgressMeter::global().advance(trace.size());
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             table.addRow({formatSize(sizes[i]),
                           formatPercent(curve[i]), "-", "-", "-"});
@@ -340,6 +372,8 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
         }
     } else {
         const auto points = sweepUnified(trace, sizes, base, run);
+        for (const SweepPoint &pt : points)
+            manifest.results.push_back({"sweep", pt.cacheBytes, pt.stats});
         for (const SweepPoint &pt : points) {
             table.addRow(
                 {formatSize(pt.cacheBytes),
@@ -365,36 +399,16 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
     return 0;
 }
 
-} // namespace
-
+/** Simulate per the mode flags, appending results to @p manifest. */
 int
-main(int argc, char **argv)
+runModes(const Args &args, const Trace &trace, const CacheConfig &base,
+         const RunConfig &run, bool sampling, obs::RunManifest &manifest)
 {
-    const Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout << kUsage;
-        return 0;
-    }
-
-    const Trace trace = loadInput(args);
-    const CacheConfig base = configFrom(args);
-    RunConfig run;
-    run.purgeInterval = args.getUint("purge", 0);
-    run.warmupRefs = args.getUint("warmup", 0);
-    run.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
-
-    const bool sampling = args.has("sample");
-    if (sampling && args.has("stack-curve"))
-        fatal("--sample and --stack-curve are mutually exclusive");
-    if (sampling && args.has("warmup"))
-        fatal("--sample replaces --warmup with --sample-warming/"
-              "--sample-warmup");
-
     if (args.has("sweep")) {
         if (sampling)
             return runSampledSweep(args, trace, base, run,
-                                   sampleConfigFrom(args));
-        return runSweep(args, trace, base, run);
+                                   sampleConfigFrom(args), manifest);
+        return runSweep(args, trace, base, run, manifest);
     }
 
     if (sampling && args.has("sector"))
@@ -421,6 +435,8 @@ main(int argc, char **argv)
                        std::to_string(cfg.subblockBytes) + "B blocks on " +
                        trace.name(),
                    cache.stats());
+        manifest.results.push_back(
+            {"sector", cfg.sizeBytes, cache.stats()});
         return 0;
     }
 
@@ -431,6 +447,8 @@ main(int argc, char **argv)
                 trace, split, sampleConfigFrom(args), run);
             printSampled("split " + base.describe() + " on " + trace.name(),
                          r);
+            manifest.sampledResults.push_back(
+                {"split", base.sizeBytes, r});
             return 0;
         }
         const CacheStats s = runTrace(trace, split, run);
@@ -438,6 +456,11 @@ main(int argc, char **argv)
         std::cout << "  I-cache: " << split.icache().stats().summarize()
                   << "\n  D-cache: " << split.dcache().stats().summarize()
                   << "\n";
+        manifest.results.push_back({"combined", base.sizeBytes, s});
+        manifest.results.push_back(
+            {"icache", base.sizeBytes, split.icache().stats()});
+        manifest.results.push_back(
+            {"dcache", base.sizeBytes, split.dcache().stats()});
         return 0;
     }
 
@@ -448,12 +471,14 @@ main(int argc, char **argv)
         const SampledRunResult r =
             runSampled(trace, cache, sampleConfigFrom(args), run);
         printSampled(base.describe() + " on " + trace.name(), r);
+        manifest.sampledResults.push_back({"unified", base.sizeBytes, r});
         return 0;
     }
 
     Cache cache(base);
     const CacheStats s = runTrace(trace, cache, run);
     printStats(base.describe() + " on " + trace.name(), s);
+    manifest.results.push_back({"unified", base.sizeBytes, s});
 
     if (args.has("opt")) {
         const CacheStats opt =
@@ -462,6 +487,153 @@ main(int argc, char **argv)
                   << formatPercent(opt.missRatio()) << " ("
                   << formatCount(opt.demandFetches) << " fetches vs "
                   << formatCount(s.demandFetches) << ")\n";
+        manifest.results.push_back({"opt_bound", base.sizeBytes, opt});
     }
     return 0;
+}
+
+/** @return the descriptive mode name for the manifest config. */
+std::string
+modeName(const Args &args, bool sampling)
+{
+    if (args.has("stack-curve"))
+        return "stack-curve";
+    if (args.has("sweep"))
+        return sampling ? "sampled-sweep" : "sweep";
+    if (args.has("sector"))
+        return "sector";
+    if (args.has("split"))
+        return sampling ? "sampled-split" : "split";
+    return sampling ? "sampled" : "single";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+
+    // Observability switches, decided before any work happens.  A
+    // bare --profile (no value) is accepted as a --phase-profile
+    // alias; --profile NAME keeps meaning a corpus workload.
+    const bool phase_profile = args.has("phase-profile") ||
+        (args.has("profile") && args.get("profile").empty());
+    const bool want_manifest = args.has("metrics-json");
+    const bool want_trace = args.has("trace-out");
+    // Phase timings feed the manifest too, so either flag turns the
+    // profiler on; the table only prints under --phase-profile.
+    obs::setProfilingEnabled(phase_profile || want_manifest);
+    obs::TraceRecorder::global().setEnabled(want_trace);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    std::unique_ptr<Trace> trace;
+    {
+        obs::ProfileScope load_scope("load_input");
+        obs::TraceSpan load_span("load_input", "tool");
+        trace = std::make_unique<Trace>(loadInput(args));
+    }
+
+    const CacheConfig base = configFrom(args);
+    RunConfig run;
+    run.purgeInterval = args.getUint("purge", 0);
+    run.warmupRefs = args.getUint("warmup", 0);
+    run.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+
+    const bool sampling = args.has("sample");
+    if (sampling && args.has("stack-curve"))
+        fatal("--sample and --stack-curve are mutually exclusive");
+    if (sampling && args.has("warmup"))
+        fatal("--sample replaces --warmup with --sample-warming/"
+              "--sample-warmup");
+
+    if (args.has("progress")) {
+        std::uint64_t expected = trace->size();
+        // A per-size sweep replays the trace once per point; the
+        // single-pass engine and the Mattson curve cost one pass.
+        if (args.has("sweep") && !args.has("stack-curve") &&
+            !sweepSinglePassEligible(base, run)) {
+            const auto [lo, hi] = sweepRange(args);
+            expected *= powersOfTwo(lo, hi).size();
+        }
+        obs::ProgressMeter::global().start(expected, trace->name());
+    }
+
+    obs::RunManifest manifest;
+    manifest.tool = "cachelab_sim";
+    manifest.traceName = trace->name();
+    manifest.traceRefs = trace->size();
+    manifest.seed = args.getUint("seed", 1);
+    manifest.config = {
+        {"mode", modeName(args, sampling)},
+        {"cache", base.describe()},
+        {"size_bytes", std::to_string(base.sizeBytes)},
+        {"line_bytes", std::to_string(base.lineBytes)},
+        {"associativity", std::to_string(base.associativity)},
+        {"purge_interval", std::to_string(run.purgeInterval)},
+        {"warmup_refs", std::to_string(run.warmupRefs)},
+        {"jobs", std::to_string(run.jobs ? run.jobs
+                                         : ThreadPool::defaultJobs())},
+    };
+    if (args.has("sweep"))
+        manifest.config.emplace_back("sweep", args.get("sweep"));
+    if (sampling)
+        manifest.config.emplace_back("sample",
+                                     sampleConfigFrom(args).describe());
+
+    int rc = 0;
+    {
+        obs::ProfileScope sim_scope("simulate");
+        rc = runModes(args, *trace, base, run, sampling, manifest);
+    }
+
+    if (args.has("progress"))
+        obs::ProgressMeter::global().finish();
+
+    if (want_trace) {
+        obs::ProfileScope report_scope("report.trace");
+        std::ofstream out(args.get("trace-out"));
+        if (!out)
+            fatal("cannot open '", args.get("trace-out"), "'");
+        obs::TraceRecorder::global().write(out);
+        inform("wrote Chrome trace (",
+               obs::TraceRecorder::global().eventCount(), " events) to ",
+               args.get("trace-out"));
+    }
+
+    if (phase_profile)
+        std::cout << "\n" << obs::renderProfileTable(obs::profileReport());
+
+    if (want_manifest) {
+        const double wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                .count();
+        manifest.wallSeconds = wall;
+        obs::Registry &registry = obs::Registry::global();
+        manifest.refsProcessed =
+            registry.snapshot().counterValue("sim.refs") +
+            registry.snapshot().counterValue("sample.refs_processed");
+        // Local pools (--jobs N) publish their own utilization before
+        // they die; only the shared-pool path needs a publish here, and
+        // doing it unconditionally would wipe a local pool's totals.
+        if (run.jobs == 0)
+            obs::publishThreadPool(registry, ThreadPool::shared());
+
+        if (args.get("metrics-json") == "-") {
+            obs::writeManifest(std::cout, manifest);
+        } else {
+            std::ofstream out(args.get("metrics-json"));
+            if (!out)
+                fatal("cannot open '", args.get("metrics-json"), "'");
+            obs::writeManifest(out, manifest);
+            inform("wrote run manifest to ", args.get("metrics-json"));
+        }
+    }
+    return rc;
 }

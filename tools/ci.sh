@@ -24,7 +24,25 @@ run_config() {
 }
 
 run_config build-ci -DCACHELAB_WERROR=ON
+
+echo "==> observability smoke (run manifest + chrome trace)"
+build-ci/tools/cachelab_sim --profile ZGREP --refs 50000 --sweep 256:4096 \
+    --metrics-json build-ci/smoke-manifest.json \
+    --trace-out build-ci/smoke-trace.json --phase-profile --progress
+python3 -m json.tool build-ci/smoke-manifest.json > /dev/null
+python3 -m json.tool build-ci/smoke-trace.json > /dev/null
+echo "    manifest + trace are valid JSON"
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 
-echo "==> ci passed (default + address,undefined)"
+# TSan pass over the concurrency-sensitive layers: the worker pool and
+# the observability primitives (registry, recorder, progress meter)
+# that sweeps hammer from every worker slot.
+echo "==> configure build-ci-tsan (thread sanitizer, concurrency tests)"
+cmake -B build-ci-tsan -S . -DCACHELAB_WERROR=ON -DCACHELAB_SANITIZE=thread
+cmake --build build-ci-tsan -j "${jobs}" --target obs_test thread_pool_test
+ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
+    -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest'
+
+echo "==> ci passed (default + address,undefined + thread)"
