@@ -172,7 +172,13 @@ StackAnalyzer::access(const MemoryRef &ref)
 void
 StackAnalyzer::accessAll(const Trace &trace)
 {
-    for (const MemoryRef &ref : trace)
+    accessAll(trace.refs());
+}
+
+void
+StackAnalyzer::accessAll(std::span<const MemoryRef> refs)
+{
+    for (const MemoryRef &ref : refs)
         access(ref);
 }
 
@@ -316,7 +322,13 @@ SetAssocStackAnalyzer::access(const MemoryRef &ref)
 void
 SetAssocStackAnalyzer::accessAll(const Trace &trace)
 {
-    for (const MemoryRef &ref : trace)
+    accessAll(trace.refs());
+}
+
+void
+SetAssocStackAnalyzer::accessAll(std::span<const MemoryRef> refs)
+{
+    for (const MemoryRef &ref : refs)
         access(ref);
 }
 
@@ -338,6 +350,22 @@ SetAssocStackAnalyzer::missRatioFor(std::uint64_t ways) const
         : 0.0;
 }
 
+namespace
+{
+
+std::vector<double>
+curveFrom(const StackAnalyzer &analyzer,
+          const std::vector<std::uint64_t> &sizes)
+{
+    std::vector<double> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t s : sizes)
+        out.push_back(analyzer.refMissRatioFor(s));
+    return out;
+}
+
+} // namespace
+
 std::vector<double>
 lruMissRatioCurve(const Trace &trace,
                   const std::vector<std::uint64_t> &sizes,
@@ -345,11 +373,19 @@ lruMissRatioCurve(const Trace &trace,
 {
     StackAnalyzer analyzer(line_bytes);
     analyzer.accessAll(trace);
-    std::vector<double> out;
-    out.reserve(sizes.size());
-    for (std::uint64_t s : sizes)
-        out.push_back(analyzer.refMissRatioFor(s));
-    return out;
+    return curveFrom(analyzer, sizes);
+}
+
+std::vector<double>
+lruMissRatioCurve(TraceSource &source,
+                  const std::vector<std::uint64_t> &sizes,
+                  std::uint32_t line_bytes)
+{
+    StackAnalyzer analyzer(line_bytes);
+    source.forEachBatch([&](std::span<const MemoryRef> batch) {
+        analyzer.accessAll(batch);
+    });
+    return curveFrom(analyzer, sizes);
 }
 
 } // namespace cachelab

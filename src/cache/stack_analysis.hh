@@ -42,10 +42,12 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/stats.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace cachelab
@@ -68,6 +70,9 @@ class StackAnalyzer
 
     /** Record every reference of @p trace. */
     void accessAll(const Trace &trace);
+
+    /** Record a batch of references (streaming consumers). */
+    void accessAll(std::span<const MemoryRef> refs);
 
     /** Total references recorded. */
     std::uint64_t refCount() const { return refs_; }
@@ -181,6 +186,12 @@ std::vector<double> lruMissRatioCurve(const Trace &trace,
                                       const std::vector<std::uint64_t> &sizes,
                                       std::uint32_t line_bytes = 16);
 
+/** lruMissRatioCurve() over a streamed source (one pass, O(batch) +
+ *  footprint memory; consumes from the current position). */
+std::vector<double> lruMissRatioCurve(TraceSource &source,
+                                      const std::vector<std::uint64_t> &sizes,
+                                      std::uint32_t line_bytes = 16);
+
 /**
  * All-associativity stack analysis at a fixed set count: one pass
  * yields the line-fetch counts of a set-associative LRU cache for
@@ -203,6 +214,9 @@ class SetAssocStackAnalyzer
 
     /** Record a whole trace. */
     void accessAll(const Trace &trace);
+
+    /** Record a batch of references (streaming consumers). */
+    void accessAll(std::span<const MemoryRef> refs);
 
     /** Line fetches an LRU cache with @p ways ways would perform. */
     std::uint64_t missCountFor(std::uint64_t ways) const;

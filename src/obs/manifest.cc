@@ -5,6 +5,10 @@
 
 #include "obs/manifest.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "util/json_writer.hh"
@@ -55,6 +59,28 @@ writePoolJson(JsonWriter &w, const ThreadPool &pool)
     }
     w.endArray();
     w.endObject();
+}
+
+/**
+ * @return this process's peak resident set in bytes (0 when the
+ * platform can't say).  Sampled at manifest-write time, so it covers
+ * the whole run — the number the out-of-core CI smoke asserts on.
+ */
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss); // already bytes
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024; // KiB
+#endif
+#else
+    return 0;
+#endif
 }
 
 } // namespace
@@ -174,6 +200,7 @@ writeManifest(std::ostream &os, const RunManifest &manifest)
                  ? static_cast<double>(manifest.refsProcessed) /
                      manifest.wallSeconds
                  : 0.0);
+    w.member("peak_rss_bytes", peakRssBytes());
     w.key("thread_pool");
     writePoolJson(w, manifest.pool ? *manifest.pool
                                    : ThreadPool::shared());

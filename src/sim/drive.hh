@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Internal span-based simulation driver shared by runTrace(), the
+ * sweep engines and the sampled driver.
+ *
+ * The hot loop lives here exactly once: driveSpan() advances one
+ * System over a span of references, carrying {purge phase, warm-up
+ * progress, reference count} across calls in a DriveState.  Feeding a
+ * whole trace as one span reproduces the historical runTrace() loop
+ * (and its codegen: the state is copied into locals around the loop);
+ * feeding consecutive batches yields the identical access/purge/
+ * resetStats sequence, which is what makes streamed and materialized
+ * runs bit-identical.
+ */
+
+#ifndef CACHELAB_SIM_DRIVE_HH
+#define CACHELAB_SIM_DRIVE_HH
+
+#include <cstdint>
+#include <span>
+
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace_event.hh"
+#include "sim/run.hh"
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+namespace detail
+{
+
+/** Driver state carried across driveSpan() calls (one per System). */
+struct DriveState
+{
+    std::uint64_t sincePurge = 0;
+    std::uint64_t seen = 0;      ///< references applied so far
+    bool counting = false;       ///< past warm-up, stats are live
+
+    explicit DriveState(const RunConfig &config)
+        : counting(config.warmupRefs == 0)
+    {}
+};
+
+/**
+ * Observability handles sampled once per run (not per span): the
+ * per-reference cost when everything is off stays one well-predicted
+ * branch, and the simulated result is identical either way.
+ */
+struct DriveObs
+{
+    obs::ProgressMeter *progress;
+    obs::TraceRecorder *recorder;
+    bool reportProgress;
+    bool recordPurges;
+
+    DriveObs()
+        : progress(&obs::ProgressMeter::global()),
+          recorder(&obs::TraceRecorder::global()),
+          reportProgress(progress->enabled()),
+          recordPurges(recorder->enabled())
+    {}
+};
+
+constexpr std::uint64_t kDriveProgressChunk = 1 << 16;
+
+/**
+ * Apply @p refs to @p system under @p config, continuing from
+ * @p state.  Thread-safe across distinct (system, state) pairs.
+ */
+template <typename System>
+void
+driveSpan(std::span<const MemoryRef> refs, System &system,
+          const RunConfig &config, DriveState &state, const DriveObs &ob)
+{
+    // Locals restore the register allocation of the historical
+    // single-loop driver; members would reload every iteration.
+    std::uint64_t since_purge = state.sincePurge;
+    std::uint64_t seen = state.seen;
+    bool counting = state.counting;
+
+    // The loop exists twice so the (default) no-progress path carries
+    // no per-reference progress check at all.
+    if (ob.reportProgress) {
+        for (const MemoryRef &ref : refs) {
+            if (config.purgeInterval != 0 &&
+                since_purge == config.purgeInterval) {
+                system.purge();
+                if (ob.recordPurges)
+                    ob.recorder->instant("purge", "sim");
+                since_purge = 0;
+            }
+            system.access(ref);
+            ++since_purge;
+            ++seen;
+            if ((seen & (kDriveProgressChunk - 1)) == 0)
+                ob.progress->advance(kDriveProgressChunk);
+            if (!counting && seen == config.warmupRefs) {
+                system.resetStats();
+                counting = true;
+            }
+        }
+    } else {
+        for (const MemoryRef &ref : refs) {
+            if (config.purgeInterval != 0 &&
+                since_purge == config.purgeInterval) {
+                system.purge();
+                if (ob.recordPurges)
+                    ob.recorder->instant("purge", "sim");
+                since_purge = 0;
+            }
+            system.access(ref);
+            ++since_purge;
+            ++seen;
+            if (!counting && seen == config.warmupRefs) {
+                system.resetStats();
+                counting = true;
+            }
+        }
+    }
+
+    state.sincePurge = since_purge;
+    state.seen = seen;
+    state.counting = counting;
+}
+
+/**
+ * Close out one driven run: flush the sub-chunk progress remainder,
+ * bump the sim.* counters, and enforce the length-dependent config
+ * rules that a streaming run can only check once the stream has
+ * drained (see RunConfig::warmupRefs).
+ */
+void driveFinish(const DriveState &state, const RunConfig &config,
+                 const DriveObs &ob);
+
+} // namespace detail
+} // namespace cachelab
+
+#endif // CACHELAB_SIM_DRIVE_HH

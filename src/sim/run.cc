@@ -5,98 +5,87 @@
 
 #include "sim/run.hh"
 
-#include <type_traits>
+#include <vector>
 
-#include "obs/metrics.hh"
-#include "obs/progress.hh"
-#include "obs/trace_event.hh"
+#include "sim/drive.hh"
 #include "util/logging.hh"
 
 namespace cachelab
 {
 
+namespace detail
+{
+
+void
+driveFinish(const DriveState &state, const RunConfig &config,
+            const DriveObs &ob)
+{
+    // Length-dependent config rules, checked here so streaming runs
+    // (length unknown up front) enforce the same contract as
+    // materialized ones: a warm-up that consumed every reference
+    // measured nothing, and a purge interval longer than the run
+    // never fired.
+    if (config.warmupRefs != 0 && config.warmupRefs >= state.seen)
+        fatal("warmupRefs (", config.warmupRefs,
+              ") must leave at least one measured reference; the run "
+              "had only ", state.seen);
+    CACHELAB_ASSERT(config.purgeInterval == 0 ||
+                        config.purgeInterval <= state.seen,
+                    "purgeInterval (", config.purgeInterval,
+                    ") exceeds run length (", state.seen,
+                    "); no purge would ever fire");
+
+    if (ob.reportProgress)
+        ob.progress->advance(state.seen & (kDriveProgressChunk - 1));
+    obs::Registry &registry = obs::Registry::global();
+    registry.counter("sim.runs").add(1);
+    registry.counter("sim.refs").add(state.seen);
+}
+
+} // namespace detail
+
 namespace
 {
 
-/** Shared driver over anything with access()/purge()/resetStats(). */
+/** Materialized fast path: the whole trace is one span. */
 template <typename System, typename StatsFn>
 CacheStats
-drive(const Trace &trace, System &system, const RunConfig &config,
-      StatsFn &&stats_of)
+driveTrace(const Trace &trace, System &system, const RunConfig &config,
+           StatsFn &&stats_of)
 {
-    // Guard against configurations that would silently measure the
-    // wrong thing: a warm-up at least as long as the trace leaves no
-    // measured references, and a purge interval of one whole trace
-    // never fires.  All index arithmetic is 64-bit so the counters
-    // cannot wrap on long (multi-billion-reference) streams.
-    CACHELAB_ASSERT(config.warmupRefs <= trace.size(),
-                    "warmupRefs (", config.warmupRefs,
-                    ") exceeds trace length (", trace.size(), ")");
+    // Check up front — the materialized length is known, so there is
+    // no reason to burn a full run before reporting a bad config.
+    if (config.warmupRefs != 0 && config.warmupRefs >= trace.size())
+        fatal("warmupRefs (", config.warmupRefs,
+              ") must leave at least one measured reference; trace '",
+              trace.name(), "' has ", trace.size());
     CACHELAB_ASSERT(config.purgeInterval == 0 ||
                         config.purgeInterval <= trace.size(),
                     "purgeInterval (", config.purgeInterval,
                     ") exceeds trace length (", trace.size(),
                     "); no purge would ever fire");
 
-    // Observability is sampled into locals up front so the per-ref
-    // cost when everything is off is one well-predicted branch; the
-    // simulated result is identical either way.
-    obs::ProgressMeter &progress = obs::ProgressMeter::global();
-    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
-    const bool report_progress = progress.enabled();
-    const bool record_purges = recorder.enabled();
-    constexpr std::uint64_t kProgressChunk = 1 << 16;
+    detail::DriveState state(config);
+    const detail::DriveObs ob;
+    detail::driveSpan(trace.refs(), system, config, state, ob);
+    detail::driveFinish(state, config, ob);
+    return stats_of(system);
+}
 
-    std::uint64_t since_purge = 0;
-    std::uint64_t seen = 0;
-    bool counting = config.warmupRefs == 0;
-
-    // The loop exists twice so the (default) no-progress path carries
-    // no per-reference check at all: the else branch below is the
-    // exact pre-observability loop, keeping the instrumented binary
-    // within measurement noise of the uninstrumented one.
-    if (report_progress) {
-        for (const MemoryRef &ref : trace) {
-            if (config.purgeInterval != 0 &&
-                since_purge == config.purgeInterval) {
-                system.purge();
-                if (record_purges)
-                    recorder.instant("purge", "sim");
-                since_purge = 0;
-            }
-            system.access(ref);
-            ++since_purge;
-            ++seen;
-            if ((seen & (kProgressChunk - 1)) == 0)
-                progress.advance(kProgressChunk);
-            if (!counting && seen == config.warmupRefs) {
-                system.resetStats();
-                counting = true;
-            }
-        }
-        progress.advance(seen & (kProgressChunk - 1));
-    } else {
-        for (const MemoryRef &ref : trace) {
-            if (config.purgeInterval != 0 &&
-                since_purge == config.purgeInterval) {
-                system.purge();
-                if (record_purges)
-                    recorder.instant("purge", "sim");
-                since_purge = 0;
-            }
-            system.access(ref);
-            ++since_purge;
-            ++seen;
-            if (!counting && seen == config.warmupRefs) {
-                system.resetStats();
-                counting = true;
-            }
-        }
-    }
-
-    obs::Registry &registry = obs::Registry::global();
-    registry.counter("sim.runs").add(1);
-    registry.counter("sim.refs").add(seen);
+/** Streaming path: consume batches until the source drains. */
+template <typename System, typename StatsFn>
+CacheStats
+driveSource(TraceSource &source, System &system, const RunConfig &config,
+            StatsFn &&stats_of)
+{
+    detail::DriveState state(config);
+    const detail::DriveObs ob;
+    std::vector<MemoryRef> buffer(config.resolvedBatchRefs());
+    std::size_t got;
+    while ((got = source.nextBatch(buffer)) != 0)
+        detail::driveSpan(std::span<const MemoryRef>(buffer.data(), got),
+                          system, config, state, ob);
+    detail::driveFinish(state, config, ob);
     return stats_of(system);
 }
 
@@ -105,15 +94,29 @@ drive(const Trace &trace, System &system, const RunConfig &config,
 CacheStats
 runTrace(const Trace &trace, CacheSystem &system, const RunConfig &config)
 {
-    return drive(trace, system, config,
-                 [](CacheSystem &s) { return s.combinedStats(); });
+    return driveTrace(trace, system, config,
+                      [](CacheSystem &s) { return s.combinedStats(); });
 }
 
 CacheStats
 runTrace(const Trace &trace, Cache &cache, const RunConfig &config)
 {
-    return drive(trace, cache, config,
-                 [](Cache &c) { return c.stats(); });
+    return driveTrace(trace, cache, config,
+                      [](Cache &c) { return c.stats(); });
+}
+
+CacheStats
+runTrace(TraceSource &source, CacheSystem &system, const RunConfig &config)
+{
+    return driveSource(source, system, config,
+                       [](CacheSystem &s) { return s.combinedStats(); });
+}
+
+CacheStats
+runTrace(TraceSource &source, Cache &cache, const RunConfig &config)
+{
+    return driveSource(source, cache, config,
+                       [](Cache &c) { return c.stats(); });
 }
 
 } // namespace cachelab

@@ -2,6 +2,12 @@
  * @file
  * Simulation drivers: feed a trace through a cache organization,
  * optionally purging at a fixed task-switch interval.
+ *
+ * Drivers come in two flavours sharing one hot loop (sim/drive.hh):
+ * materialized (const Trace&) and streaming (TraceSource&).  The
+ * streaming overloads consume the source from its current position in
+ * O(batch) memory and produce CacheStats bit-identical to running the
+ * materialized trace.
  */
 
 #ifndef CACHELAB_SIM_RUN_HH
@@ -10,6 +16,7 @@
 #include <cstdint>
 
 #include "cache/organization.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace cachelab
@@ -29,9 +36,16 @@ struct RunConfig
     /**
      * References to run before statistics begin (cold-start warm-up).
      * The paper's runs are cold-start (a trace *is* the program's
-     * start), so the default is 0.  Must not exceed the trace length
-     * (runTrace() asserts; a longer warm-up would silently measure
-     * nothing).
+     * start), so the default is 0.
+     *
+     * Warm-up rule (uniform across drivers): a whole-run warm-up must
+     * leave at least one measured reference, i.e. warmupRefs must be
+     * strictly less than the number of references driven — otherwise
+     * the run would silently measure nothing, and the driver raises a
+     * fatal error instead.  Materialized runs check up front;
+     * streaming runs check when the stream drains.  Per-interval
+     * warm-up in sampled runs follows a different rule — see
+     * SampleConfig::warmupRefs (clamped, never fatal).
      */
     std::uint64_t warmupRefs = 0;
 
@@ -43,6 +57,23 @@ struct RunConfig
      * controls how many independent runs execute at once.
      */
     unsigned jobs = 0;
+
+    /**
+     * Batch size (references) the streaming drivers read per
+     * nextBatch() call; 0 = kDefaultBatchRefs.  Results never depend
+     * on it — it only trades buffer memory against call overhead (and
+     * lets tests exercise chunk boundaries, e.g. batchRefs = 1).
+     */
+    std::size_t batchRefs = 0;
+
+    /** @return batchRefs resolved against the default. */
+    std::size_t
+    resolvedBatchRefs() const
+    {
+        return batchRefs != 0
+            ? batchRefs
+            : static_cast<std::size_t>(TraceSource::kDefaultBatchRefs);
+    }
 };
 
 /**
@@ -56,6 +87,19 @@ CacheStats runTrace(const Trace &trace, CacheSystem &system,
 
 /** Convenience overload for a bare cache. */
 CacheStats runTrace(const Trace &trace, Cache &cache,
+                    const RunConfig &config = {});
+
+/**
+ * Run a streamed @p source through @p system in O(batch) memory.
+ * Consumes the source from its current position (reset() first for a
+ * full pass); statistics are bit-identical to the materialized run
+ * over the same reference sequence.
+ */
+CacheStats runTrace(TraceSource &source, CacheSystem &system,
+                    const RunConfig &config = {});
+
+/** Streaming overload for a bare cache. */
+CacheStats runTrace(TraceSource &source, Cache &cache,
                     const RunConfig &config = {});
 
 } // namespace cachelab

@@ -53,6 +53,25 @@ SampledRunResult runSampled(const Trace &trace, CacheSystem &system,
                             const SampleConfig &sample,
                             const RunConfig &run = {});
 
+/**
+ * Streamed sampled run: one pass over @p source in O(batch) memory,
+ * bit-identical to the materialized runSampled() over the same
+ * reference sequence (the interval plan depends only on the length).
+ *
+ * The sampling plan needs the total reference count.  When the source
+ * does not know its length, a counting pass runs first and the source
+ * is reset() for the measured pass.  The source must be positioned at
+ * its beginning.
+ */
+SampledRunResult runSampled(TraceSource &source, Cache &cache,
+                            const SampleConfig &sample,
+                            const RunConfig &run = {});
+
+/** Streamed sampled run over a composite organization. */
+SampledRunResult runSampled(TraceSource &source, CacheSystem &system,
+                            const SampleConfig &sample,
+                            const RunConfig &run = {});
+
 /** One point of a sampled size sweep. */
 struct SampledSweepPoint
 {
@@ -88,6 +107,29 @@ struct SplitSampledSweepPoint
  */
 std::vector<SplitSampledSweepPoint> sweepSplitSampled(
     const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run = {});
+
+/**
+ * Out-of-core sweepUnifiedSampled(): chunk-synchronous over the size
+ * axis — every batch read from @p source feeds one incremental
+ * sampled engine per size, so the whole sweep is one input pass (plus
+ * a counting pass when the length is unknown) and the per-size
+ * results are bit-identical to the materialized sampled sweep.
+ */
+std::vector<SampledSweepPoint> sweepUnifiedSampled(
+    TraceSource &source, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run = {});
+
+/**
+ * Out-of-core sweepSplitSampled(): a counting pass (kind tallies for
+ * the per-side sampling plans) followed by one streamed pass that
+ * partitions each batch into its I and D sub-streams and feeds the
+ * per-size engines of both sides.  reset() support is required.
+ */
+std::vector<SplitSampledSweepPoint> sweepSplitSampled(
+    TraceSource &source, const std::vector<std::uint64_t> &sizes,
     const CacheConfig &base, const SampleConfig &sample,
     const RunConfig &run = {});
 

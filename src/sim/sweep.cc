@@ -6,9 +6,11 @@
 #include "sim/sweep.hh"
 
 #include <cstring>
+#include <memory>
 
 #include "cache/organization.hh"
 #include "cache/stack_analysis.hh"
+#include "sim/drive.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/progress.hh"
@@ -46,6 +48,36 @@ sweepParallelFor(std::size_t n, const RunConfig &run,
     // the pool.* gauges (the manifest's thread_pool section records
     // the process-wide shared pool).
     obs::publishThreadPool(obs::Registry::global(), pool);
+}
+
+BatchExecutor::BatchExecutor(const RunConfig &run)
+{
+    if (run.jobs == 1 || ThreadPool::onWorkerThread())
+        return; // serial
+    if (run.jobs == 0) {
+        pool_ = &ThreadPool::shared();
+        return;
+    }
+    local_ = std::make_unique<ThreadPool>(run.jobs);
+    pool_ = local_.get();
+}
+
+BatchExecutor::~BatchExecutor()
+{
+    if (local_)
+        obs::publishThreadPool(obs::Registry::global(), *local_);
+}
+
+void
+BatchExecutor::parallelFor(std::size_t n,
+                           const std::function<void(std::size_t)> &fn)
+{
+    if (pool_ != nullptr) {
+        pool_->parallelFor(n, fn);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        fn(i);
 }
 
 } // namespace detail
@@ -184,6 +216,155 @@ sweepSplitSinglePass(const Trace &trace,
     return out;
 }
 
+std::vector<SweepPoint>
+sweepUnifiedPerSizeStream(TraceSource &source,
+                          const std::vector<std::uint64_t> &sizes,
+                          const CacheConfig &base, const RunConfig &run)
+{
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.stream");
+    obs::TraceSpan span("sweep_stream", "sweep",
+                        {{"trace", source.name()}});
+
+    std::vector<std::unique_ptr<Cache>> caches;
+    caches.reserve(sizes.size());
+    for (std::uint64_t size : sizes)
+        caches.push_back(std::make_unique<Cache>(configAt(base, size)));
+    std::vector<detail::DriveState> states(sizes.size(),
+                                           detail::DriveState(run));
+    const detail::DriveObs ob;
+
+    // One input pass: each batch fans out over the size axis.  Every
+    // cache sees the exact reference sequence a dedicated full run
+    // would feed it, so the results are bitwise those of the
+    // materialized per-size sweep.
+    detail::BatchExecutor exec(run);
+    std::vector<MemoryRef> buffer(run.resolvedBatchRefs());
+    std::size_t got;
+    while ((got = source.nextBatch(buffer)) != 0) {
+        const std::span<const MemoryRef> batch(buffer.data(), got);
+        exec.parallelFor(sizes.size(), [&](std::size_t i) {
+            detail::driveSpan(batch, *caches[i], run, states[i], ob);
+        });
+    }
+
+    std::vector<SweepPoint> out(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        detail::driveFinish(states[i], run, ob);
+        out[i] = {sizes[i], caches[i]->stats()};
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepUnifiedSinglePassStream(TraceSource &source,
+                             const std::vector<std::uint64_t> &sizes,
+                             const CacheConfig &base, const RunConfig &run)
+{
+    CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
+                    "single-pass sweep requires the Table 1 shape");
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.single_pass");
+    obs::TraceSpan span("single_pass", "sweep",
+                        {{"trace", source.name()}});
+    StackAnalyzer analyzer(base.lineBytes);
+    std::uint64_t total = 0;
+    source.forEachBatch(
+        [&](std::span<const MemoryRef> batch) {
+            analyzer.accessAll(batch);
+            total += batch.size();
+        },
+        run.resolvedBatchRefs());
+    obs::Registry::global().counter("sim.refs").add(total);
+    if (obs::ProgressMeter::global().enabled())
+        obs::ProgressMeter::global().advance(total);
+    std::vector<SweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        configAt(base, size); // same validation as a real run
+        out.push_back({size, analyzer.table1StatsFor(size)});
+    }
+    return out;
+}
+
+std::vector<SplitSweepPoint>
+sweepSplitPerSizeStream(TraceSource &source,
+                        const std::vector<std::uint64_t> &sizes,
+                        const CacheConfig &base, const RunConfig &run)
+{
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.stream");
+    obs::TraceSpan span("sweep_stream", "sweep",
+                        {{"trace", source.name()},
+                         {"organization", "split"}});
+
+    std::vector<std::unique_ptr<SplitCache>> splits;
+    splits.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        const CacheConfig config = configAt(base, size);
+        splits.push_back(std::make_unique<SplitCache>(config, config));
+    }
+    std::vector<detail::DriveState> states(sizes.size(),
+                                           detail::DriveState(run));
+    const detail::DriveObs ob;
+
+    detail::BatchExecutor exec(run);
+    std::vector<MemoryRef> buffer(run.resolvedBatchRefs());
+    std::size_t got;
+    while ((got = source.nextBatch(buffer)) != 0) {
+        const std::span<const MemoryRef> batch(buffer.data(), got);
+        exec.parallelFor(sizes.size(), [&](std::size_t i) {
+            detail::driveSpan(batch, *splits[i], run, states[i], ob);
+        });
+    }
+
+    std::vector<SplitSweepPoint> out(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        detail::driveFinish(states[i], run, ob);
+        out[i] = {sizes[i], splits[i]->icache().stats(),
+                  splits[i]->dcache().stats()};
+    }
+    return out;
+}
+
+std::vector<SplitSweepPoint>
+sweepSplitSinglePassStream(TraceSource &source,
+                           const std::vector<std::uint64_t> &sizes,
+                           const CacheConfig &base, const RunConfig &run)
+{
+    CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
+                    "single-pass sweep requires the Table 1 shape");
+    obs::Registry::global().counter("sweep.points").add(sizes.size());
+    obs::ProfileScope profile("sweep.single_pass");
+    obs::TraceSpan span("single_pass", "sweep",
+                        {{"trace", source.name()},
+                         {"organization", "split"}});
+    StackAnalyzer istream(base.lineBytes), dstream(base.lineBytes);
+    std::uint64_t total = 0;
+    source.forEachBatch(
+        [&](std::span<const MemoryRef> batch) {
+            for (const MemoryRef &ref : batch) {
+                if (ref.kind == AccessKind::IFetch)
+                    istream.access(ref);
+                else
+                    dstream.access(ref);
+            }
+            total += batch.size();
+        },
+        run.resolvedBatchRefs());
+    obs::Registry::global().counter("sim.refs").add(total);
+    if (obs::ProgressMeter::global().enabled())
+        obs::ProgressMeter::global().advance(total);
+    std::vector<SplitSweepPoint> out;
+    out.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        configAt(base, size);
+        out.push_back({size, istream.table1StatsFor(size),
+                       dstream.table1StatsFor(size)});
+    }
+    return out;
+}
+
 } // namespace
 
 std::vector<std::uint64_t>
@@ -280,6 +461,89 @@ sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
       case SweepEngine::Sampled: {
         const auto sampled =
             sweepSplitSampled(trace, sizes, base, SampleConfig{}, run);
+        std::vector<SplitSweepPoint> out;
+        out.reserve(sampled.size());
+        for (const SplitSampledSweepPoint &pt : sampled)
+            out.push_back({pt.cacheBytes, pt.icache.estimated,
+                           pt.dcache.estimated});
+        return out;
+      }
+    }
+    panic("unreachable sweep engine");
+}
+
+std::vector<SweepPoint>
+sweepUnified(TraceSource &source, const std::vector<std::uint64_t> &sizes,
+             const CacheConfig &base, const RunConfig &run,
+             SweepEngine engine)
+{
+    switch (engine) {
+      case SweepEngine::Auto:
+        return sweepSinglePassEligible(base, run)
+            ? sweepUnifiedSinglePassStream(source, sizes, base, run)
+            : sweepUnifiedPerSizeStream(source, sizes, base, run);
+      case SweepEngine::PerSize:
+        return sweepUnifiedPerSizeStream(source, sizes, base, run);
+      case SweepEngine::SinglePass:
+        return sweepUnifiedSinglePassStream(source, sizes, base, run);
+      case SweepEngine::Verify: {
+        const auto per_size =
+            sweepUnifiedPerSizeStream(source, sizes, base, run);
+        source.reset();
+        const auto fast =
+            sweepUnifiedSinglePassStream(source, sizes, base, run);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (!statsEqual(per_size[i].stats, fast[i].stats))
+                reportMismatch("unified", sizes[i], per_size[i].stats,
+                               fast[i].stats);
+        }
+        return per_size;
+      }
+      case SweepEngine::Sampled: {
+        const auto sampled =
+            sweepUnifiedSampled(source, sizes, base, SampleConfig{}, run);
+        std::vector<SweepPoint> out;
+        out.reserve(sampled.size());
+        for (const SampledSweepPoint &pt : sampled)
+            out.push_back({pt.cacheBytes, pt.result.estimated});
+        return out;
+      }
+    }
+    panic("unreachable sweep engine");
+}
+
+std::vector<SplitSweepPoint>
+sweepSplit(TraceSource &source, const std::vector<std::uint64_t> &sizes,
+           const CacheConfig &base, const RunConfig &run, SweepEngine engine)
+{
+    switch (engine) {
+      case SweepEngine::Auto:
+        return sweepSinglePassEligible(base, run)
+            ? sweepSplitSinglePassStream(source, sizes, base, run)
+            : sweepSplitPerSizeStream(source, sizes, base, run);
+      case SweepEngine::PerSize:
+        return sweepSplitPerSizeStream(source, sizes, base, run);
+      case SweepEngine::SinglePass:
+        return sweepSplitSinglePassStream(source, sizes, base, run);
+      case SweepEngine::Verify: {
+        const auto per_size =
+            sweepSplitPerSizeStream(source, sizes, base, run);
+        source.reset();
+        const auto fast =
+            sweepSplitSinglePassStream(source, sizes, base, run);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (!statsEqual(per_size[i].icache, fast[i].icache))
+                reportMismatch("split icache", sizes[i], per_size[i].icache,
+                               fast[i].icache);
+            if (!statsEqual(per_size[i].dcache, fast[i].dcache))
+                reportMismatch("split dcache", sizes[i], per_size[i].dcache,
+                               fast[i].dcache);
+        }
+        return per_size;
+      }
+      case SweepEngine::Sampled: {
+        const auto sampled =
+            sweepSplitSampled(source, sizes, base, SampleConfig{}, run);
         std::vector<SplitSweepPoint> out;
         out.reserve(sampled.size());
         for (const SplitSampledSweepPoint &pt : sampled)

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/config.hh"
@@ -34,6 +35,8 @@
 
 namespace cachelab
 {
+
+class ThreadPool;
 
 namespace detail
 {
@@ -45,6 +48,27 @@ namespace detail
  */
 void sweepParallelFor(std::size_t n, const RunConfig &run,
                       const std::function<void(std::size_t)> &fn);
+
+/**
+ * Fan-out helper for the chunk-synchronous streaming engines: the
+ * same serial / shared-pool / local-pool policy as sweepParallelFor,
+ * but holding any local pool open across *all* batches of a stream
+ * instead of rebuilding it per batch.
+ */
+class BatchExecutor
+{
+  public:
+    explicit BatchExecutor(const RunConfig &run);
+    ~BatchExecutor();
+
+    /** Run fn(0) .. fn(n-1) under the policy chosen at construction. */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    ThreadPool *pool_ = nullptr;
+    std::unique_ptr<ThreadPool> local_;
+};
 
 } // namespace detail
 
@@ -114,6 +138,34 @@ struct SplitSweepPoint
  */
 std::vector<SplitSweepPoint> sweepSplit(
     const Trace &trace, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const RunConfig &run = {},
+    SweepEngine engine = SweepEngine::Auto);
+
+/**
+ * Out-of-core sweepUnified(): stream @p source through every size in
+ * one input pass, never materializing the trace.
+ *
+ * The per-size engine is chunk-synchronous — each batch read from the
+ * source fans out over the size axis (each size owns its cache and
+ * carried driver state), so memory is O(batch + sizes), the input is
+ * decoded once, and the statistics are bit-identical to the
+ * materialized sweep.  Single-pass streams the Mattson analyzer; its
+ * memory is O(footprint), not O(length).
+ *
+ * The source must be positioned at its beginning.  Engines that need
+ * more than one pass (Verify; Sampled when the length is unknown)
+ * reset() it between passes.
+ */
+std::vector<SweepPoint> sweepUnified(TraceSource &source,
+                                     const std::vector<std::uint64_t> &sizes,
+                                     const CacheConfig &base,
+                                     const RunConfig &run = {},
+                                     SweepEngine engine = SweepEngine::Auto);
+
+/** Out-of-core sweepSplit(); same guarantees as streaming
+ *  sweepUnified(). */
+std::vector<SplitSweepPoint> sweepSplit(
+    TraceSource &source, const std::vector<std::uint64_t> &sizes,
     const CacheConfig &base, const RunConfig &run = {},
     SweepEngine engine = SweepEngine::Auto);
 

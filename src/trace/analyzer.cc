@@ -5,104 +5,113 @@
 
 #include "trace/analyzer.hh"
 
-#include <unordered_set>
-
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace cachelab
 {
 
-TraceCharacteristics
-analyzeTrace(const Trace &trace, const AnalyzerConfig &config)
+TraceAnalyzer::TraceAnalyzer(const AnalyzerConfig &config) : config_(config)
 {
-    CACHELAB_ASSERT(isPowerOfTwo(config.lineBytes),
+    CACHELAB_ASSERT(isPowerOfTwo(config_.lineBytes),
                     "line size must be a power of two");
+}
 
-    TraceCharacteristics out;
-    out.refCount = trace.size();
-    if (trace.empty())
-        return out;
+void
+TraceAnalyzer::closeRun(Addr end_addr)
+{
+    if (runLen_ == 0)
+        return;
+    out_.sequentialRuns.add(runLen_);
+    runBytesSum_ += static_cast<double>(end_addr - runStart_);
+    ++runCount_;
+    runLen_ = 0;
+}
 
-    std::unordered_set<Addr> ilines;
-    std::unordered_set<Addr> dlines;
-    std::uint64_t ifetches = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t branches = 0;
-
-    bool havePrevIfetch = false;
-    Addr prevIfetch = 0;
-    Addr runStart = 0;
-    std::uint64_t runLen = 0;
-    double runBytesSum = 0.0;
-    std::uint64_t runCount = 0;
-
-    auto closeRun = [&](Addr end_addr) {
-        if (runLen == 0)
-            return;
-        out.sequentialRuns.add(runLen);
-        runBytesSum += static_cast<double>(end_addr - runStart);
-        ++runCount;
-        runLen = 0;
-    };
-
-    for (const MemoryRef &ref : trace) {
+void
+TraceAnalyzer::feed(std::span<const MemoryRef> refs)
+{
+    out_.refCount += refs.size();
+    for (const MemoryRef &ref : refs) {
         const bool treatAsIfetch =
             ref.kind == AccessKind::IFetch ||
-            (config.mergedFetch && ref.kind == AccessKind::Read);
+            (config_.mergedFetch && ref.kind == AccessKind::Read);
         switch (ref.kind) {
           case AccessKind::IFetch:
-            ++ifetches;
+            ++ifetches_;
             break;
           case AccessKind::Read:
-            ++reads;
+            ++reads_;
             break;
           case AccessKind::Write:
-            ++writes;
+            ++writes_;
             break;
         }
 
-        const Addr line = alignDown(ref.addr, config.lineBytes);
+        const Addr line = alignDown(ref.addr, config_.lineBytes);
         if (treatAsIfetch)
-            ilines.insert(line);
+            ilines_.insert(line);
         else
-            dlines.insert(line);
+            dlines_.insert(line);
 
         if (ref.kind != AccessKind::IFetch)
             continue;
 
-        if (havePrevIfetch) {
-            const bool taken = ref.addr < prevIfetch ||
-                ref.addr > prevIfetch + config.branchWindowBytes;
+        if (havePrevIfetch_) {
+            const bool taken = ref.addr < prevIfetch_ ||
+                ref.addr > prevIfetch_ + config_.branchWindowBytes;
             if (taken) {
-                ++branches;
-                closeRun(prevIfetch + ref.size);
-                runStart = ref.addr;
+                ++branches_;
+                closeRun(prevIfetch_ + ref.size);
+                runStart_ = ref.addr;
             }
         } else {
-            runStart = ref.addr;
+            runStart_ = ref.addr;
         }
-        ++runLen;
-        prevIfetch = ref.addr;
-        havePrevIfetch = true;
+        ++runLen_;
+        prevIfetch_ = ref.addr;
+        havePrevIfetch_ = true;
     }
-    closeRun(prevIfetch);
+}
 
-    const auto total = static_cast<double>(trace.size());
-    out.ifetchFraction = static_cast<double>(ifetches) / total;
-    out.readFraction = static_cast<double>(reads) / total;
-    out.writeFraction = static_cast<double>(writes) / total;
-    out.ilines = ilines.size();
-    out.dlines = dlines.size();
-    out.aspaceBytes =
-        static_cast<std::uint64_t>(config.lineBytes) * (out.ilines + out.dlines);
-    out.branchFraction =
-        ifetches ? static_cast<double>(branches) / static_cast<double>(ifetches)
-                 : 0.0;
-    out.meanSequentialRunBytes =
-        runCount ? runBytesSum / static_cast<double>(runCount) : 0.0;
-    return out;
+TraceCharacteristics
+TraceAnalyzer::finish()
+{
+    closeRun(prevIfetch_);
+    if (out_.refCount == 0)
+        return out_;
+
+    const auto total = static_cast<double>(out_.refCount);
+    out_.ifetchFraction = static_cast<double>(ifetches_) / total;
+    out_.readFraction = static_cast<double>(reads_) / total;
+    out_.writeFraction = static_cast<double>(writes_) / total;
+    out_.ilines = ilines_.size();
+    out_.dlines = dlines_.size();
+    out_.aspaceBytes = static_cast<std::uint64_t>(config_.lineBytes) *
+        (out_.ilines + out_.dlines);
+    out_.branchFraction = ifetches_
+        ? static_cast<double>(branches_) / static_cast<double>(ifetches_)
+        : 0.0;
+    out_.meanSequentialRunBytes =
+        runCount_ ? runBytesSum_ / static_cast<double>(runCount_) : 0.0;
+    return out_;
+}
+
+TraceCharacteristics
+analyzeTrace(const Trace &trace, const AnalyzerConfig &config)
+{
+    TraceAnalyzer analyzer(config);
+    analyzer.feed(trace.refs());
+    return analyzer.finish();
+}
+
+TraceCharacteristics
+analyzeTrace(TraceSource &source, const AnalyzerConfig &config)
+{
+    TraceAnalyzer analyzer(config);
+    source.forEachBatch(
+        [&](std::span<const MemoryRef> batch) { analyzer.feed(batch); });
+    return analyzer.finish();
 }
 
 } // namespace cachelab

@@ -17,8 +17,11 @@
 #define CACHELAB_TRACE_ANALYZER_HH
 
 #include <cstdint>
+#include <span>
+#include <unordered_set>
 
 #include "stats/histogram.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace cachelab
@@ -61,8 +64,52 @@ struct TraceCharacteristics
     double meanSequentialRunBytes = 0.0;
 };
 
+/**
+ * Incremental trace characterization: feed() spans in order, then
+ * finish() once.  Produces bit-identical results to analyzing the
+ * concatenated spans in one pass, so streaming consumers (TraceSource
+ * batches) and materialized traces share one implementation.
+ *
+ * Footprint state (the distinct-line sets) grows with the trace's
+ * address-space size, not its length.
+ */
+class TraceAnalyzer
+{
+  public:
+    explicit TraceAnalyzer(const AnalyzerConfig &config = {});
+
+    /** Account a batch of references (call in stream order). */
+    void feed(std::span<const MemoryRef> refs);
+
+    /** Close the final run and compute the summary row. */
+    TraceCharacteristics finish();
+
+  private:
+    void closeRun(Addr end_addr);
+
+    AnalyzerConfig config_;
+    TraceCharacteristics out_;
+    std::unordered_set<Addr> ilines_;
+    std::unordered_set<Addr> dlines_;
+    std::uint64_t ifetches_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t branches_ = 0;
+    bool havePrevIfetch_ = false;
+    Addr prevIfetch_ = 0;
+    Addr runStart_ = 0;
+    std::uint64_t runLen_ = 0;
+    double runBytesSum_ = 0.0;
+    std::uint64_t runCount_ = 0;
+};
+
 /** Characterize @p trace under @p config. */
 TraceCharacteristics analyzeTrace(const Trace &trace,
+                                  const AnalyzerConfig &config = {});
+
+/** Characterize a streamed @p source under @p config (one pass,
+ *  O(batch + footprint) memory). */
+TraceCharacteristics analyzeTrace(TraceSource &source,
                                   const AnalyzerConfig &config = {});
 
 } // namespace cachelab

@@ -2,63 +2,131 @@
  * @file
  * Trace file input/output.
  *
- * Two formats are supported:
+ * Three formats are supported, unified behind the TraceFormat enum:
  *
- *  1. "din" text — the classic Dinero trace format that the original
- *     1980s tooling used: one reference per line, `<label> <hex-addr>
- *     [size]`, where label 0 = read, 1 = write, 2 = instruction fetch.
- *     Lines starting with '#' are comments.  The optional third field
- *     (access size in bytes, decimal) is an extension; absent sizes
- *     default to 4 bytes.
+ *  1. TraceFormat::Din — the classic Dinero text format that the
+ *     original 1980s tooling used: one reference per line, `<label>
+ *     <hex-addr> [size]`, where label 0 = read, 1 = write, 2 =
+ *     instruction fetch.  Lines starting with '#' are comments.  The
+ *     optional third field (access size in bytes, decimal) is an
+ *     extension; absent sizes default to 4 bytes.  Our writer emits a
+ *     `# refs: N` comment so streaming readers can report a length.
  *
- *  2. binary — a compact packed format (magic "CLT1") for fast
- *     round-tripping of generated workloads.
+ *  2. TraceFormat::Binary — a compact packed format (magic "CLT1")
+ *     for fast round-tripping of generated workloads.
+ *
+ *  3. TraceFormat::Compressed — magic "CLT2": per-kind delta encoding
+ *     of addresses with zigzag + LEB128 varints, and run-length
+ *     encoded sizes.  Local traces compress to a fraction of the
+ *     packed format (typically 3-6x smaller).
+ *
+ * Two access styles:
+ *
+ *  - Materialized: writeTrace()/readTrace() and the path-level
+ *    saveTrace()/loadTrace() move whole Trace objects.
+ *  - Streaming: openTraceSource() returns a TraceSource that decodes
+ *    on demand in O(batch) memory — an mmap-backed zero-copy reader
+ *    for Binary, incremental decoders for Din and Compressed — and
+ *    saveTrace(TraceSource&, ...) writes a stream without ever
+ *    materializing it.
  */
 
 #ifndef CACHELAB_TRACE_IO_HH
 #define CACHELAB_TRACE_IO_HH
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace cachelab
 {
 
-/** Write @p trace to @p os in din text format. */
-void writeDin(const Trace &trace, std::ostream &os);
+/** On-disk trace encodings. */
+enum class TraceFormat : std::uint8_t
+{
+    Din,        ///< classic Dinero text, one reference per line
+    Binary,     ///< packed records, magic "CLT1"
+    Compressed, ///< delta/varint records, magic "CLT2"
+};
+
+/** @return display name ("din"/"binary"/"compressed"). */
+std::string_view toString(TraceFormat format);
+
+/** @return the format implied by @p path's extension
+ *  (".din" = Din, ".ctr" = Compressed, anything else = Binary). */
+TraceFormat formatForPath(const std::string &path);
+
+/** Write @p trace to @p os in @p format. */
+void writeTrace(const Trace &trace, std::ostream &os, TraceFormat format);
 
 /**
- * Parse a din text stream.
+ * Parse one trace from @p is in @p format.
  *
- * @param name name to give the resulting trace.
+ * @param name name for the trace when the format does not embed one
+ *        (Din); Binary/Compressed carry their own and ignore it.
  * @throws via fatal() on malformed input.
  */
-Trace readDin(std::istream &is, std::string name);
+Trace readTrace(std::istream &is, TraceFormat format, std::string name);
 
-/** Write @p trace to @p os in the packed binary format. */
-void writeBinary(const Trace &trace, std::ostream &os);
-
-/** Read a packed binary trace; fatal() on corrupt input. */
-Trace readBinary(std::istream &is);
+/** Write @p trace to @p path in @p format. */
+void saveTrace(const Trace &trace, const std::string &path,
+               TraceFormat format);
 
 /**
- * Write @p trace in the compressed binary format (magic "CLT2"):
- * per-kind delta encoding of addresses with zigzag + LEB128 varints,
- * and run-length encoded sizes.  Local traces compress to a fraction
- * of the packed format (typically 3-6x smaller).
+ * Stream @p source to @p path in @p format without materializing it.
+ * Binary and Compressed headers carry a reference count, so the
+ * source must have a known length (fatal otherwise).
  */
+void saveTrace(TraceSource &source, const std::string &path,
+               TraceFormat format);
+
+/**
+ * Open @p path as a streaming TraceSource in O(batch) memory:
+ *
+ *  - Binary: a zero-copy mmap reader (falls back to buffered stream
+ *    reads when the file cannot be mapped), O(1) skip();
+ *  - Din / Compressed: incremental decoders over a file stream.
+ *
+ * knownLength() is exact for Binary/Compressed (header count) and for
+ * Din files carrying the writer's `# refs: N` comment; otherwise
+ * unknown.  All returned sources support reset().
+ */
+std::unique_ptr<TraceSource> openTraceSource(const std::string &path);
+
+/** openTraceSource() with the format forced instead of inferred. */
+std::unique_ptr<TraceSource> openTraceSource(const std::string &path,
+                                             TraceFormat format);
+
+// ---------------------------------------------------------------------------
+// Deprecated wrappers.  Thin aliases kept for source compatibility;
+// new code should use the TraceFormat API above.
+
+/** @deprecated Use writeTrace(trace, os, TraceFormat::Din). */
+void writeDin(const Trace &trace, std::ostream &os);
+
+/** @deprecated Use readTrace(is, TraceFormat::Din, name). */
+Trace readDin(std::istream &is, std::string name);
+
+/** @deprecated Use writeTrace(trace, os, TraceFormat::Binary). */
+void writeBinary(const Trace &trace, std::ostream &os);
+
+/** @deprecated Use readTrace(is, TraceFormat::Binary, {}). */
+Trace readBinary(std::istream &is);
+
+/** @deprecated Use writeTrace(trace, os, TraceFormat::Compressed). */
 void writeCompressed(const Trace &trace, std::ostream &os);
 
-/** Read a compressed trace; fatal() on corrupt input. */
+/** @deprecated Use readTrace(is, TraceFormat::Compressed, {}). */
 Trace readCompressed(std::istream &is);
 
-/** Convenience: write in a format chosen by file extension
- *  (".din" = text, ".ctr" = compressed, anything else = binary). */
+/** @deprecated Use saveTrace(trace, path, formatForPath(path)). */
 void saveTrace(const Trace &trace, const std::string &path);
 
-/** Convenience: load by extension, naming the trace after the file. */
+/** @deprecated Use openTraceSource(path) (streaming) or
+ *  openTraceSource(path)->materialize(). */
 Trace loadTrace(const std::string &path);
 
 } // namespace cachelab

@@ -6,9 +6,30 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <cstring>
 
 namespace cachelab
 {
+
+std::size_t
+Trace::nextBatch(std::span<MemoryRef> out)
+{
+    const std::size_t n = std::min(out.size(), refs_.size() - cursor_);
+    if (n != 0)
+        std::memcpy(out.data(), refs_.data() + cursor_,
+                    n * sizeof(MemoryRef));
+    cursor_ += n;
+    return n;
+}
+
+std::uint64_t
+Trace::skip(std::uint64_t n)
+{
+    const std::size_t step = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, refs_.size() - cursor_));
+    cursor_ += step;
+    return step;
+}
 
 std::uint64_t
 Trace::countKind(AccessKind kind) const

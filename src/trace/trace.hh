@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "trace/memory_ref.hh"
+#include "trace/source.hh"
 
 namespace cachelab
 {
@@ -21,8 +22,13 @@ namespace cachelab
  *
  * Traces may be generated synthetically (src/workload), read from a
  * file (src/trace/io), or derived from other traces (transforms).
+ *
+ * A Trace is also a (trivial) TraceSource over its own vector, so any
+ * streaming consumer accepts a materialized trace directly; the
+ * source cursor is independent of the container API (reset() rewinds
+ * it, mutation does not).
  */
-class Trace
+class Trace : public TraceSource
 {
   public:
     Trace() = default;
@@ -34,7 +40,7 @@ class Trace
         : name_(std::move(name)), refs_(std::move(refs))
     {}
 
-    const std::string &name() const { return name_; }
+    const std::string &name() const override { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 
     /** Append one reference. */
@@ -49,6 +55,14 @@ class Trace
 
     /** Pre-allocate capacity for @p n references. */
     void reserve(std::size_t n) { refs_.reserve(n); }
+
+    /** Drop all references (capacity kept) and rewind the cursor. */
+    void
+    clear()
+    {
+        refs_.clear();
+        cursor_ = 0;
+    }
 
     std::size_t size() const { return refs_.size(); }
     bool empty() const { return refs_.empty(); }
@@ -67,9 +81,16 @@ class Trace
     /** @return fraction of references of @p kind (0 when empty). */
     double fractionKind(AccessKind kind) const;
 
+    // TraceSource: stream the vector from an internal cursor.
+    std::size_t nextBatch(std::span<MemoryRef> out) override;
+    void reset() override { cursor_ = 0; }
+    std::uint64_t knownLength() const override { return refs_.size(); }
+    std::uint64_t skip(std::uint64_t n) override;
+
   private:
     std::string name_;
     std::vector<MemoryRef> refs_;
+    std::size_t cursor_ = 0; ///< TraceSource read position
 };
 
 } // namespace cachelab

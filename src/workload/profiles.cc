@@ -379,6 +379,36 @@ generateTrace(const TraceProfile &profile, std::uint64_t max_refs)
     return generateWorkload(params, profile.name);
 }
 
+std::unique_ptr<TraceSource>
+streamTrace(const TraceProfile &profile)
+{
+    return std::make_unique<WorkloadSource>(profile.params, profile.name);
+}
+
+std::unique_ptr<TraceSource>
+streamTrace(const TraceProfile &profile, std::uint64_t max_refs)
+{
+    WorkloadParams params = profile.params;
+    params.refCount = std::min(params.refCount, max_refs);
+    return std::make_unique<WorkloadSource>(params, profile.name);
+}
+
+Trace
+generateTraceExactly(const TraceProfile &profile, std::uint64_t refs)
+{
+    WorkloadParams params = profile.params;
+    params.refCount = refs;
+    return generateWorkload(params, profile.name);
+}
+
+std::unique_ptr<TraceSource>
+streamTraceExactly(const TraceProfile &profile, std::uint64_t refs)
+{
+    WorkloadParams params = profile.params;
+    params.refCount = refs;
+    return std::make_unique<WorkloadSource>(params, profile.name);
+}
+
 const std::vector<MultiprogramMix> &
 paperMultiprogramMixes()
 {

@@ -84,6 +84,33 @@ Trace generateTrace(const TraceProfile &profile);
 Trace generateTrace(const TraceProfile &profile, std::uint64_t max_refs);
 
 /**
+ * Stream @p profile's trace instead of materializing it: the returned
+ * source delivers exactly the generateTrace() reference sequence in
+ * O(batch) memory, so arbitrarily long profile variants (scaled
+ * refCount) never need the full trace resident.
+ */
+std::unique_ptr<TraceSource> streamTrace(const TraceProfile &profile);
+
+/** streamTrace() capped at @p max_refs references, mirroring the
+ *  shortened generateTrace() overload. */
+std::unique_ptr<TraceSource> streamTrace(const TraceProfile &profile,
+                                         std::uint64_t max_refs);
+
+/**
+ * generateTrace() with the run length forced to exactly @p refs,
+ * *extending* past the profile's calibrated length when asked — the
+ * program model simply keeps running.  Used for long-run stress and
+ * out-of-core experiments.
+ */
+Trace generateTraceExactly(const TraceProfile &profile,
+                           std::uint64_t refs);
+
+/** Streaming generateTraceExactly(): @p refs references in O(batch)
+ *  memory, however large @p refs is. */
+std::unique_ptr<TraceSource> streamTraceExactly(const TraceProfile &profile,
+                                                std::uint64_t refs);
+
+/**
  * The paper's multiprogramming mixes (Table 3): "the Z8000 assortment
  * consists of ZVI, ZGREP, ZPR, ZOD, ZSORT; the CDC 6400 assortment
  * includes all five CDC 6400 traces; the LISP Compiler and VAXIMA

@@ -367,25 +367,28 @@ ProgramModel::stepData(Trace &out)
         writeRefs_ += emitted;
 }
 
+void
+ProgramModel::stepMacro(Trace &out, std::uint64_t size_cap)
+{
+    const double data_target = 1.0 - params_.resolvedIfetchFraction();
+    stepInstruction(out);
+    // Issue data accesses until the running mix meets the target.
+    while (out.size() < size_cap) {
+        const auto total = static_cast<double>(ifetchRefs_ + dataRefs_);
+        if (static_cast<double>(dataRefs_) >= data_target * total)
+            break;
+        stepData(out);
+    }
+}
+
 Trace
 ProgramModel::generate(std::string name)
 {
     Trace out(std::move(name));
     out.reserve(params_.refCount + 8);
 
-    const double data_target = 1.0 - params_.resolvedIfetchFraction();
-
-    while (out.size() < params_.refCount) {
-        stepInstruction(out);
-        // Issue data accesses until the running mix meets the target.
-        while (out.size() < params_.refCount) {
-            const auto total =
-                static_cast<double>(ifetchRefs_ + dataRefs_);
-            if (static_cast<double>(dataRefs_) >= data_target * total)
-                break;
-            stepData(out);
-        }
-    }
+    while (out.size() < params_.refCount)
+        stepMacro(out, params_.refCount);
 
     if (out.size() > params_.refCount)
         return truncate(out, params_.refCount);
@@ -397,6 +400,48 @@ generateWorkload(const WorkloadParams &params, std::string name)
 {
     ProgramModel model(params);
     return model.generate(std::move(name));
+}
+
+WorkloadSource::WorkloadSource(const WorkloadParams &params,
+                               std::string name)
+    : params_(params), name_(std::move(name)), model_(params_)
+{}
+
+std::size_t
+WorkloadSource::nextBatch(std::span<MemoryRef> out)
+{
+    std::size_t n = 0;
+    while (n < out.size() && generated_ < params_.refCount) {
+        if (pendingPos_ == pending_.size()) {
+            // Refill: one macro step, capped to the remaining budget
+            // exactly as generate()'s outer loop would be at this
+            // point in the stream (it may overshoot by a transaction;
+            // the delivery cap below is the truncate()).
+            pending_.clear();
+            pendingPos_ = 0;
+            model_->stepMacro(pending_, params_.refCount - generated_);
+        }
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                {out.size() - n, pending_.size() - pendingPos_,
+                 params_.refCount - generated_}));
+        std::copy_n(pending_.refs().begin() +
+                        static_cast<std::ptrdiff_t>(pendingPos_),
+                    take, out.begin() + static_cast<std::ptrdiff_t>(n));
+        pendingPos_ += take;
+        generated_ += take;
+        n += take;
+    }
+    return n;
+}
+
+void
+WorkloadSource::reset()
+{
+    model_.emplace(params_);
+    pending_.clear();
+    pendingPos_ = 0;
+    generated_ = 0;
 }
 
 } // namespace cachelab

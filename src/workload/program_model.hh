@@ -43,10 +43,12 @@
 #define CACHELAB_WORKLOAD_PROGRAM_MODEL_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "arch/interface_model.hh"
 #include "arch/profile.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 #include "util/random.hh"
 #include "workload/recency.hh"
@@ -160,6 +162,18 @@ class ProgramModel
     /** Generate a trace of params.refCount references named @p name. */
     Trace generate(std::string name);
 
+    /**
+     * Advance one macro step: fetch one instruction, then issue data
+     * accesses until the running mix meets the ifetch target or @p
+     * size_cap references have been appended to @p out.  generate()
+     * is exactly `while (out.size() < refCount) stepMacro(out,
+     * refCount)`, so a streaming consumer that calls stepMacro() with
+     * the remaining budget reproduces generate()'s output bit for bit
+     * (see WorkloadSource).  May overshoot @p size_cap by a few
+     * references (one interface transaction); the caller truncates.
+     */
+    void stepMacro(Trace &out, std::uint64_t size_cap);
+
     /** Taken-branch fraction of ifetch refs emitted so far (internal
      *  controller telemetry; tests compare it to the analyzer). */
     double measuredBranchFraction() const;
@@ -256,6 +270,34 @@ class ProgramModel
 
 /** Convenience: construct a model and generate in one call. */
 Trace generateWorkload(const WorkloadParams &params, std::string name);
+
+/**
+ * Streaming adapter over ProgramModel: delivers the exact reference
+ * sequence of generateWorkload(params, name) without ever holding more
+ * than one macro step (a handful of references) plus the consumer's
+ * batch in memory, so a 10^9-reference workload streams in O(batch).
+ *
+ * reset() rebuilds the model from the (seeded) params, restarting the
+ * deterministic random stream from the beginning.
+ */
+class WorkloadSource : public TraceSource
+{
+  public:
+    WorkloadSource(const WorkloadParams &params, std::string name);
+
+    const std::string &name() const override { return name_; }
+    std::size_t nextBatch(std::span<MemoryRef> out) override;
+    void reset() override;
+    std::uint64_t knownLength() const override { return params_.refCount; }
+
+  private:
+    WorkloadParams params_;
+    std::string name_;
+    std::optional<ProgramModel> model_;
+    Trace pending_;            ///< refs generated but not yet delivered
+    std::size_t pendingPos_ = 0;
+    std::uint64_t generated_ = 0; ///< refs delivered to the consumer
+};
 
 } // namespace cachelab
 

@@ -20,12 +20,15 @@
  *   cachelab_sim --profile VSPICE --sweep 32:65536 \
  *                --metrics-json run.json --trace-out trace.json \
  *                --phase-profile --progress
+ *   cachelab_sim --profile MVS2 --refs 100000000 --stream \
+ *                --sweep 32:65536 --engine single-pass
  */
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <type_traits>
 
 #include "cache/belady.hh"
 #include "cache/cache.hh"
@@ -42,6 +45,7 @@
 #include "sim/sweep.hh"
 #include "stats/table.hh"
 #include "trace/io.hh"
+#include "trace/source.hh"
 #include "trace/transforms.hh"
 #include "util/csv.hh"
 #include "util/format.hh"
@@ -60,9 +64,20 @@ namespace
 constexpr const char *kUsage = R"(usage: cachelab_sim [options]
 
 input (one required):
-  --trace FILE          din (.din) or binary trace file
+  --trace FILE          trace file: din text (.din), packed binary
+                        (.ctr) or delta-compressed; format picked by
+                        extension (see trace/io.hh)
   --profile NAME        named corpus workload (see cachelab_gen --list)
-  --refs N              truncate the input to N references
+  --refs N              run exactly N references: truncates a trace
+                        file; for --profile the generator runs to N,
+                        extending past the calibrated length if asked
+  --stream              out-of-core: stream the input (mmap/incremental
+                        decode for files, on-the-fly generation for
+                        profiles) instead of materializing it; memory
+                        is O(batch), results are bit-identical.
+                        Unsupported: --opt, --sector
+  --batch N             streaming batch size in refs (default 65536);
+                        results never depend on it
 
 cache parameters:
   --size BYTES          capacity (default 16384)
@@ -75,21 +90,27 @@ cache parameters:
   --split               split I/D organization (size per side)
   --sector BYTES        sector cache with this sub-block size
   --purge N             purge every N refs (default 0 = never)
-  --warmup N            exclude the first N refs from statistics
 
 modes:
   --sweep LO:HI         sweep power-of-two sizes LO..HI
+  --engine E            sweep engine: auto | per-size | single-pass |
+                        verify | sampled (default auto; see sim/sweep.hh)
   --stack-curve         one-pass Mattson LRU curve over --sweep range
   --opt                 also report the Belady OPT bound
   --csv FILE            write sweep results as CSV ('-' = stdout)
 
-sampled simulation (estimates with confidence intervals):
+sampled simulation (estimates with confidence intervals; all flags in
+this family start with --sample):
   --sample F            measure only fraction F of the trace (0 < F <= 1)
   --sample-unit U       measured interval length in refs (default 1000)
   --sample-select P     systematic | random (default systematic)
   --sample-warming P    functional | fixed | cold (default functional)
   --sample-warmup W     warm-up refs per interval (fixed warming;
-                        default = interval length)
+                        default = interval length).  Per-interval
+                        warming is clamped to the refs available before
+                        the interval — never fatal, unlike the whole-run
+                        --warmup, which must leave at least one
+                        measured reference
   --sample-confidence C confidence level (default 0.95)
   --sample-error R      sequential mode: stop when the miss-ratio CI is
                         within +/- R relative (e.g. 0.05)
@@ -105,9 +126,14 @@ observability:
   --progress            periodic progress lines (refs done, ETA)
 
 execution:
-  --jobs N              sweep concurrency: 0 = auto, 1 = serial (default 0)
+  --jobs N              concurrency of per-size and sampled sweeps:
+                        0 = shared pool width, 1 = serial, N = a
+                        dedicated pool of N workers (default 0)
   --seed S              seed for random replacement and random interval
                         selection (default 1)
+  --warmup N            whole-run warm-up: exclude the first N refs
+                        from statistics; must leave at least one
+                        measured reference (fatal otherwise)
 )";
 
 Trace
@@ -127,10 +153,66 @@ loadInput(const Args &args)
             fatal("unknown profile '", args.get("profile"),
                   "' (cachelab_gen --list shows the corpus)");
         if (args.has("refs"))
-            return generateTrace(*p, args.getUint("refs", 0));
+            return generateTraceExactly(*p, args.getUint("refs", 0));
         return generateTrace(*p);
     }
     fatal("need --trace FILE or --profile NAME\n", kUsage);
+}
+
+/** Out-of-core input: the stream behind --stream. */
+std::unique_ptr<TraceSource>
+streamInput(const Args &args)
+{
+    if (args.has("trace")) {
+        std::unique_ptr<TraceSource> src =
+            openTraceSource(args.get("trace"));
+        if (args.has("refs"))
+            src = std::make_unique<LimitSource>(std::move(src),
+                                                args.getUint("refs", 0));
+        return src;
+    }
+    if (!args.get("profile").empty()) {
+        const TraceProfile *p = findTraceProfile(args.get("profile"));
+        if (p == nullptr)
+            fatal("unknown profile '", args.get("profile"),
+                  "' (cachelab_gen --list shows the corpus)");
+        if (args.has("refs"))
+            return streamTraceExactly(*p, args.getUint("refs", 0));
+        return streamTrace(*p);
+    }
+    fatal("need --trace FILE or --profile NAME\n", kUsage);
+}
+
+/** Total refs of either input flavour (0 when a stream can't say). */
+std::uint64_t
+inputRefs(const Trace &trace)
+{
+    return trace.size();
+}
+
+std::uint64_t
+inputRefs(TraceSource &source)
+{
+    return source.lengthKnown() ? source.knownLength() : 0;
+}
+
+/** @return the engine the --engine flag names. */
+SweepEngine
+engineFrom(const Args &args)
+{
+    const std::string name = args.get("engine", "auto");
+    if (name == "auto")
+        return SweepEngine::Auto;
+    if (name == "per-size")
+        return SweepEngine::PerSize;
+    if (name == "single-pass")
+        return SweepEngine::SinglePass;
+    if (name == "verify")
+        return SweepEngine::Verify;
+    if (name == "sampled")
+        return SweepEngine::Sampled;
+    fatal("--engine: unknown engine '", name,
+          "' (auto | per-size | single-pass | verify | sampled)");
 }
 
 CacheConfig
@@ -264,14 +346,16 @@ printStats(const std::string &what, const CacheStats &s)
               << formatCount(s.dirtyPushes()) << " dirty)\n";
 }
 
+/** @p input is a const Trace (materialized) or a TraceSource. */
+template <typename Input>
 int
-runSampledSweep(const Args &args, const Trace &trace,
+runSampledSweep(const Args &args, Input &input,
                 const CacheConfig &base, const RunConfig &run,
                 const SampleConfig &sample, obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
-    const auto points = sweepUnifiedSampled(trace, sizes, base, sample, run);
+    const auto points = sweepUnifiedSampled(input, sizes, base, sample, run);
     for (const SampledSweepPoint &pt : points)
         manifest.sampledResults.push_back(
             {"sweep", pt.cacheBytes, pt.result});
@@ -291,7 +375,7 @@ runSampledSweep(const Args &args, const Trace &trace,
                      "intervals", "measured_fraction", "est_speedup"});
     }
 
-    TextTable table("Sampled sweep: " + trace.name() + " on " +
+    TextTable table("Sampled sweep: " + input.name() + " on " +
                     base.describe() + " [" + sample.describe() + "]");
     table.setHeader({"size", "miss", "95% CI", "intervals", "measured",
                      "est speedup"});
@@ -323,9 +407,12 @@ runSampledSweep(const Args &args, const Trace &trace,
     return 0;
 }
 
+/** @p input is a const Trace (materialized) or a TraceSource. */
+template <typename Input>
 int
-runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
-         const RunConfig &run, obs::RunManifest &manifest)
+runSweep(const Args &args, Input &input, const CacheConfig &base,
+         const RunConfig &run, SweepEngine engine,
+         obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
@@ -345,7 +432,7 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
                      "traffic_bytes"});
     }
 
-    TextTable table("Sweep: " + trace.name() + " on " + base.describe() +
+    TextTable table("Sweep: " + input.name() + " on " + base.describe() +
                     " (size varied)");
     table.setHeader({"size", "miss", "ifetch miss", "data miss",
                      "traffic B/ref"});
@@ -355,11 +442,12 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
 
     if (args.has("stack-curve")) {
         // One pass, all sizes: only valid for the Table 1 config.
+        const std::uint64_t refs = inputRefs(input);
         const std::vector<double> curve =
-            lruMissRatioCurve(trace, sizes, base.lineBytes);
-        obs::Registry::global().counter("sim.refs").add(trace.size());
+            lruMissRatioCurve(input, sizes, base.lineBytes);
+        obs::Registry::global().counter("sim.refs").add(refs);
         if (obs::ProgressMeter::global().enabled())
-            obs::ProgressMeter::global().advance(trace.size());
+            obs::ProgressMeter::global().advance(refs);
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             table.addRow({formatSize(sizes[i]),
                           formatPercent(curve[i]), "-", "-", "-"});
@@ -371,7 +459,7 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
             }
         }
     } else {
-        const auto points = sweepUnified(trace, sizes, base, run);
+        const auto points = sweepUnified(input, sizes, base, run, engine);
         for (const SweepPoint &pt : points)
             manifest.results.push_back({"sweep", pt.cacheBytes, pt.stats});
         for (const SweepPoint &pt : points) {
@@ -399,60 +487,87 @@ runSweep(const Args &args, const Trace &trace, const CacheConfig &base,
     return 0;
 }
 
-/** Simulate per the mode flags, appending results to @p manifest. */
+/**
+ * Simulate per the mode flags, appending results to @p manifest.
+ * @p input is a const Trace (materialized) or a TraceSource (the
+ * --stream path); modes that fundamentally need random access to the
+ * whole trace (--opt, --sector) are materialized-only.
+ */
+template <typename Input>
 int
-runModes(const Args &args, const Trace &trace, const CacheConfig &base,
+runModes(const Args &args, Input &input, const CacheConfig &base,
          const RunConfig &run, bool sampling, obs::RunManifest &manifest)
 {
+    constexpr bool materialized =
+        std::is_same_v<std::remove_const_t<Input>, Trace>;
+
+    if constexpr (!materialized) {
+        // Reject materialized-only modes before any simulation runs.
+        if (args.has("opt"))
+            fatal("--opt does not support --stream (Belady needs the "
+                  "whole trace)");
+        if (args.has("sector"))
+            fatal("--sector does not support --stream yet");
+    }
+
     if (args.has("sweep")) {
-        if (sampling)
-            return runSampledSweep(args, trace, base, run,
+        const SweepEngine engine = engineFrom(args);
+        if (sampling && args.has("engine") &&
+            engine != SweepEngine::Sampled)
+            fatal("--sample with --sweep implies the sampled engine; "
+                  "drop --engine or pass --engine sampled");
+        if (sampling || engine == SweepEngine::Sampled)
+            return runSampledSweep(args, input, base, run,
                                    sampleConfigFrom(args), manifest);
-        return runSweep(args, trace, base, run, manifest);
+        return runSweep(args, input, base, run, engine, manifest);
     }
 
     if (sampling && args.has("sector"))
         fatal("--sample does not support sector caches yet");
 
     if (args.has("sector")) {
-        SectorCacheConfig cfg;
-        cfg.sizeBytes = base.sizeBytes;
-        cfg.sectorBytes = base.lineBytes;
-        cfg.subblockBytes =
-            static_cast<std::uint32_t>(args.getUint("sector", 4));
-        SectorCache cache(cfg);
-        std::uint64_t since_purge = 0;
-        for (const MemoryRef &ref : trace) {
-            if (run.purgeInterval && since_purge == run.purgeInterval) {
-                cache.purge();
-                since_purge = 0;
+        if constexpr (!materialized) {
+            fatal("--sector does not support --stream yet");
+        } else {
+            SectorCacheConfig cfg;
+            cfg.sizeBytes = base.sizeBytes;
+            cfg.sectorBytes = base.lineBytes;
+            cfg.subblockBytes =
+                static_cast<std::uint32_t>(args.getUint("sector", 4));
+            SectorCache cache(cfg);
+            std::uint64_t since_purge = 0;
+            for (const MemoryRef &ref : input) {
+                if (run.purgeInterval && since_purge == run.purgeInterval) {
+                    cache.purge();
+                    since_purge = 0;
+                }
+                cache.access(ref);
+                ++since_purge;
             }
-            cache.access(ref);
-            ++since_purge;
+            printStats("sector cache " + formatSize(cfg.sizeBytes) + "/" +
+                           std::to_string(cfg.sectorBytes) + "B sectors/" +
+                           std::to_string(cfg.subblockBytes) +
+                           "B blocks on " + input.name(),
+                       cache.stats());
+            manifest.results.push_back(
+                {"sector", cfg.sizeBytes, cache.stats()});
+            return 0;
         }
-        printStats("sector cache " + formatSize(cfg.sizeBytes) + "/" +
-                       std::to_string(cfg.sectorBytes) + "B sectors/" +
-                       std::to_string(cfg.subblockBytes) + "B blocks on " +
-                       trace.name(),
-                   cache.stats());
-        manifest.results.push_back(
-            {"sector", cfg.sizeBytes, cache.stats()});
-        return 0;
     }
 
     if (args.has("split")) {
         SplitCache split(base, base);
         if (sampling) {
             const SampledRunResult r = runSampled(
-                trace, split, sampleConfigFrom(args), run);
-            printSampled("split " + base.describe() + " on " + trace.name(),
+                input, split, sampleConfigFrom(args), run);
+            printSampled("split " + base.describe() + " on " + input.name(),
                          r);
             manifest.sampledResults.push_back(
                 {"split", base.sizeBytes, r});
             return 0;
         }
-        const CacheStats s = runTrace(trace, split, run);
-        printStats("split " + base.describe() + " on " + trace.name(), s);
+        const CacheStats s = runTrace(input, split, run);
+        printStats("split " + base.describe() + " on " + input.name(), s);
         std::cout << "  I-cache: " << split.icache().stats().summarize()
                   << "\n  D-cache: " << split.dcache().stats().summarize()
                   << "\n";
@@ -469,25 +584,30 @@ runModes(const Args &args, const Trace &trace, const CacheConfig &base,
             fatal("--sample does not support the OPT bound");
         Cache cache(base);
         const SampledRunResult r =
-            runSampled(trace, cache, sampleConfigFrom(args), run);
-        printSampled(base.describe() + " on " + trace.name(), r);
+            runSampled(input, cache, sampleConfigFrom(args), run);
+        printSampled(base.describe() + " on " + input.name(), r);
         manifest.sampledResults.push_back({"unified", base.sizeBytes, r});
         return 0;
     }
 
     Cache cache(base);
-    const CacheStats s = runTrace(trace, cache, run);
-    printStats(base.describe() + " on " + trace.name(), s);
+    const CacheStats s = runTrace(input, cache, run);
+    printStats(base.describe() + " on " + input.name(), s);
     manifest.results.push_back({"unified", base.sizeBytes, s});
 
     if (args.has("opt")) {
-        const CacheStats opt =
-            simulateOptimal(trace, base.sizeBytes, base.lineBytes);
-        std::cout << "  OPT bound: miss "
-                  << formatPercent(opt.missRatio()) << " ("
-                  << formatCount(opt.demandFetches) << " fetches vs "
-                  << formatCount(s.demandFetches) << ")\n";
-        manifest.results.push_back({"opt_bound", base.sizeBytes, opt});
+        if constexpr (!materialized) {
+            fatal("--opt does not support --stream (Belady needs the "
+                  "whole trace)");
+        } else {
+            const CacheStats opt =
+                simulateOptimal(input, base.sizeBytes, base.lineBytes);
+            std::cout << "  OPT bound: miss "
+                      << formatPercent(opt.missRatio()) << " ("
+                      << formatCount(opt.demandFetches) << " fetches vs "
+                      << formatCount(s.demandFetches) << ")\n";
+            manifest.results.push_back({"opt_bound", base.sizeBytes, opt});
+        }
     }
     return 0;
 }
@@ -532,11 +652,21 @@ main(int argc, char **argv)
 
     const auto wall_start = std::chrono::steady_clock::now();
 
+    // --stream keeps the input out of core: a TraceSource is opened
+    // (mmap, incremental decode, or on-the-fly generation) and every
+    // driver consumes it in O(batch) memory.  The default path
+    // materializes, which the random-access modes (--opt, --sector)
+    // require.
+    const bool stream = args.has("stream");
     std::unique_ptr<Trace> trace;
+    std::unique_ptr<TraceSource> source;
     {
         obs::ProfileScope load_scope("load_input");
         obs::TraceSpan load_span("load_input", "tool");
-        trace = std::make_unique<Trace>(loadInput(args));
+        if (stream)
+            source = streamInput(args);
+        else
+            trace = std::make_unique<Trace>(loadInput(args));
     }
 
     const CacheConfig base = configFrom(args);
@@ -544,6 +674,7 @@ main(int argc, char **argv)
     run.purgeInterval = args.getUint("purge", 0);
     run.warmupRefs = args.getUint("warmup", 0);
     run.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    run.batchRefs = args.getUint("batch", 0);
 
     const bool sampling = args.has("sample");
     if (sampling && args.has("stack-curve"))
@@ -551,26 +682,40 @@ main(int argc, char **argv)
     if (sampling && args.has("warmup"))
         fatal("--sample replaces --warmup with --sample-warming/"
               "--sample-warmup");
+    if (args.has("engine") && !args.has("sweep"))
+        fatal("--engine only applies to --sweep");
 
     if (args.has("progress")) {
-        std::uint64_t expected = trace->size();
-        // A per-size sweep replays the trace once per point; the
-        // single-pass engine and the Mattson curve cost one pass.
-        if (args.has("sweep") && !args.has("stack-curve") &&
-            !sweepSinglePassEligible(base, run)) {
+        std::uint64_t expected =
+            stream ? inputRefs(*source) : trace->size();
+        // A per-size sweep replays the input once per point; verify
+        // adds a single-pass run on top; the single-pass engine and
+        // the Mattson curve cost one pass.
+        if (args.has("sweep") && !args.has("stack-curve") && !sampling) {
+            SweepEngine engine = engineFrom(args);
+            if (engine == SweepEngine::Auto)
+                engine = sweepSinglePassEligible(base, run)
+                    ? SweepEngine::SinglePass
+                    : SweepEngine::PerSize;
             const auto [lo, hi] = sweepRange(args);
-            expected *= powersOfTwo(lo, hi).size();
+            const std::uint64_t points = powersOfTwo(lo, hi).size();
+            if (engine == SweepEngine::PerSize)
+                expected *= points;
+            else if (engine == SweepEngine::Verify)
+                expected *= points + 1;
         }
-        obs::ProgressMeter::global().start(expected, trace->name());
+        obs::ProgressMeter::global().start(
+            expected, stream ? source->name() : trace->name());
     }
 
     obs::RunManifest manifest;
     manifest.tool = "cachelab_sim";
-    manifest.traceName = trace->name();
-    manifest.traceRefs = trace->size();
+    manifest.traceName = stream ? source->name() : trace->name();
+    manifest.traceRefs = stream ? inputRefs(*source) : trace->size();
     manifest.seed = args.getUint("seed", 1);
     manifest.config = {
         {"mode", modeName(args, sampling)},
+        {"input", stream ? "stream" : "materialized"},
         {"cache", base.describe()},
         {"size_bytes", std::to_string(base.sizeBytes)},
         {"line_bytes", std::to_string(base.lineBytes)},
@@ -580,8 +725,13 @@ main(int argc, char **argv)
         {"jobs", std::to_string(run.jobs ? run.jobs
                                          : ThreadPool::defaultJobs())},
     };
-    if (args.has("sweep"))
+    if (args.has("sweep")) {
         manifest.config.emplace_back("sweep", args.get("sweep"));
+        manifest.config.emplace_back("engine", args.get("engine", "auto"));
+    }
+    if (stream)
+        manifest.config.emplace_back(
+            "batch_refs", std::to_string(run.resolvedBatchRefs()));
     if (sampling)
         manifest.config.emplace_back("sample",
                                      sampleConfigFrom(args).describe());
@@ -589,7 +739,9 @@ main(int argc, char **argv)
     int rc = 0;
     {
         obs::ProfileScope sim_scope("simulate");
-        rc = runModes(args, *trace, base, run, sampling, manifest);
+        rc = stream ? runModes(args, *source, base, run, sampling, manifest)
+                    : runModes(args, static_cast<const Trace &>(*trace),
+                               base, run, sampling, manifest);
     }
 
     if (args.has("progress"))

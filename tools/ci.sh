@@ -33,6 +33,31 @@ python3 -m json.tool build-ci/smoke-manifest.json > /dev/null
 python3 -m json.tool build-ci/smoke-trace.json > /dev/null
 echo "    manifest + trace are valid JSON"
 
+echo "==> out-of-core smoke (stream 100 M refs under an address-space cap)"
+# 100 M references materialize to 1.6 GB (16 B/ref); the cap is 10x
+# smaller, so the run only completes if the pipeline truly streams.
+# CACHELAB_JOBS=1 keeps the shared pool's stacks out of the cap.
+stream_refs=100000000
+cap_kb=$((160 * 1024))
+(
+    ulimit -v "${cap_kb}"
+    CACHELAB_JOBS=1 build-ci/tools/cachelab_sim --stream --profile ZGREP \
+        --refs "${stream_refs}" --sweep 256:16384 \
+        --engine single-pass --jobs 1 \
+        --metrics-json build-ci/smoke-stream.json
+)
+python3 - build-ci/smoke-stream.json "${cap_kb}" "${stream_refs}" <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))
+cap_bytes = int(sys.argv[2]) * 1024
+ex = manifest["execution"]
+assert ex["refs_processed"] == int(sys.argv[3]), ex["refs_processed"]
+rss, rate = ex["peak_rss_bytes"], ex["refs_per_second"]
+assert 0 < rss < cap_bytes, f"peak RSS {rss} exceeds cap {cap_bytes}"
+print(f"    peak rss {rss / 2**20:.1f} MiB (cap {cap_bytes / 2**20:.0f}"
+      f" MiB), {rate / 1e6:.1f} M refs/s")
+EOF
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 
