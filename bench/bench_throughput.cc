@@ -14,6 +14,8 @@
 
 #include "cache/cache.hh"
 #include "cache/sector_cache.hh"
+#include "obs/classify.hh"
+#include "obs/event_stats.hh"
 #include "sim/experiments.hh"
 #include "sim/sweep.hh"
 #include "trace/analyzer.hh"
@@ -64,6 +66,36 @@ BM_CacheAccessSetAssociative(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccessSetAssociative)->Arg(1)->Arg(2)->Arg(8);
+
+/**
+ * Probe cost: the same set-associative access loop as above with the
+ * full introspection stack attached (3C classifier + aggregating
+ * sink through a fan-out).  The delta against
+ * BM_CacheAccessSetAssociative/2 is the price of instrumentation;
+ * probe-off runs must stay within noise of the pre-probe hot loop.
+ */
+void
+BM_CacheAccessInstrumented(benchmark::State &state)
+{
+    const Trace &t = benchTrace();
+    CacheConfig cfg = table1Config(16384);
+    cfg.associativity = 2;
+    Cache cache(cfg);
+    MissClassifier classifier(cfg);
+    EventStatsSink stats;
+    ProbeFanout fanout;
+    fanout.add(&classifier);
+    fanout.add(&stats);
+    cache.setProbe(&fanout);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(t[i]));
+        if (++i == t.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessInstrumented);
 
 void
 BM_CacheAccessPrefetchAlways(benchmark::State &state)
@@ -197,6 +229,51 @@ runSweepEngineComparison()
     std::cout.flush();
 }
 
+/**
+ * Wall-clock cost of cache-event introspection: one run with no probe
+ * (the exact pre-instrumentation hot path — a single null check per
+ * emission site) and one with the classifier + aggregator attached.
+ * Emits one JSON line per variant so CI can track the overhead; the
+ * probe-off line is the <2% regression guard.
+ */
+void
+runProbeCostComparison()
+{
+    const Trace trace = generateTrace(*findTraceProfile("VSPICE"), 250000);
+    CacheConfig cfg = table1Config(16384);
+    cfg.associativity = 2;
+
+    for (const bool instrumented : {false, true}) {
+        Cache cache(cfg);
+        MissClassifier classifier(cfg);
+        EventStatsSink stats;
+        ProbeFanout fanout;
+        fanout.add(&classifier);
+        fanout.add(&stats);
+        if (instrumented)
+            cache.setProbe(&fanout);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const MemoryRef &ref : trace)
+            cache.access(ref);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall = std::chrono::duration<double>(t1 - t0).count();
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject()
+            .member("bench", "probe_cost")
+            .member("probe", instrumented ? "classifier+stats" : "off")
+            .member("trace", "VSPICE")
+            .member("refs", static_cast<std::uint64_t>(trace.size()))
+            .member("wall_s", wall)
+            .member("refs_per_s",
+                    wall > 0 ? static_cast<double>(trace.size()) / wall
+                             : 0.0)
+            .member("misses", cache.stats().totalMisses())
+            .endObject();
+        std::cout << "\n";
+    }
+    std::cout.flush();
+}
+
 } // namespace
 } // namespace cachelab
 
@@ -204,6 +281,7 @@ int
 main(int argc, char **argv)
 {
     cachelab::runSweepEngineComparison();
+    cachelab::runProbeCostComparison();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -107,6 +107,22 @@ Cache::evict(std::uint32_t idx, bool is_purge)
         stats_.bytesToMemory += config_.lineBytes;
     if (observer_ != nullptr)
         observer_->onEvict(line.lineAddr, line.dirty, is_purge);
+    if (probe_ != nullptr) {
+        CacheEvent event;
+        event.type = CacheEventType::Evict;
+        event.dirty = line.dirty;
+        event.isPurge = is_purge;
+        event.lineAddr = line.lineAddr;
+        event.set = setOf(line.lineAddr);
+        event.refIndex = clock_;
+        event.residentRefs = clock_ - probeMeta_[idx].fillClock;
+        event.hitCount = probeMeta_[idx].hitCount;
+        probe_->onEvent(event);
+        if (line.dirty) {
+            event.type = CacheEventType::Writeback;
+            probe_->onEvent(event);
+        }
+    }
     index_.erase(line.lineAddr);
     line.valid = false;
     line.dirty = false;
@@ -137,8 +153,20 @@ Cache::install(Addr line_addr, bool prefetched)
         ++stats_.demandFetches;
     if (observer_ != nullptr)
         observer_->onFill(line_addr, prefetched);
+    if (probe_ != nullptr) {
+        probeMeta_[victim].fillClock = clock_;
+        probeMeta_[victim].hitCount = 0;
+        CacheEvent event;
+        event.type = prefetched ? CacheEventType::Prefetch
+                                : CacheEventType::Fill;
+        event.lineAddr = line_addr;
+        event.set = set;
+        event.refIndex = clock_;
+        probe_->onEvent(event);
+    }
 }
 
+template <bool kProbed>
 bool
 Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
 {
@@ -153,6 +181,16 @@ Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
             unlink(set, idx);
             pushMru(set, idx);
         }
+        if constexpr (kProbed) {
+            ++probeMeta_[idx].hitCount;
+            CacheEvent event;
+            event.type = CacheEventType::Hit;
+            event.kind = kind;
+            event.lineAddr = line_addr;
+            event.set = setOf(line_addr);
+            event.refIndex = clock_;
+            probe_->onEvent(event);
+        }
         if (kind == AccessKind::Write) {
             if (config_.writePolicy == WritePolicy::CopyBack) {
                 lines_[idx].dirty = true;
@@ -164,7 +202,17 @@ Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
         return true;
     }
 
-    // Miss.
+    // Miss.  The event fires before any fill or bypass so sinks see
+    // the cache in its pre-miss state.
+    if constexpr (kProbed) {
+        CacheEvent event;
+        event.type = CacheEventType::Miss;
+        event.kind = kind;
+        event.lineAddr = line_addr;
+        event.set = setOf(line_addr);
+        event.refIndex = clock_;
+        probe_->onEvent(event);
+    }
     if (kind == AccessKind::Write &&
         config_.writeMiss == WriteMissPolicy::NoAllocate) {
         // The store bypasses the cache entirely.
@@ -196,9 +244,23 @@ Cache::maybePrefetch(Addr line_addr)
 }
 
 bool
+Cache::accessLinesProbed(Addr first, Addr last, AccessKind kind,
+                         std::uint32_t size)
+{
+    bool hit = true;
+    for (Addr line = first;; line += config_.lineBytes) {
+        hit &= touchLine<true>(line, kind, size);
+        if (line == last)
+            break;
+    }
+    return hit;
+}
+
+bool
 Cache::access(const MemoryRef &ref)
 {
     CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    ++clock_;
     const auto k = static_cast<std::size_t>(ref.kind);
     ++stats_.accesses[k];
 
@@ -206,10 +268,14 @@ Cache::access(const MemoryRef &ref)
     const Addr last = alignDown(ref.addr + ref.size - 1, config_.lineBytes);
 
     bool hit = true;
-    for (Addr line = first;; line += config_.lineBytes) {
-        hit &= touchLine(line, ref.kind, ref.size);
-        if (line == last)
-            break;
+    if (probe_ != nullptr) {
+        hit = accessLinesProbed(first, last, ref.kind, ref.size);
+    } else {
+        for (Addr line = first;; line += config_.lineBytes) {
+            hit &= touchLine<false>(line, ref.kind, ref.size);
+            if (line == last)
+                break;
+        }
     }
     if (!hit)
         ++stats_.misses[k];
@@ -223,6 +289,12 @@ Cache::access(const MemoryRef &ref)
 void
 Cache::purge()
 {
+    if (probe_ != nullptr) {
+        CacheEvent event;
+        event.type = CacheEventType::Purge;
+        event.refIndex = clock_;
+        probe_->onEvent(event);
+    }
     for (std::uint32_t idx = 0; idx < lines_.size(); ++idx)
         evict(idx, /*is_purge=*/true);
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/config.hh"
+#include "cache/probe.hh"
 #include "cache/stats.hh"
 #include "trace/memory_ref.hh"
 #include "util/random.hh"
@@ -93,6 +94,25 @@ class Cache
     /** Attach an observer (not owned; nullptr detaches). */
     void setObserver(CacheObserver *observer) { observer_ = observer; }
 
+    /**
+     * Attach an introspection probe (not owned; nullptr detaches).
+     * See probe.hh for the event vocabulary and the cost model.
+     * First attachment allocates the per-line event metadata, which
+     * lives outside Line so probe-off runs keep the compact layout.
+     */
+    void setProbe(CacheProbe *probe)
+    {
+        probe_ = probe;
+        if (probe != nullptr && probeMeta_.size() != lines_.size())
+            probeMeta_.assign(lines_.size(), ProbeMeta{});
+    }
+
+    /** @return the attached probe, or nullptr (chaining support). */
+    CacheProbe *probe() const { return probe_; }
+
+    /** @return number of access() calls so far (the event clock). */
+    std::uint64_t accessClock() const { return clock_; }
+
   private:
     static constexpr std::uint32_t kInvalid =
         std::numeric_limits<std::uint32_t>::max();
@@ -103,6 +123,17 @@ class Cache
         Addr lineAddr = 0; ///< line-aligned address (tag + index)
         bool valid = false;
         bool dirty = false;
+    };
+
+    /**
+     * Per-line bookkeeping only events consume, kept in a parallel
+     * array (indexed like lines_) and maintained only while a probe
+     * is attached, so the probe-off hot path keeps Line small.
+     */
+    struct ProbeMeta
+    {
+        std::uint64_t fillClock = 0; ///< access() clock at fill
+        std::uint64_t hitCount = 0;  ///< hits since fill
     };
 
     std::uint64_t setOf(Addr line_addr) const;
@@ -127,8 +158,20 @@ class Cache
      * Reference one line.  @return true on hit.  On a write the
      * write policy is applied; @p size is the access width (used for
      * write-through traffic).
+     *
+     * @tparam kProbed compiled-in probe dispatch: the false
+     * instantiation carries no probe branches at all, keeping the
+     * uninstrumented hot path identical to a probe-free build.
      */
+    template <bool kProbed>
     bool touchLine(Addr line_addr, AccessKind kind, std::uint32_t size);
+
+    /** The instrumented line loop, kept out of line so its bulk does
+     *  not eat access()'s inlining budget (which would deopt the
+     *  probe-off hot path). */
+    [[gnu::noinline]] bool accessLinesProbed(Addr first, Addr last,
+                                             AccessKind kind,
+                                             std::uint32_t size);
 
     /** Apply prefetch-always for the successor of @p line_addr. */
     void maybePrefetch(Addr line_addr);
@@ -137,6 +180,7 @@ class Cache
     CacheStats stats_;
 
     std::vector<Line> lines_;       ///< sets * assoc entries
+    std::vector<ProbeMeta> probeMeta_; ///< empty until a probe attaches
     std::vector<std::uint32_t> next_; ///< toward LRU end
     std::vector<std::uint32_t> prev_; ///< toward MRU end
     std::vector<std::uint32_t> head_; ///< MRU way per set
@@ -146,8 +190,10 @@ class Cache
     std::uint64_t assoc_;
     std::uint64_t sets_;
     std::uint64_t validLines_ = 0;
+    std::uint64_t clock_ = 0; ///< access() count (event timestamps)
     Rng rng_;
     CacheObserver *observer_ = nullptr;
+    CacheProbe *probe_ = nullptr;
 };
 
 } // namespace cachelab

@@ -68,6 +68,17 @@ class TwoLevelCache : private CacheObserver
     const Cache &l2() const { return l2_; }
 
     /**
+     * Attach introspection probes per level (not owned; nullptr
+     * detaches).  L2's event clock counts L1 fills and dirty pushes,
+     * not raw references.
+     */
+    void setProbes(CacheProbe *l1_probe, CacheProbe *l2_probe)
+    {
+        l1_.setProbe(l1_probe);
+        l2_.setProbe(l2_probe);
+    }
+
+    /**
      * Global (solo) miss ratio: references that miss in both levels,
      * per reference — the quantity an L2 sizing study optimizes.
      */

@@ -61,6 +61,9 @@ class UnifiedCache : public CacheSystem
     Cache &cache() { return cache_; }
     const Cache &cache() const { return cache_; }
 
+    /** Attach an introspection probe (not owned; nullptr detaches). */
+    void setProbe(CacheProbe *probe) { cache_.setProbe(probe); }
+
   private:
     Cache cache_;
 };
@@ -84,6 +87,18 @@ class SplitCache : public CacheSystem
     const Cache &icache() const { return icache_; }
     Cache &dcache() { return dcache_; }
     const Cache &dcache() const { return dcache_; }
+
+    /**
+     * Attach introspection probes to the constituent caches (not
+     * owned; nullptr detaches).  The same probe may serve both sides:
+     * events do not overlap because ifetches only reach the I-cache
+     * and reads/writes only the D-cache.
+     */
+    void setProbes(CacheProbe *iprobe, CacheProbe *dprobe)
+    {
+        icache_.setProbe(iprobe);
+        dcache_.setProbe(dprobe);
+    }
 
   private:
     Cache icache_;

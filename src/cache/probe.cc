@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Implementation of the probe fan-out.
+ */
+
+#include "cache/probe.hh"
+
+namespace cachelab
+{
+
+std::string_view
+toString(CacheEventType type)
+{
+    switch (type) {
+      case CacheEventType::Hit:
+        return "hit";
+      case CacheEventType::Miss:
+        return "miss";
+      case CacheEventType::Fill:
+        return "fill";
+      case CacheEventType::Prefetch:
+        return "prefetch";
+      case CacheEventType::Evict:
+        return "evict";
+      case CacheEventType::Writeback:
+        return "writeback";
+      case CacheEventType::Purge:
+        return "purge";
+    }
+    return "?";
+}
+
+void
+ProbeFanout::add(CacheProbe *sink)
+{
+    if (sink != nullptr)
+        sinks_.push_back(sink);
+}
+
+void
+ProbeFanout::onEvent(const CacheEvent &event)
+{
+    for (CacheProbe *sink : sinks_)
+        sink->onEvent(event);
+}
+
+} // namespace cachelab

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cache-event introspection: the probe/hook API.
+ *
+ * A CacheProbe observes the structured event stream a cache produces
+ * while simulating — hits, misses, fills, evictions (with resident
+ * lifetime and per-line access counts), writebacks, prefetches and
+ * purges — without perturbing the simulated result.  Sinks built on
+ * it (obs/classify, obs/event_stats, obs/event_log) explain *why* a
+ * run behaved as it did: 3C miss classification, eviction-lifetime
+ * and reuse-distance distributions, per-set conflict heatmaps, and
+ * sampled JSONL event logs.
+ *
+ * Cost model: with no probe attached the hot path pays one
+ * well-predicted null-pointer branch per emission site (the same
+ * contract as CacheObserver) and the simulated statistics are bitwise
+ * identical either way — probes observe, they never steer.  Per-line
+ * bookkeeping that only events need (fill timestamp, hit count) is
+ * maintained only while a probe is attached.
+ *
+ * Distinct from CacheObserver: the observer is a *structural* hook
+ * used to compose caches (hierarchies, victim caches) and sees only
+ * fills and evictions; the probe is an *introspection* hook carrying
+ * the full event vocabulary plus timing metadata.  Both can be
+ * attached at once.
+ */
+
+#ifndef CACHELAB_CACHE_PROBE_HH
+#define CACHELAB_CACHE_PROBE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+
+struct CacheConfig;
+
+/** What happened inside the cache. */
+enum class CacheEventType : std::uint8_t
+{
+    Hit,       ///< a touched line was resident
+    Miss,      ///< a touched line was absent (even if not allocated)
+    Fill,      ///< a line was fetched on demand
+    Prefetch,  ///< a line was fetched by the prefetch algorithm
+    Evict,     ///< a valid line left the cache (replacement or purge)
+    Writeback, ///< a dirty line's contents were pushed to memory
+    Purge,     ///< the whole cache was invalidated (task switch)
+};
+
+/** @return short display name, e.g. "evict". */
+std::string_view toString(CacheEventType type);
+
+/**
+ * One cache event.  Field validity by type:
+ *
+ *  - every event: type, refIndex (the cache's access() count when the
+ *    event fired; purge() does not advance it);
+ *  - Hit/Miss: lineAddr, set, kind;
+ *  - Fill/Prefetch: lineAddr, set;
+ *  - Evict/Writeback: lineAddr, set, dirty, isPurge, residentRefs
+ *    (accesses the cache served while the line was resident) and
+ *    hitCount (hits the line itself received after its fill);
+ *  - Purge: nothing further (the per-line Evict events follow).
+ */
+struct CacheEvent
+{
+    CacheEventType type = CacheEventType::Hit;
+    AccessKind kind = AccessKind::Read; ///< Hit/Miss: reference kind
+    bool dirty = false;                 ///< Evict: line was dirty
+    bool isPurge = false;               ///< Evict/Writeback: purge-caused
+    Addr lineAddr = 0;                  ///< line-aligned address
+    std::uint64_t set = 0;              ///< set index of lineAddr
+    std::uint64_t refIndex = 0;         ///< access() count at the event
+    std::uint64_t residentRefs = 0;     ///< Evict: lifetime in accesses
+    std::uint64_t hitCount = 0;         ///< Evict: hits while resident
+};
+
+/** Sink for a cache's event stream. */
+class CacheProbe
+{
+  public:
+    virtual ~CacheProbe() = default;
+
+    /** Receive one event.  Called synchronously from the hot path —
+     *  implementations must not touch the emitting cache. */
+    virtual void onEvent(const CacheEvent &event) = 0;
+};
+
+/**
+ * Fan one event stream out to several sinks, in attach order.  Lets a
+ * single cache feed the classifier, the aggregating sink and the
+ * event log at once through its one probe slot.
+ */
+class ProbeFanout : public CacheProbe
+{
+  public:
+    /** Attach @p sink (not owned; ignored when nullptr). */
+    void add(CacheProbe *sink);
+
+    /** @return number of attached sinks. */
+    std::size_t size() const { return sinks_.size(); }
+    bool empty() const { return sinks_.empty(); }
+
+    void onEvent(const CacheEvent &event) override;
+
+  private:
+    std::vector<CacheProbe *> sinks_;
+};
+
+/**
+ * Supplies probes to simulation engines that construct caches
+ * internally (the per-size sweep engines).  The factory is consulted
+ * once per cache built; it retains ownership of whatever it returns.
+ * Engines that cannot drive probes (the single-pass Mattson analyzer,
+ * the sampled estimators) reject a run that carries a factory with a
+ * clear diagnostic instead of silently dropping events.
+ */
+class CacheProbeFactory
+{
+  public:
+    virtual ~CacheProbeFactory() = default;
+
+    /**
+     * @param config the cache about to be instrumented.
+     * @param role which cache within the organization: "unified",
+     * "icache" or "dcache".
+     * @return the probe to attach, or nullptr to leave this cache
+     * uninstrumented.
+     */
+    virtual CacheProbe *probeFor(const CacheConfig &config,
+                                 std::string_view role) = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_CACHE_PROBE_HH

@@ -84,6 +84,10 @@ SectorCache::allocateSector(Addr sector_addr)
     s.sectorAddr = sector_addr;
     s.validMask = 0;
     s.dirtyMask = 0;
+    if (probe_ != nullptr) {
+        probeMeta_[victim].fillClock = clock_;
+        probeMeta_[victim].hitCount = 0;
+    }
     index_.emplace(sector_addr, victim);
     unlink(victim);
     pushMru(victim);
@@ -109,11 +113,27 @@ SectorCache::evictSector(std::uint32_t idx, bool is_purge)
         stats_.dirtyReplacementPushes += dirty;
     }
     stats_.bytesToMemory += dirty * config_.subblockBytes;
+    if (probe_ != nullptr) {
+        CacheEvent event;
+        event.type = CacheEventType::Evict;
+        event.dirty = s.dirtyMask != 0;
+        event.isPurge = is_purge;
+        event.lineAddr = s.sectorAddr;
+        event.refIndex = clock_;
+        event.residentRefs = clock_ - probeMeta_[idx].fillClock;
+        event.hitCount = probeMeta_[idx].hitCount;
+        probe_->onEvent(event);
+        if (s.dirtyMask != 0) {
+            event.type = CacheEventType::Writeback;
+            probe_->onEvent(event);
+        }
+    }
     index_.erase(s.sectorAddr);
     s.validMask = 0;
     s.dirtyMask = 0;
 }
 
+template <bool kProbed>
 bool
 SectorCache::touchSubblock(Addr addr, AccessKind kind)
 {
@@ -128,7 +148,24 @@ SectorCache::touchSubblock(Addr addr, AccessKind kind)
         hit = true;
         unlink(idx);
         pushMru(idx);
+        if constexpr (kProbed) {
+            ++probeMeta_[idx].hitCount;
+            CacheEvent event;
+            event.type = CacheEventType::Hit;
+            event.kind = kind;
+            event.lineAddr = addr;
+            event.refIndex = clock_;
+            probe_->onEvent(event);
+        }
     } else {
+        if constexpr (kProbed) {
+            CacheEvent event;
+            event.type = CacheEventType::Miss;
+            event.kind = kind;
+            event.lineAddr = addr;
+            event.refIndex = clock_;
+            probe_->onEvent(event);
+        }
         if (idx == kInvalid)
             idx = allocateSector(sector_addr);
         else {
@@ -138,6 +175,13 @@ SectorCache::touchSubblock(Addr addr, AccessKind kind)
         sectors_[idx].validMask |= bit;
         stats_.bytesFromMemory += config_.subblockBytes;
         ++stats_.demandFetches;
+        if constexpr (kProbed) {
+            CacheEvent event;
+            event.type = CacheEventType::Fill;
+            event.lineAddr = addr;
+            event.refIndex = clock_;
+            probe_->onEvent(event);
+        }
     }
     if (kind == AccessKind::Write)
         sectors_[idx].dirtyMask |= bit;
@@ -145,9 +189,22 @@ SectorCache::touchSubblock(Addr addr, AccessKind kind)
 }
 
 bool
+SectorCache::accessSubblocksProbed(Addr first, Addr last, AccessKind kind)
+{
+    bool hit = true;
+    for (Addr sub = first;; sub += config_.subblockBytes) {
+        hit &= touchSubblock<true>(sub, kind);
+        if (sub == last)
+            break;
+    }
+    return hit;
+}
+
+bool
 SectorCache::access(const MemoryRef &ref)
 {
     CACHELAB_ASSERT(ref.size > 0, "zero-sized reference");
+    ++clock_;
     const auto k = static_cast<std::size_t>(ref.kind);
     ++stats_.accesses[k];
 
@@ -155,10 +212,14 @@ SectorCache::access(const MemoryRef &ref)
     const Addr last =
         alignDown(ref.addr + ref.size - 1, config_.subblockBytes);
     bool hit = true;
-    for (Addr sub = first;; sub += config_.subblockBytes) {
-        hit &= touchSubblock(sub, ref.kind);
-        if (sub == last)
-            break;
+    if (probe_ != nullptr) {
+        hit = accessSubblocksProbed(first, last, ref.kind);
+    } else {
+        for (Addr sub = first;; sub += config_.subblockBytes) {
+            hit &= touchSubblock<false>(sub, ref.kind);
+            if (sub == last)
+                break;
+        }
     }
     if (!hit)
         ++stats_.misses[k];
@@ -168,6 +229,12 @@ SectorCache::access(const MemoryRef &ref)
 void
 SectorCache::purge()
 {
+    if (probe_ != nullptr) {
+        CacheEvent event;
+        event.type = CacheEventType::Purge;
+        event.refIndex = clock_;
+        probe_->onEvent(event);
+    }
     for (std::uint32_t i = 0; i < sectors_.size(); ++i)
         evictSector(i, /*is_purge=*/true);
     ++stats_.purges;

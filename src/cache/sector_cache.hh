@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/probe.hh"
 #include "cache/stats.hh"
 #include "trace/memory_ref.hh"
 
@@ -71,6 +72,21 @@ class SectorCache
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
 
+    /**
+     * Attach an introspection probe (not owned; nullptr detaches).
+     * Events carry the sub-block address as lineAddr and set 0 (the
+     * cache is fully associative); Evict/Writeback fire per sector.
+     */
+    void setProbe(CacheProbe *probe)
+    {
+        probe_ = probe;
+        if (probe != nullptr && probeMeta_.size() != sectors_.size())
+            probeMeta_.assign(sectors_.size(), ProbeMeta{});
+    }
+
+    /** @return number of access() calls so far (the event clock). */
+    std::uint64_t accessClock() const { return clock_; }
+
   private:
     struct Sector
     {
@@ -81,6 +97,14 @@ class SectorCache
         std::uint32_t next = kInvalid;
     };
 
+    /** Probe-only per-sector bookkeeping, parallel to sectors_ and
+     *  maintained only while a probe is attached (see Cache). */
+    struct ProbeMeta
+    {
+        std::uint64_t fillClock = 0; ///< access() clock at allocation
+        std::uint64_t hitCount = 0;  ///< sub-block hits since then
+    };
+
     static constexpr std::uint32_t kInvalid =
         std::numeric_limits<std::uint32_t>::max();
 
@@ -89,14 +113,27 @@ class SectorCache
     std::uint32_t lookupSector(Addr sector_addr) const;
     std::uint32_t allocateSector(Addr sector_addr);
     void evictSector(std::uint32_t idx, bool is_purge);
+    /** @tparam kProbed compiled-in probe dispatch: the false
+     *  instantiation carries no probe branches at all, keeping the
+     *  uninstrumented hot path identical to a probe-free build. */
+    template <bool kProbed>
     bool touchSubblock(Addr addr, AccessKind kind);
+
+    /** The instrumented sub-block loop, kept out of line so its bulk
+     *  does not eat access()'s inlining budget (which would deopt the
+     *  probe-off hot path). */
+    [[gnu::noinline]] bool accessSubblocksProbed(Addr first, Addr last,
+                                                 AccessKind kind);
 
     SectorCacheConfig config_;
     CacheStats stats_;
     std::vector<Sector> sectors_;
+    std::vector<ProbeMeta> probeMeta_; ///< empty until a probe attaches
     std::unordered_map<Addr, std::uint32_t> index_;
     std::uint32_t head_ = kInvalid;
     std::uint32_t tail_ = kInvalid;
+    std::uint64_t clock_ = 0; ///< access() count (event timestamps)
+    CacheProbe *probe_ = nullptr;
 };
 
 } // namespace cachelab

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of the JSONL event log sink.
+ */
+
+#include "obs/event_log.hh"
+
+#include <ostream>
+
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+EventLogSink::EventLogSink(std::ostream &os, std::uint64_t sample_every,
+                           std::uint64_t max_events)
+    : os_(os), sampleEvery_(sample_every == 0 ? 1 : sample_every),
+      maxEvents_(max_events)
+{
+}
+
+void
+EventLogSink::onEvent(const CacheEvent &event)
+{
+    ++seen_;
+    const bool is_purge = event.type == CacheEventType::Purge;
+    if (!is_purge && (seen_ - 1) % sampleEvery_ != 0)
+        return;
+    if (!is_purge && maxEvents_ != 0 && logged_ >= maxEvents_)
+        return;
+
+    {
+        JsonWriter w(os_, JsonWriter::Compact);
+        w.beginObject();
+        w.member("type", toString(event.type));
+        w.member("ref", event.refIndex);
+        switch (event.type) {
+          case CacheEventType::Hit:
+          case CacheEventType::Miss:
+            w.member("kind", toString(event.kind));
+            w.member("line", event.lineAddr);
+            w.member("set", event.set);
+            break;
+          case CacheEventType::Fill:
+          case CacheEventType::Prefetch:
+            w.member("line", event.lineAddr);
+            w.member("set", event.set);
+            break;
+          case CacheEventType::Evict:
+          case CacheEventType::Writeback:
+            w.member("line", event.lineAddr);
+            w.member("set", event.set);
+            w.member("dirty", event.dirty);
+            w.member("purge", event.isPurge);
+            w.member("resident", event.residentRefs);
+            w.member("hits", event.hitCount);
+            break;
+          case CacheEventType::Purge:
+            break;
+        }
+        w.endObject();
+    }
+    os_ << '\n';
+    ++logged_;
+}
+
+} // namespace cachelab

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sampled JSONL event log sink.
+ *
+ * Streams cache events as one JSON object per line, suitable for
+ * 10⁸-reference out-of-core runs: memory use is O(1) (each event is
+ * formatted and written immediately; nothing is retained), and two
+ * knobs bound the artifact size — 1-in-N sampling and a hard event
+ * cap.  Purge events bypass sampling: they are rare, and re-warming
+ * transients are unexplainable without them.
+ *
+ * Line schema (fields by event type, mirroring CacheEvent):
+ *   {"type":"hit","ref":12,"kind":"read","line":4096,"set":3}
+ *   {"type":"evict","ref":99,"line":4096,"set":3,"dirty":true,
+ *    "purge":false,"resident":87,"hits":5}
+ *   {"type":"purge","ref":120}
+ *
+ * Consumers (tools/cachelab_report, ad-hoc jq) should ignore unknown
+ * fields and types.
+ */
+
+#ifndef CACHELAB_OBS_EVENT_LOG_HH
+#define CACHELAB_OBS_EVENT_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "cache/probe.hh"
+
+namespace cachelab
+{
+
+/** The JSONL event-log sink. */
+class EventLogSink : public CacheProbe
+{
+  public:
+    /**
+     * @param os destination stream (not owned; must outlive the sink).
+     * @param sample_every log every Nth event (1 = all); purges are
+     * always logged.
+     * @param max_events stop logging (but keep counting) after this
+     * many lines; 0 = unlimited.
+     */
+    explicit EventLogSink(std::ostream &os, std::uint64_t sample_every = 1,
+                          std::uint64_t max_events = 0);
+
+    void onEvent(const CacheEvent &event) override;
+
+    /** Events offered to the sink. */
+    std::uint64_t seen() const { return seen_; }
+
+    /** Lines actually written. */
+    std::uint64_t logged() const { return logged_; }
+
+    /** Events suppressed by sampling or the cap. */
+    std::uint64_t dropped() const { return seen_ - logged_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t sampleEvery_;
+    std::uint64_t maxEvents_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t logged_ = 0;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_OBS_EVENT_LOG_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Implementation of the aggregating event sink.
+ */
+
+#include "obs/event_stats.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cachelab
+{
+
+SetStats &
+EventStatsSink::setSlot(std::uint64_t set)
+{
+    if (set >= sets_.size())
+        sets_.resize(set + 1);
+    return sets_[set];
+}
+
+void
+EventStatsSink::onEvent(const CacheEvent &event)
+{
+    switch (event.type) {
+      case CacheEventType::Hit: {
+          SetStats &s = setSlot(event.set);
+          ++s.hits;
+          const auto [it, fresh] =
+              lastTouch_.try_emplace(event.lineAddr, event.refIndex);
+          if (!fresh) {
+              reuseDistance_.add(event.refIndex - it->second);
+              it->second = event.refIndex;
+          }
+          break;
+      }
+      case CacheEventType::Miss: {
+          SetStats &s = setSlot(event.set);
+          ++s.misses;
+          const auto [it, fresh] =
+              lastTouch_.try_emplace(event.lineAddr, event.refIndex);
+          if (!fresh) {
+              reuseDistance_.add(event.refIndex - it->second);
+              it->second = event.refIndex;
+          }
+          break;
+      }
+      case CacheEventType::Fill:
+      case CacheEventType::Prefetch: {
+          SetStats &s = setSlot(event.set);
+          ++s.fills;
+          ++s.occupancy;
+          s.peakOccupancy = std::max(s.peakOccupancy, s.occupancy);
+          break;
+      }
+      case CacheEventType::Evict: {
+          SetStats &s = setSlot(event.set);
+          if (s.occupancy > 0)
+              --s.occupancy;
+          if (!event.isPurge)
+              ++s.evictions;
+          ++evictions_;
+          evictLifetime_.add(event.residentRefs);
+          evictHits_.add(event.hitCount);
+          if (event.hitCount == 0)
+              ++deadOnEviction_;
+          break;
+      }
+      case CacheEventType::Writeback:
+        ++writebacks_;
+        break;
+      case CacheEventType::Purge:
+        break;
+    }
+}
+
+std::vector<std::uint64_t>
+EventStatsSink::topConflictSets(std::size_t n) const
+{
+    std::vector<std::uint64_t> order(sets_.size());
+    for (std::uint64_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::uint64_t a, std::uint64_t b) {
+                  if (sets_[a].evictions != sets_[b].evictions)
+                      return sets_[a].evictions > sets_[b].evictions;
+                  return a < b;
+              });
+    if (order.size() > n)
+        order.resize(n);
+    return order;
+}
+
+void
+EventStatsSink::writeHeatmapCsv(std::ostream &os) const
+{
+    os << "set,hits,misses,fills,evictions,peak_occupancy\n";
+    for (std::uint64_t set = 0; set < sets_.size(); ++set) {
+        const SetStats &s = sets_[set];
+        os << set << ',' << s.hits << ',' << s.misses << ',' << s.fills
+           << ',' << s.evictions << ',' << s.peakOccupancy << '\n';
+    }
+}
+
+void
+EventStatsSink::publish(obs::Registry &registry,
+                        const std::vector<obs::Label> &labels) const
+{
+    const auto add = [&](std::string_view name, std::uint64_t v) {
+        registry.counter(obs::Registry::key(name, labels)).add(v);
+    };
+    add("probe.evictions", evictions_);
+    add("probe.dead_on_eviction", deadOnEviction_);
+    add("probe.writebacks", writebacks_);
+    registry.histogram("probe.evict_lifetime", labels).merge(evictLifetime_);
+    registry.histogram("probe.evict_hits", labels).merge(evictHits_);
+    registry.histogram("probe.reuse_distance", labels).merge(reuseDistance_);
+}
+
+} // namespace cachelab

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Aggregating event sink: lifetime/reuse histograms and per-set
+ * pressure heatmaps.
+ *
+ * Answers the questions the classifier (obs/classify) does not:
+ * *how long* do lines live before eviction, *how many* die without a
+ * single hit (dead-on-eviction — fetched for nothing), how far apart
+ * are touches to the same line (temporal reuse distance in
+ * references), and *which sets* carry the conflict pressure.  All
+ * state is bounded by cache geometry plus trace footprint, never by
+ * trace length, so streamed out-of-core runs aggregate in bounded
+ * memory.
+ */
+
+#ifndef CACHELAB_OBS_EVENT_STATS_HH
+#define CACHELAB_OBS_EVENT_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/probe.hh"
+#include "obs/metrics.hh"
+#include "stats/histogram.hh"
+#include "trace/memory_ref.hh"
+
+namespace cachelab
+{
+
+/** Per-set tallies for the conflict heatmap. */
+struct SetStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;     ///< line-granularity miss events
+    std::uint64_t fills = 0;      ///< demand fills + prefetches
+    std::uint64_t evictions = 0;  ///< replacement evictions (not purges)
+    std::uint64_t occupancy = 0;  ///< currently resident lines
+    std::uint64_t peakOccupancy = 0;
+};
+
+/** The aggregating sink. */
+class EventStatsSink : public CacheProbe
+{
+  public:
+    EventStatsSink() = default;
+
+    void onEvent(const CacheEvent &event) override;
+
+    /** Lifetime of evicted lines, in accesses served while resident. */
+    const Log2Histogram &evictLifetime() const { return evictLifetime_; }
+
+    /** Hits received by evicted lines (bucket 0 == dead on eviction). */
+    const Log2Histogram &evictHits() const { return evictHits_; }
+
+    /** Accesses between consecutive touches of the same line. */
+    const Log2Histogram &reuseDistance() const { return reuseDistance_; }
+
+    /** Evicted lines that never hit after their fill. */
+    std::uint64_t deadOnEviction() const { return deadOnEviction_; }
+
+    /** All Evict events seen (replacements and purges). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Writeback events seen. */
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Per-set tallies, indexed by set (sized to the largest set seen). */
+    const std::vector<SetStats> &sets() const { return sets_; }
+
+    /**
+     * Sets ranked by replacement-eviction count, descending — the
+     * sets where conflict pressure concentrates.
+     * @return at most @p n set indices.
+     */
+    std::vector<std::uint64_t> topConflictSets(std::size_t n) const;
+
+    /**
+     * Write the heatmap as CSV:
+     * set,hits,misses,fills,evictions,peak_occupancy.
+     */
+    void writeHeatmapCsv(std::ostream &os) const;
+
+    /**
+     * Publish into @p registry: counters probe.{evictions,
+     * dead_on_eviction,writebacks} and histograms
+     * probe.{evict_lifetime,evict_hits,reuse_distance} (all with
+     * @p labels folded into the key).
+     */
+    void publish(obs::Registry &registry,
+                 const std::vector<obs::Label> &labels = {}) const;
+
+  private:
+    SetStats &setSlot(std::uint64_t set);
+
+    Log2Histogram evictLifetime_;
+    Log2Histogram evictHits_;
+    Log2Histogram reuseDistance_;
+    std::uint64_t deadOnEviction_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::unordered_map<Addr, std::uint64_t> lastTouch_; ///< line -> ref
+    std::vector<SetStats> sets_;
+};
+
+} // namespace cachelab
+
+#endif // CACHELAB_OBS_EVENT_STATS_HH

@@ -7,6 +7,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "obs/metrics.hh"
@@ -16,6 +17,9 @@
 
 #ifndef CACHELAB_GIT_DESCRIBE
 #define CACHELAB_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CACHELAB_GIT_SHA
+#define CACHELAB_GIT_SHA "unknown"
 #endif
 #ifndef CACHELAB_BUILD_TYPE
 #define CACHELAB_BUILD_TYPE "unknown"
@@ -34,6 +38,7 @@ writeBuildJson(JsonWriter &w, const BuildInfo &build)
 {
     w.beginObject();
     w.member("git", build.gitDescribe);
+    w.member("git_sha", build.gitSha);
     w.member("compiler", build.compiler);
     w.member("build_type", build.buildType);
     w.endObject();
@@ -88,7 +93,31 @@ peakRssBytes()
 BuildInfo
 buildInfo()
 {
-    return {CACHELAB_GIT_DESCRIBE, __VERSION__, CACHELAB_BUILD_TYPE};
+    return {CACHELAB_GIT_DESCRIBE, CACHELAB_GIT_SHA, __VERSION__,
+            CACHELAB_BUILD_TYPE};
+}
+
+std::string
+hostName()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    char name[256] = {};
+    if (gethostname(name, sizeof(name) - 1) == 0 && name[0] != '\0')
+        return name;
+#endif
+    return "unknown";
+}
+
+std::string
+joinArgv(int argc, const char *const *argv)
+{
+    std::string joined;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0)
+            joined += ' ';
+        joined += argv[i];
+    }
+    return joined;
 }
 
 void
@@ -182,6 +211,11 @@ writeManifest(std::ostream &os, const RunManifest &manifest)
     w.member("tool", manifest.tool);
     w.key("build");
     writeBuildJson(w, buildInfo());
+    w.key("provenance").beginObject();
+    w.member("git_sha", buildInfo().gitSha);
+    w.member("hostname", hostName());
+    w.member("argv", manifest.argv);
+    w.endObject();
     w.key("input").beginObject();
     w.member("trace", manifest.traceName);
     w.member("refs", manifest.traceRefs);

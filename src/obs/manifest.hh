@@ -43,12 +43,16 @@ namespace obs
 struct BuildInfo
 {
     std::string gitDescribe; ///< `git describe --always --dirty`
+    std::string gitSha;      ///< `git rev-parse HEAD` (full 40 chars)
     std::string compiler;    ///< __VERSION__
     std::string buildType;   ///< CMAKE_BUILD_TYPE
 };
 
 /** @return this binary's build identification. */
 BuildInfo buildInfo();
+
+/** @return this machine's hostname ("unknown" when unavailable). */
+std::string hostName();
 
 /** One simulated result attached to a manifest. */
 struct ManifestResult
@@ -70,6 +74,7 @@ struct ManifestSampledResult
 struct RunManifest
 {
     std::string tool;      ///< binary name, e.g. "cachelab_sim"
+    std::string argv;      ///< full command line of the invocation
     std::string traceName; ///< input trace / profile
     std::uint64_t traceRefs = 0;
     std::uint64_t seed = 0;
@@ -94,6 +99,9 @@ struct RunManifest
 
 /** Serialize @p manifest to @p os as the schema-versioned document. */
 void writeManifest(std::ostream &os, const RunManifest &manifest);
+
+/** @return argc/argv joined with single spaces (manifest provenance). */
+std::string joinArgv(int argc, const char *const *argv);
 
 /**
  * Emit every CacheStats counter (exact uint64) plus the derived

@@ -153,4 +153,16 @@ Registry::clear()
     histograms_.clear();
 }
 
+void
+Registry::resetForTesting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges_)
+        gauge->set(0.0);
+    for (const auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
 } // namespace cachelab::obs

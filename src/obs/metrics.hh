@@ -67,6 +67,9 @@ class Counter
         return value_.load(std::memory_order_relaxed);
     }
 
+    /** Zero the count (per-run scoping; see Registry::resetForTesting). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
   private:
     std::atomic<std::uint64_t> value_{0};
 };
@@ -91,6 +94,20 @@ class Histogram
     {
         std::lock_guard<std::mutex> lock(mutex_);
         histogram_.add(sample);
+    }
+
+    /** Fold a locally accumulated histogram in (bulk publication). */
+    void merge(const Log2Histogram &other)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.merge(other);
+    }
+
+    /** Drop all samples (per-run scoping). */
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_ = Log2Histogram{};
     }
 
     /** @return a copy consistent at the time of the call. */
@@ -153,6 +170,16 @@ class Registry
     /** Drop every registered metric (tests; not thread-safe vs users
      * holding references). */
     void clear();
+
+    /**
+     * Zero every registered metric **in place**: counters to 0, gauges
+     * to 0.0, histograms emptied.  Unlike clear(), references handed
+     * out earlier stay valid, so this is the safe way to scope the
+     * global registry per run — back-to-back sweeps in one process
+     * (library callers, consecutive cachelab_sim invocations in tests)
+     * no longer accumulate each other's counts.
+     */
+    void resetForTesting();
 
     /**
      * @return @p name with @p labels appended in canonical order,

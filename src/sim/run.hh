@@ -74,6 +74,19 @@ struct RunConfig
             ? batchRefs
             : static_cast<std::size_t>(TraceSource::kDefaultBatchRefs);
     }
+
+    /**
+     * Probe supplier for engines that construct caches internally
+     * (the sweep engines); nullptr runs uninstrumented.  The factory
+     * is consulted serially, once per cache, before any simulation
+     * starts; events then flow from that cache's driving thread only.
+     * Engines that cannot emit events — the single-pass Mattson
+     * analyzer and the sampled estimators — reject a non-null factory
+     * with a fatal diagnostic rather than silently dropping events.
+     * runTrace() ignores this field: its callers hold the cache and
+     * attach probes directly via setProbe().
+     */
+    CacheProbeFactory *probeFactory = nullptr;
 };
 
 /**

@@ -87,6 +87,11 @@ class SampledEngine
           recordPurges_(recorder_.enabled())
     {
         sample_.validate();
+        if (run.probeFactory != nullptr)
+            fatal("the sampled engine cannot drive cache-event probes "
+                  "(estimates are stitched from measured intervals, so the "
+                  "event stream would have gaps); use the per-size engine "
+                  "for instrumented runs");
         CACHELAB_ASSERT(run.warmupRefs == 0,
                         "runSampled: warm-up is the warming policy's job; "
                         "RunConfig::warmupRefs must be 0");

@@ -109,6 +109,37 @@ statsEqual(const CacheStats &a, const CacheStats &b)
     return std::memcmp(&a, &b, sizeof(CacheStats)) == 0;
 }
 
+/**
+ * Consult the probe factory serially for every size point, so factory
+ * implementations need no locking even when the runs fan out.
+ * @return one probe (possibly nullptr) per size, or an empty vector
+ * when the run is uninstrumented.
+ */
+std::vector<CacheProbe *>
+probesForSizes(const std::vector<std::uint64_t> &sizes,
+               const CacheConfig &base, const RunConfig &run,
+               std::string_view role)
+{
+    std::vector<CacheProbe *> probes;
+    if (run.probeFactory == nullptr)
+        return probes;
+    probes.reserve(sizes.size());
+    for (std::uint64_t size : sizes)
+        probes.push_back(
+            run.probeFactory->probeFor(configAt(base, size), role));
+    return probes;
+}
+
+/** fatal() naming the engine that cannot drive a probe factory. */
+void
+rejectProbes(const RunConfig &run, const char *engine)
+{
+    if (run.probeFactory != nullptr)
+        fatal("the ", engine, " engine cannot drive cache-event probes; "
+              "use the per-size engine (--engine per-size) for "
+              "instrumented sweeps");
+}
+
 [[noreturn]] void
 reportMismatch(const char *what, std::uint64_t size, const CacheStats &per_size,
                const CacheStats &single_pass)
@@ -123,6 +154,7 @@ sweepUnifiedPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                     const CacheConfig &base, const RunConfig &run)
 {
     obs::Registry::global().counter("sweep.points").add(sizes.size());
+    const auto probes = probesForSizes(sizes, base, run, "unified");
     std::vector<SweepPoint> out(sizes.size());
     sweepFor(sizes.size(), run, [&](std::size_t i) {
         obs::ProfileScope profile("sweep.point");
@@ -130,6 +162,8 @@ sweepUnifiedPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                             {{"bytes", formatSize(sizes[i])},
                              {"trace", trace.name()}});
         Cache cache(configAt(base, sizes[i]));
+        if (!probes.empty())
+            cache.setProbe(probes[i]);
         out[i] = {sizes[i], runTrace(trace, cache, run)};
     });
     return out;
@@ -142,6 +176,7 @@ sweepUnifiedSinglePass(const Trace &trace,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    rejectProbes(run, "single-pass Mattson");
     obs::Registry::global().counter("sweep.points").add(sizes.size());
     obs::ProfileScope profile("sweep.single_pass");
     obs::TraceSpan span("single_pass", "sweep",
@@ -167,6 +202,8 @@ sweepSplitPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                   const CacheConfig &base, const RunConfig &run)
 {
     obs::Registry::global().counter("sweep.points").add(sizes.size());
+    const auto iprobes = probesForSizes(sizes, base, run, "icache");
+    const auto dprobes = probesForSizes(sizes, base, run, "dcache");
     std::vector<SplitSweepPoint> out(sizes.size());
     sweepFor(sizes.size(), run, [&](std::size_t i) {
         obs::ProfileScope profile("sweep.point");
@@ -176,6 +213,8 @@ sweepSplitPerSize(const Trace &trace, const std::vector<std::uint64_t> &sizes,
                              {"organization", "split"}});
         const CacheConfig config = configAt(base, sizes[i]);
         SplitCache split(config, config);
+        if (!iprobes.empty())
+            split.setProbes(iprobes[i], dprobes[i]);
         runTrace(trace, split, run);
         out[i] = {sizes[i], split.icache().stats(), split.dcache().stats()};
     });
@@ -189,6 +228,7 @@ sweepSplitSinglePass(const Trace &trace,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    rejectProbes(run, "single-pass Mattson");
     obs::Registry::global().counter("sweep.points").add(sizes.size());
     obs::ProfileScope profile("sweep.single_pass");
     obs::TraceSpan span("single_pass", "sweep",
@@ -226,10 +266,14 @@ sweepUnifiedPerSizeStream(TraceSource &source,
     obs::TraceSpan span("sweep_stream", "sweep",
                         {{"trace", source.name()}});
 
+    const auto probes = probesForSizes(sizes, base, run, "unified");
     std::vector<std::unique_ptr<Cache>> caches;
     caches.reserve(sizes.size());
-    for (std::uint64_t size : sizes)
-        caches.push_back(std::make_unique<Cache>(configAt(base, size)));
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        caches.push_back(std::make_unique<Cache>(configAt(base, sizes[i])));
+        if (!probes.empty())
+            caches.back()->setProbe(probes[i]);
+    }
     std::vector<detail::DriveState> states(sizes.size(),
                                            detail::DriveState(run));
     const detail::DriveObs ob;
@@ -263,6 +307,7 @@ sweepUnifiedSinglePassStream(TraceSource &source,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    rejectProbes(run, "single-pass Mattson");
     obs::Registry::global().counter("sweep.points").add(sizes.size());
     obs::ProfileScope profile("sweep.single_pass");
     obs::TraceSpan span("single_pass", "sweep",
@@ -298,11 +343,15 @@ sweepSplitPerSizeStream(TraceSource &source,
                         {{"trace", source.name()},
                          {"organization", "split"}});
 
+    const auto iprobes = probesForSizes(sizes, base, run, "icache");
+    const auto dprobes = probesForSizes(sizes, base, run, "dcache");
     std::vector<std::unique_ptr<SplitCache>> splits;
     splits.reserve(sizes.size());
-    for (std::uint64_t size : sizes) {
-        const CacheConfig config = configAt(base, size);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const CacheConfig config = configAt(base, sizes[i]);
         splits.push_back(std::make_unique<SplitCache>(config, config));
+        if (!iprobes.empty())
+            splits.back()->setProbes(iprobes[i], dprobes[i]);
     }
     std::vector<detail::DriveState> states(sizes.size(),
                                            detail::DriveState(run));
@@ -334,6 +383,7 @@ sweepSplitSinglePassStream(TraceSource &source,
 {
     CACHELAB_ASSERT(sweepSinglePassEligible(base, run),
                     "single-pass sweep requires the Table 1 shape");
+    rejectProbes(run, "single-pass Mattson");
     obs::Registry::global().counter("sweep.points").add(sizes.size());
     obs::ProfileScope profile("sweep.single_pass");
     obs::TraceSpan span("single_pass", "sweep",
@@ -402,7 +452,9 @@ sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
 {
     switch (engine) {
       case SweepEngine::Auto:
-        return sweepSinglePassEligible(base, run)
+        // Probes force the per-size path: only real caches emit events.
+        return sweepSinglePassEligible(base, run) &&
+                run.probeFactory == nullptr
             ? sweepUnifiedSinglePass(trace, sizes, base, run)
             : sweepUnifiedPerSize(trace, sizes, base, run);
       case SweepEngine::PerSize:
@@ -410,6 +462,7 @@ sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
       case SweepEngine::SinglePass:
         return sweepUnifiedSinglePass(trace, sizes, base, run);
       case SweepEngine::Verify: {
+        rejectProbes(run, "verify");
         const auto per_size = sweepUnifiedPerSize(trace, sizes, base, run);
         const auto fast = sweepUnifiedSinglePass(trace, sizes, base, run);
         for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -420,6 +473,7 @@ sweepUnified(const Trace &trace, const std::vector<std::uint64_t> &sizes,
         return per_size;
       }
       case SweepEngine::Sampled: {
+        rejectProbes(run, "sampled");
         const auto sampled =
             sweepUnifiedSampled(trace, sizes, base, SampleConfig{}, run);
         std::vector<SweepPoint> out;
@@ -438,7 +492,8 @@ sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
 {
     switch (engine) {
       case SweepEngine::Auto:
-        return sweepSinglePassEligible(base, run)
+        return sweepSinglePassEligible(base, run) &&
+                run.probeFactory == nullptr
             ? sweepSplitSinglePass(trace, sizes, base, run)
             : sweepSplitPerSize(trace, sizes, base, run);
       case SweepEngine::PerSize:
@@ -446,6 +501,7 @@ sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
       case SweepEngine::SinglePass:
         return sweepSplitSinglePass(trace, sizes, base, run);
       case SweepEngine::Verify: {
+        rejectProbes(run, "verify");
         const auto per_size = sweepSplitPerSize(trace, sizes, base, run);
         const auto fast = sweepSplitSinglePass(trace, sizes, base, run);
         for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -459,6 +515,7 @@ sweepSplit(const Trace &trace, const std::vector<std::uint64_t> &sizes,
         return per_size;
       }
       case SweepEngine::Sampled: {
+        rejectProbes(run, "sampled");
         const auto sampled =
             sweepSplitSampled(trace, sizes, base, SampleConfig{}, run);
         std::vector<SplitSweepPoint> out;
@@ -479,7 +536,8 @@ sweepUnified(TraceSource &source, const std::vector<std::uint64_t> &sizes,
 {
     switch (engine) {
       case SweepEngine::Auto:
-        return sweepSinglePassEligible(base, run)
+        return sweepSinglePassEligible(base, run) &&
+                run.probeFactory == nullptr
             ? sweepUnifiedSinglePassStream(source, sizes, base, run)
             : sweepUnifiedPerSizeStream(source, sizes, base, run);
       case SweepEngine::PerSize:
@@ -487,6 +545,7 @@ sweepUnified(TraceSource &source, const std::vector<std::uint64_t> &sizes,
       case SweepEngine::SinglePass:
         return sweepUnifiedSinglePassStream(source, sizes, base, run);
       case SweepEngine::Verify: {
+        rejectProbes(run, "verify");
         const auto per_size =
             sweepUnifiedPerSizeStream(source, sizes, base, run);
         source.reset();
@@ -500,6 +559,7 @@ sweepUnified(TraceSource &source, const std::vector<std::uint64_t> &sizes,
         return per_size;
       }
       case SweepEngine::Sampled: {
+        rejectProbes(run, "sampled");
         const auto sampled =
             sweepUnifiedSampled(source, sizes, base, SampleConfig{}, run);
         std::vector<SweepPoint> out;
@@ -518,7 +578,8 @@ sweepSplit(TraceSource &source, const std::vector<std::uint64_t> &sizes,
 {
     switch (engine) {
       case SweepEngine::Auto:
-        return sweepSinglePassEligible(base, run)
+        return sweepSinglePassEligible(base, run) &&
+                run.probeFactory == nullptr
             ? sweepSplitSinglePassStream(source, sizes, base, run)
             : sweepSplitPerSizeStream(source, sizes, base, run);
       case SweepEngine::PerSize:
@@ -526,6 +587,7 @@ sweepSplit(TraceSource &source, const std::vector<std::uint64_t> &sizes,
       case SweepEngine::SinglePass:
         return sweepSplitSinglePassStream(source, sizes, base, run);
       case SweepEngine::Verify: {
+        rejectProbes(run, "verify");
         const auto per_size =
             sweepSplitPerSizeStream(source, sizes, base, run);
         source.reset();
@@ -542,6 +604,7 @@ sweepSplit(TraceSource &source, const std::vector<std::uint64_t> &sizes,
         return per_size;
       }
       case SweepEngine::Sampled: {
+        rejectProbes(run, "sampled");
         const auto sampled =
             sweepSplitSampled(source, sizes, base, SampleConfig{}, run);
         std::vector<SplitSweepPoint> out;

@@ -25,6 +25,17 @@ Log2Histogram::add(std::uint64_t value)
     sum_ += static_cast<double>(value);
 }
 
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t k = 0; k < other.buckets_.size(); ++k)
+        buckets_[k] += other.buckets_[k];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
 std::uint64_t
 Log2Histogram::bucket(std::size_t k) const
 {

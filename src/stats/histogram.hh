@@ -26,6 +26,9 @@ class Log2Histogram
     /** Add one sample. */
     void add(std::uint64_t value);
 
+    /** Fold @p other's samples into this histogram. */
+    void merge(const Log2Histogram &other);
+
     /** @return number of samples in bucket @p k (0 if out of range). */
     std::uint64_t bucket(std::size_t k) const;
 

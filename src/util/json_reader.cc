@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Implementation of the DOM JSON reader.
+ */
+
+#include "util/json_reader.hh"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("JSON value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type_ != Type::Number)
+        fatal("JSON value is not a number");
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    if (type_ != Type::Number)
+        fatal("JSON value is not a number");
+    if (!integral_ || negative_)
+        fatal("JSON number ", number_, " is not a non-negative integer");
+    return uint_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (type_ != Type::Number)
+        fatal("JSON value is not a number");
+    if (!integral_)
+        fatal("JSON number ", number_, " is not an integer");
+    if (negative_) {
+        // uint_ holds the magnitude; -2^63 is representable.
+        if (uint_ > static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()) +
+                        1)
+            fatal("JSON integer -", uint_, " overflows int64");
+        return -static_cast<std::int64_t>(uint_ - 1) - 1;
+    }
+    if (uint_ > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max()))
+        fatal("JSON integer ", uint_, " overflows int64");
+    return static_cast<std::int64_t>(uint_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type_ != Type::String)
+        fatal("JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (type_ != Type::Array)
+        fatal("JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (type_ != Type::Object)
+        fatal("JSON value is not an object");
+    return members_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::Array)
+        return items_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    fatal("JSON value is neither array nor object");
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        fatal("JSON object has no member \"", key, "\"");
+    return *v;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    if (type_ != Type::Array)
+        fatal("JSON value is not an array");
+    if (index >= items_.size())
+        fatal("JSON array index ", index, " out of range (size ",
+              items_.size(), ")");
+    return items_[index];
+}
+
+/** Recursive-descent parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue root;
+        if (!parseValue(root, 0) || !atEndAfterSpace()) {
+            if (error != nullptr) {
+                if (error_.empty())
+                    error_ = "trailing content";
+                *error = error_ + " at offset " + std::to_string(pos_);
+            }
+            return std::nullopt;
+        }
+        return root;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    bool
+    fail(std::string_view what)
+    {
+        if (error_.empty())
+            error_ = what;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    atEndAfterSpace()
+    {
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ == text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.string_);
+          case 't':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = true;
+            return consumeLiteral("true") || fail("bad literal");
+          case 'f':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = false;
+            return consumeLiteral("false") || fail("bad literal");
+          case 'n':
+            out.type_ = JsonValue::Type::Null;
+            return consumeLiteral("null") || fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        out.type_ = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            if (pos_ == text_.size() || text_[pos_] != '"')
+                return fail("expected member key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members_.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        out.type_ = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.items_.push_back(std::move(value));
+            skipSpace();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseHex4(std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        while (true) {
+            if (pos_ == text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ == text_.size())
+                return fail("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  std::uint32_t cp = 0;
+                  if (!parseHex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // High surrogate: a \uDC00-\uDFFF must follow.
+                      if (!consumeLiteral("\\u"))
+                          return fail("lone high surrogate");
+                      std::uint32_t low = 0;
+                      if (!parseHex4(low))
+                          return false;
+                      if (low < 0xDC00 || low > 0xDFFF)
+                          return fail("bad low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("lone low surrogate");
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        const bool negative = consume('-');
+        std::size_t digits_start = pos_;
+        bool integral = true;
+        while (pos_ < text_.size() && std::isdigit(
+                   static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == digits_start)
+            return fail("bad number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            const std::size_t frac_start = pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == frac_start)
+                return fail("bad number");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' ||
+                                    text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' ||
+                                        text_[pos_] == '-'))
+                ++pos_;
+            const std::size_t exp_start = pos_;
+            while (pos_ < text_.size() && std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            if (pos_ == exp_start)
+                return fail("bad number");
+        }
+
+        const std::string_view repr = text_.substr(start, pos_ - start);
+        out.type_ = JsonValue::Type::Number;
+        out.negative_ = negative;
+
+        if (integral) {
+            const std::string_view mag =
+                text_.substr(digits_start, pos_ - digits_start);
+            std::uint64_t u = 0;
+            const auto [ptr, ec] =
+                std::from_chars(mag.data(), mag.data() + mag.size(), u);
+            if (ec == std::errc() && ptr == mag.data() + mag.size()) {
+                out.integral_ = true;
+                out.uint_ = u;
+                out.number_ = negative ? -static_cast<double>(u)
+                                       : static_cast<double>(u);
+                return true;
+            }
+            // Magnitude overflows uint64: fall through to double.
+        }
+
+        double d = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(repr.data(), repr.data() + repr.size(), d);
+        if (ec != std::errc() || ptr != repr.data() + repr.size())
+            return fail("bad number");
+        out.integral_ = false;
+        out.number_ = d;
+        return true;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return JsonParser(text).parse(error);
+}
+
+} // namespace cachelab

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal DOM JSON reader: the counterpart of json_writer.
+ *
+ * The repository emits JSON in one place (JsonWriter) and reads it
+ * back in one place (this file) — cachelab_report consumes run
+ * manifests and JSONL event logs, and tests round-trip the Chrome
+ * trace export.  The parser covers exactly the JSON the writer can
+ * produce: objects, arrays, strings with escapes, numbers, booleans
+ * and null.  64-bit integers are preserved exactly (addresses and
+ * reference counts do not fit in a double); anything with a fraction
+ * or exponent becomes a double.
+ *
+ * Usage:
+ *   std::string err;
+ *   std::optional<JsonValue> doc = parseJson(text, &err);
+ *   if (!doc)
+ *       fatal("bad manifest: ", err);
+ *   std::uint64_t refs = doc->at("run").at("refs").asUint();
+ *
+ * Member order is preserved (members() returns them as written); for
+ * duplicate keys find()/at() return the first occurrence.
+ */
+
+#ifndef CACHELAB_UTIL_JSON_READER_HH
+#define CACHELAB_UTIL_JSON_READER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cachelab
+{
+
+/** One parsed JSON value (recursively, a whole document). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @return the boolean; fatal() when not a Bool. */
+    bool asBool() const;
+
+    /** @return the number as a double; fatal() when not a Number. */
+    double asDouble() const;
+
+    /**
+     * @return the number as an unsigned 64-bit integer, exact when
+     * the document spelled an integer in range; fatal() when not a
+     * non-negative integral Number.
+     */
+    std::uint64_t asUint() const;
+
+    /** Signed companion of asUint(). */
+    std::int64_t asInt() const;
+
+    /** @return the string; fatal() when not a String. */
+    const std::string &asString() const;
+
+    /** @return array elements; fatal() when not an Array. */
+    const std::vector<JsonValue> &items() const;
+
+    /** @return object members in document order; fatal() when not an
+     *  Object. */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** @return element count of an Array or Object, else fatal(). */
+    std::size_t size() const;
+
+    /** @return the member named @p key, or nullptr when absent (or
+     *  when this is not an Object). */
+    const JsonValue *find(std::string_view key) const;
+
+    /** @return the member named @p key; fatal() when absent. */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Array indexing; fatal() when out of range or not an Array. */
+    const JsonValue &at(std::size_t index) const;
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::uint64_t uint_ = 0;  ///< exact value when integral_
+    bool integral_ = false;   ///< number was an integer in uint64 range
+    bool negative_ = false;   ///< integral_ number carried a minus sign
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document.
+ *
+ * @param text the complete document; trailing whitespace is allowed,
+ * any other trailing content is an error.
+ * @param error receives a message with character offset on failure
+ * (ignored when nullptr).
+ * @return the document, or std::nullopt on malformed input.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace cachelab
+
+#endif // CACHELAB_UTIL_JSON_READER_HH

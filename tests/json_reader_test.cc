@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the recursive-descent JSON parser (util/json_reader) that
+ * backs cachelab_report and the event-log round-trip tests: value
+ * types, string escapes, integer exactness, error reporting, and the
+ * documented duplicate-key and member-order semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json_reader.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+TEST(JsonReader, ParsesPrimitives)
+{
+    std::string err;
+    auto doc = parseJson("null", &err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_TRUE(doc->isNull());
+
+    doc = parseJson("true");
+    ASSERT_TRUE(doc);
+    EXPECT_TRUE(doc->asBool());
+
+    doc = parseJson("false");
+    ASSERT_TRUE(doc);
+    EXPECT_FALSE(doc->asBool());
+
+    doc = parseJson("-17");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asInt(), -17);
+
+    doc = parseJson("3.5e2");
+    ASSERT_TRUE(doc);
+    EXPECT_DOUBLE_EQ(doc->asDouble(), 350.0);
+
+    doc = parseJson("\"hi\"");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asString(), "hi");
+}
+
+TEST(JsonReader, ParsesNestedContainers)
+{
+    const auto doc = parseJson(
+        R"({"run":{"refs":30000,"sizes":[256,1024,4096]},"ok":true})");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->at("run").at("refs").asUint(), 30000u);
+    const JsonValue &sizes = doc->at("run").at("sizes");
+    ASSERT_EQ(sizes.size(), 3u);
+    EXPECT_EQ(sizes.at(0).asUint(), 256u);
+    EXPECT_EQ(sizes.at(2).asUint(), 4096u);
+    EXPECT_TRUE(doc->at("ok").asBool());
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesStringEscapes)
+{
+    const auto doc = parseJson(R"("a\"b\\c\/d\b\f\n\r\te")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asString(), "a\"b\\c/d\b\f\n\r\te");
+}
+
+TEST(JsonReader, DecodesUnicodeEscapesIncludingSurrogatePairs)
+{
+    auto doc = parseJson(R"("caf\u00e9")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asString(), "caf\xc3\xa9");
+
+    // U+1F600 as a \u surrogate pair -> 4-byte UTF-8.
+    doc = parseJson(R"("\ud83d\ude00")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, LargeIntegersAreExact)
+{
+    const auto doc = parseJson("18446744073709551615"); // 2^64 - 1
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->asUint(), 18446744073709551615ull);
+}
+
+TEST(JsonReader, MemberOrderPreservedAndDuplicateKeysFirstWins)
+{
+    const auto doc = parseJson(R"({"b":1,"a":2,"b":3})");
+    ASSERT_TRUE(doc);
+    const auto &members = doc->members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "b");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(doc->at("b").asUint(), 1u); // first occurrence
+}
+
+TEST(JsonReader, ReportsErrorsWithoutCrashing)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("", &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(parseJson(R"({"a":)", &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(parseJson(R"({"a":1} trailing)", &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(parseJson(R"("bad \q escape")", &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(parseJson("[1,2,", &err));
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_FALSE(parseJson("nul", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonReaderDeathTest, TypeMismatchesAreFatal)
+{
+    const auto doc = parseJson(R"({"a":1})");
+    ASSERT_TRUE(doc);
+    EXPECT_DEATH({ (void)doc->at("a").asString(); }, "not a string");
+    EXPECT_DEATH({ (void)doc->at("missing"); }, "no member");
+    EXPECT_DEATH({ (void)doc->asDouble(); }, "not a number");
+}
+
+} // namespace
+} // namespace cachelab

@@ -117,6 +117,36 @@ TEST(MetricsRegistry, ClearDropsEverything)
     EXPECT_EQ(registry.counter("a").value(), 0u);
 }
 
+TEST(MetricsRegistry, ResetForTestingZeroesInPlace)
+{
+    obs::Registry registry;
+    obs::Counter &counter = registry.counter("sim.refs");
+    obs::Gauge &gauge = registry.gauge("pool.jobs");
+    obs::Histogram &histogram = registry.histogram("task_ns");
+    counter.add(42);
+    gauge.set(8.0);
+    histogram.observe(17);
+
+    registry.resetForTesting();
+
+    // Values are zeroed, but the objects stay registered and valid —
+    // unlike clear(), which would dangle the references above.
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_EQ(registry.snapshot().counterValue("sim.refs"), 0u);
+    const auto snap = registry.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].histogram.total(), 0u);
+
+    // The regression this guards: back-to-back library runs in one
+    // process must not accumulate into each other's counters.
+    counter.add(30000);
+    EXPECT_EQ(counter.value(), 30000u);
+    registry.resetForTesting();
+    counter.add(30000);
+    EXPECT_EQ(registry.snapshot().counterValue("sim.refs"), 30000u);
+    EXPECT_EQ(&registry.counter("sim.refs"), &counter);
+}
+
 TEST(MetricsRegistry, PublishThreadPoolMirrorsUtilization)
 {
     ThreadPool pool(2);

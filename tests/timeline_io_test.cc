@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "cache/cache.hh"
@@ -85,6 +86,95 @@ TEST(Timeline, ShortTraceOverstatesLargeCacheMissRatio)
     const auto buckets = missRatioTimeline(t, cache, 25000);
     const auto cumulative = cumulativeMissRatio(buckets);
     EXPECT_GT(cumulative[1], cumulative.back() * 1.5);
+}
+
+TEST(Timeline, StreamedMatchesMaterializedBucketForBucket)
+{
+    const TraceProfile &p = *findTraceProfile("ZOD");
+    const Trace t = generateTrace(p, 25000);
+    Cache a(table1Config(1024));
+    const auto materialized = missRatioTimeline(t, a, 4000, 6000);
+
+    const std::unique_ptr<TraceSource> source = streamTrace(p, 25000);
+    Cache b(table1Config(1024));
+    const auto streamed = missRatioTimeline(*source, b, 4000, 6000);
+
+    ASSERT_EQ(streamed.size(), materialized.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].startRef, materialized[i].startRef);
+        EXPECT_EQ(streamed[i].refs, materialized[i].refs);
+        EXPECT_EQ(streamed[i].misses, materialized[i].misses);
+    }
+}
+
+TEST(Timeline, BatchSizeDoesNotChangeBuckets)
+{
+    const TraceProfile &p = *findTraceProfile("PLO");
+    const std::unique_ptr<TraceSource> big = streamTrace(p, 9000);
+    Cache a(table1Config(2048));
+    const auto coarse = missRatioTimeline(*big, a, 2500, 0, 4096);
+
+    const std::unique_ptr<TraceSource> tiny = streamTrace(p, 9000);
+    Cache b(table1Config(2048));
+    const auto fine = missRatioTimeline(*tiny, b, 2500, 0, 1);
+
+    ASSERT_EQ(coarse.size(), fine.size());
+    for (std::size_t i = 0; i < coarse.size(); ++i)
+        EXPECT_EQ(coarse[i].misses, fine[i].misses);
+}
+
+TEST(Timeline, ClassifiedBucketsAgreeWithPlainTimeline)
+{
+    const TraceProfile &p = *findTraceProfile("ZGREP");
+    const Trace t = generateTrace(p, 30000);
+    Cache plain(table1Config(1024));
+    const auto buckets = missRatioTimeline(t, plain, 5000, 7000);
+
+    Cache classified(table1Config(1024));
+    const auto intervals = classifiedTimeline(t, classified, 5000, 7000);
+    const auto as_buckets = toTimeline(intervals);
+
+    ASSERT_EQ(as_buckets.size(), buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        EXPECT_EQ(as_buckets[i].startRef, buckets[i].startRef);
+        EXPECT_EQ(as_buckets[i].refs, buckets[i].refs);
+        EXPECT_EQ(as_buckets[i].misses, buckets[i].misses);
+    }
+    // Each interval carries a consistent 3C split; table1Config is
+    // fully associative, so no interval may report conflict misses.
+    for (const ClassifiedInterval &i : intervals) {
+        EXPECT_EQ(i.compulsory + i.capacity + i.conflict, i.misses);
+        EXPECT_EQ(i.conflict, 0u);
+    }
+}
+
+TEST(Timeline, ClassifiedStreamedMatchesClassifiedMaterialized)
+{
+    const TraceProfile &p = *findTraceProfile("ZOD");
+    const Trace t = generateTrace(p, 20000);
+    Cache a(table1Config(2048));
+    const auto materialized = classifiedTimeline(t, a, 4000);
+
+    const std::unique_ptr<TraceSource> source = streamTrace(p, 20000);
+    Cache b(table1Config(2048));
+    const auto streamed = classifiedTimeline(*source, b, 4000);
+
+    ASSERT_EQ(streamed.size(), materialized.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].misses, materialized[i].misses);
+        EXPECT_EQ(streamed[i].compulsory, materialized[i].compulsory);
+        EXPECT_EQ(streamed[i].capacity, materialized[i].capacity);
+        EXPECT_EQ(streamed[i].conflict, materialized[i].conflict);
+    }
+}
+
+TEST(TimelineDeathTest, ClassifiedTimelineRequiresFreshCache)
+{
+    const Trace t = generateTrace(*findTraceProfile("ZOD"), 1000);
+    Cache cache(table1Config(1024));
+    runTrace(t, cache);
+    EXPECT_DEATH({ (void)classifiedTimeline(t, cache, 500); },
+                 "fresh cache");
 }
 
 // --- compressed trace format ----------------------------------------

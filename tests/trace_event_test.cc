@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Edge-case tests for the Chrome-trace recorder (obs/trace_event):
+ * empty runs, single-slot pools, the ordering of purge instants from
+ * the simulation drivers, and JSON validity of the written trace —
+ * checked by actually parsing it, not by substring probes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "obs/trace_event.hh"
+#include "sim/experiments.hh"
+#include "sim/run.hh"
+#include "sim/sampled.hh"
+#include "util/json_reader.hh"
+#include "util/thread_pool.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+/** Parse @p recorder's output, failing the test on malformed JSON. */
+JsonValue
+writtenTrace(const obs::TraceRecorder &recorder)
+{
+    std::ostringstream os;
+    recorder.write(os);
+    std::string err;
+    const auto doc = parseJson(os.str(), &err);
+    EXPECT_TRUE(doc) << err;
+    return doc ? *doc : JsonValue{};
+}
+
+TEST(TraceEventEdge, EmptyRunWritesValidEmptyTrace)
+{
+    obs::TraceRecorder recorder;
+    const JsonValue doc = writtenTrace(recorder);
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const JsonValue &events = doc.at("traceEvents");
+    // No spans, no instants: only (possibly zero) metadata records.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events.at(i).at("ph").asString(), "M");
+}
+
+TEST(TraceEventEdge, SingleSlotPoolUsesMainAndOneWorkerLane)
+{
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    recorder.setEnabled(true);
+    recorder.clear();
+    {
+        obs::TraceSpan main_span("setup", "test");
+    }
+    ThreadPool pool(1);
+    pool.parallelFor(4, [](std::size_t) {
+        obs::TraceSpan span("task", "test");
+    });
+    recorder.setEnabled(false);
+
+    const JsonValue doc = writtenTrace(recorder);
+    const JsonValue &events = doc.at("traceEvents");
+    std::vector<std::uint64_t> tids;
+    bool saw_main_name = false, saw_slot_name = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (e.at("ph").asString() == "M") {
+            const std::string &lane =
+                e.at("args").at("name").asString();
+            saw_main_name |= lane == "main";
+            saw_slot_name |= lane == "slot-0";
+            continue;
+        }
+        tids.push_back(e.at("tid").asUint());
+    }
+    ASSERT_EQ(tids.size(), 5u);
+    for (const std::uint64_t tid : tids)
+        EXPECT_LE(tid, 1u); // lane 0 = main, lane 1 = the only slot
+    EXPECT_TRUE(saw_main_name);
+    EXPECT_TRUE(saw_slot_name);
+    recorder.clear();
+}
+
+TEST(TraceEventEdge, SimPurgeInstantsMatchPurgeCountInOrder)
+{
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    recorder.setEnabled(true);
+    recorder.clear();
+
+    const Trace t = generateTrace(*findTraceProfile("ZGREP"), 10000);
+    Cache cache(table1Config(1024));
+    RunConfig run;
+    run.purgeInterval = 2000;
+    const CacheStats stats = runTrace(t, cache, run);
+    recorder.setEnabled(false);
+
+    const JsonValue doc = writtenTrace(recorder);
+    const JsonValue &events = doc.at("traceEvents");
+    std::uint64_t purge_instants = 0;
+    double last_ts = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (e.at("ph").asString() != "i" ||
+            e.at("name").asString() != "purge")
+            continue;
+        EXPECT_EQ(e.at("cat").asString(), "sim");
+        const double ts = e.at("ts").asDouble();
+        EXPECT_GE(ts, last_ts) << "purge instants out of order";
+        last_ts = ts;
+        ++purge_instants;
+    }
+    EXPECT_GT(stats.purges, 0u);
+    EXPECT_EQ(purge_instants, stats.purges);
+    recorder.clear();
+}
+
+TEST(TraceEventEdge, SampledRunEmitsSampleCategoryPurges)
+{
+    obs::TraceRecorder &recorder = obs::TraceRecorder::global();
+    recorder.setEnabled(true);
+    recorder.clear();
+
+    const Trace t = generateTrace(*findTraceProfile("ZGREP"), 20000);
+    Cache cache(table1Config(1024));
+    SampleConfig sample;
+    sample.fraction = 0.25;
+    RunConfig run;
+    run.purgeInterval = 2000;
+    runSampled(t, cache, sample, run);
+    recorder.setEnabled(false);
+
+    const JsonValue doc = writtenTrace(recorder);
+    const JsonValue &events = doc.at("traceEvents");
+    std::uint64_t sample_purges = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (e.at("ph").asString() == "i" &&
+            e.at("name").asString() == "purge" &&
+            e.at("cat").asString() == "sample")
+            ++sample_purges;
+    }
+    EXPECT_GT(sample_purges, 0u);
+    recorder.clear();
+}
+
+TEST(TraceEventEdge, SpecialCharacterArgsSurviveRoundTrip)
+{
+    obs::TraceRecorder recorder;
+    recorder.setEnabled(true);
+    recorder.complete("span \"quoted\"", "test\\cat", 10, 20,
+                      {{"path", "a\"b\\c\td"}, {"unicode", "\xc3\xa9"}});
+    recorder.setEnabled(false);
+
+    const JsonValue doc = writtenTrace(recorder);
+    const JsonValue &events = doc.at("traceEvents");
+    bool found = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (e.at("ph").asString() != "X")
+            continue;
+        found = true;
+        EXPECT_EQ(e.at("name").asString(), "span \"quoted\"");
+        EXPECT_EQ(e.at("cat").asString(), "test\\cat");
+        EXPECT_EQ(e.at("args").at("path").asString(), "a\"b\\c\td");
+        EXPECT_EQ(e.at("args").at("unicode").asString(), "\xc3\xa9");
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace cachelab

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * cachelab-report: render a run's manifest + event-log artifacts into
+ * CSV and Markdown.
+ *
+ * Input is the pair a classified, event-logged cachelab_sim run
+ * leaves behind — the --metrics-json manifest and the --events JSONL
+ * file (one per cache; pick one of the FILE.<size> files after a
+ * sweep).  Output is an out-dir with:
+ *
+ *   intervals.csv     per-interval miss-ratio time series with the 3C
+ *                     split and the cumulative miss ratio ("what
+ *                     would a shorter trace have concluded?")
+ *   breakdown_3c.csv  the whole-run stacked 3C breakdown
+ *   report.md         a Markdown summary: provenance, totals, the
+ *                     interval table, logged event volume by type,
+ *                     and the top conflict sets seen in the log
+ *
+ * Examples:
+ *   cachelab_sim --profile ZGREP --size 4096 --assoc 2 --stream \
+ *                --classify --events run.jsonl --metrics-json run.json
+ *   cachelab_report --manifest run.json --events run.jsonl --out-dir rpt
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "util/json_reader.hh"
+#include "util/logging.hh"
+
+#include "args.hh"
+
+using namespace cachelab;
+using namespace cachelab::tools;
+
+namespace
+{
+
+constexpr const char *kUsage = R"(usage: cachelab_report [options]
+
+required:
+  --manifest FILE       run manifest from cachelab_sim --metrics-json
+  --events FILE         JSONL event log from cachelab_sim --events
+                        (after a sweep, one of the FILE.<size> files)
+  --out-dir DIR         output directory (created if missing)
+
+options:
+  --top N               conflict sets listed in the report (default 8)
+)";
+
+/** One {"type":"interval"} record from the events file. */
+struct Interval
+{
+    std::uint64_t startRef = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+};
+
+/** Everything extracted from one events JSONL file. */
+struct EventLog
+{
+    // from the {"type":"run"} header
+    std::string trace;
+    std::string role;
+    std::string cache;
+    std::uint64_t sampleEvery = 1;
+
+    std::vector<Interval> intervals;
+    bool haveTotals = false;
+    Interval totals; ///< startRef unused; refs = run length
+    std::map<std::string, std::uint64_t> eventCounts; ///< by record type
+    std::map<std::uint64_t, std::uint64_t> evictionsBySet; ///< non-purge
+    std::uint64_t seen = 0;   ///< from the log_summary trailer
+    std::uint64_t logged = 0;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::uint64_t
+uintField(const JsonValue &record, std::string_view key)
+{
+    const JsonValue *v = record.find(key);
+    return v != nullptr ? v->asUint() : 0;
+}
+
+/** Parse an events JSONL file (fatal on any malformed line). */
+EventLog
+loadEvents(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    EventLog log;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string err;
+        const std::optional<JsonValue> record = parseJson(line, &err);
+        if (!record)
+            fatal(path, ":", lineno, ": ", err);
+        const std::string &type = record->at("type").asString();
+        if (type == "run") {
+            log.trace = record->at("trace").asString();
+            log.role = record->at("role").asString();
+            log.cache = record->at("cache").asString();
+            log.sampleEvery = uintField(*record, "sample_every");
+        } else if (type == "interval") {
+            log.intervals.push_back(
+                {uintField(*record, "start_ref"), uintField(*record, "refs"),
+                 uintField(*record, "misses"),
+                 uintField(*record, "compulsory"),
+                 uintField(*record, "capacity"),
+                 uintField(*record, "conflict")});
+        } else if (type == "totals") {
+            log.haveTotals = true;
+            log.totals = {0, uintField(*record, "refs"),
+                          uintField(*record, "misses"),
+                          uintField(*record, "compulsory"),
+                          uintField(*record, "capacity"),
+                          uintField(*record, "conflict")};
+        } else if (type == "log_summary") {
+            log.seen = uintField(*record, "seen");
+            log.logged = uintField(*record, "logged");
+        } else {
+            ++log.eventCounts[type];
+            if (type == "evict" && !record->at("purge").asBool())
+                ++log.evictionsBySet[record->at("set").asUint()];
+        }
+    }
+    return log;
+}
+
+/** Sets ranked by logged replacement evictions, descending. */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+topConflictSets(const EventLog &log, std::size_t n)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sets(
+        log.evictionsBySet.begin(), log.evictionsBySet.end());
+    std::sort(sets.begin(), sets.end(), [](const auto &a, const auto &b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+    if (sets.size() > n)
+        sets.resize(n);
+    return sets;
+}
+
+void
+writeIntervalsCsv(const std::string &path, const EventLog &log)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "'");
+    CsvWriter csv(out);
+    csv.header({"start_ref", "refs", "misses", "miss_ratio", "compulsory",
+                "capacity", "conflict", "cumulative_miss_ratio"});
+    std::uint64_t refs = 0;
+    std::uint64_t misses = 0;
+    for (const Interval &iv : log.intervals) {
+        refs += iv.refs;
+        misses += iv.misses;
+        csv.field(iv.startRef)
+            .field(iv.refs)
+            .field(iv.misses)
+            .field(iv.refs ? static_cast<double>(iv.misses) /
+                       static_cast<double>(iv.refs)
+                           : 0.0,
+                   6)
+            .field(iv.compulsory)
+            .field(iv.capacity)
+            .field(iv.conflict)
+            .field(refs ? static_cast<double>(misses) /
+                       static_cast<double>(refs)
+                        : 0.0,
+                   6);
+        csv.endRow();
+    }
+}
+
+void
+writeBreakdownCsv(const std::string &path, const Interval &t)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "'");
+    CsvWriter csv(out);
+    csv.header({"class", "misses", "share"});
+    const auto row = [&](const char *name, std::uint64_t v) {
+        csv.field(std::string(name)).field(v);
+        csv.field(t.misses ? static_cast<double>(v) /
+                      static_cast<double>(t.misses)
+                           : 0.0,
+                  6);
+        csv.endRow();
+    };
+    row("compulsory", t.compulsory);
+    row("capacity", t.capacity);
+    row("conflict", t.conflict);
+    row("total", t.misses);
+}
+
+/** A manifest string reached by @p path, or "" when absent. */
+std::string
+manifestString(const JsonValue &manifest,
+               std::initializer_list<std::string_view> path)
+{
+    const JsonValue *v = &manifest;
+    for (std::string_view key : path) {
+        v = v->find(key);
+        if (v == nullptr)
+            return {};
+    }
+    return v->isString() ? v->asString() : std::string{};
+}
+
+std::string
+pct(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? std::string("-")
+                      : formatPercent(static_cast<double>(part) /
+                                      static_cast<double>(whole));
+}
+
+void
+writeReportMd(const std::string &path, const JsonValue &manifest,
+              const EventLog &log, std::size_t top_n)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "'");
+
+    out << "# cachelab run report\n\n";
+    out << "- trace: **" << log.trace << "**";
+    if (const JsonValue *refs = manifest.find("input");
+        refs != nullptr && refs->find("refs") != nullptr)
+        out << " (" << formatCount(refs->at("refs").asUint()) << " refs)";
+    out << "\n";
+    out << "- cache: `" << log.cache << "` (role " << log.role << ")\n";
+    if (const std::string tool = manifestString(manifest, {"tool"});
+        !tool.empty())
+        out << "- tool: " << tool << "\n";
+    if (const std::string sha =
+            manifestString(manifest, {"provenance", "git_sha"});
+        !sha.empty())
+        out << "- build: " << sha << " on "
+            << manifestString(manifest, {"provenance", "hostname"}) << "\n";
+    if (const std::string argv =
+            manifestString(manifest, {"provenance", "argv"});
+        !argv.empty())
+        out << "- command: `" << argv << "`\n";
+    out << "\n";
+
+    if (log.haveTotals) {
+        const Interval &t = log.totals;
+        out << "## 3C miss breakdown\n\n";
+        out << "| class | misses | share |\n|---|---:|---:|\n";
+        out << "| compulsory | " << t.compulsory << " | "
+            << pct(t.compulsory, t.misses) << " |\n";
+        out << "| capacity | " << t.capacity << " | "
+            << pct(t.capacity, t.misses) << " |\n";
+        out << "| conflict | " << t.conflict << " | "
+            << pct(t.conflict, t.misses) << " |\n";
+        out << "| **total** | **" << t.misses << "** | "
+            << pct(t.misses, t.refs) << " of refs |\n\n";
+    }
+
+    if (!log.intervals.empty()) {
+        out << "## Interval time series\n\n"
+            << log.intervals.size()
+            << " intervals (full series in intervals.csv):\n\n";
+        out << "| start_ref | refs | miss ratio | compulsory | capacity "
+               "| conflict |\n|---:|---:|---:|---:|---:|---:|\n";
+        for (const Interval &iv : log.intervals) {
+            out << "| " << iv.startRef << " | " << iv.refs << " | "
+                << pct(iv.misses, iv.refs) << " | " << iv.compulsory
+                << " | " << iv.capacity << " | " << iv.conflict << " |\n";
+        }
+        out << "\n";
+    }
+
+    if (!log.eventCounts.empty()) {
+        out << "## Logged events\n\n";
+        if (log.sampleEvery > 1)
+            out << "Sampled 1-in-" << log.sampleEvery
+                << ": counts below are of *logged* events, not all "
+                   "events.\n\n";
+        out << "| type | count |\n|---|---:|\n";
+        for (const auto &[type, count] : log.eventCounts)
+            out << "| " << type << " | " << count << " |\n";
+        out << "| **total** | **" << log.logged << "** of " << log.seen
+            << " seen |\n\n";
+    }
+
+    const auto top = topConflictSets(log, top_n);
+    if (!top.empty()) {
+        out << "## Top conflict sets\n\n"
+            << "Sets ranked by replacement evictions in the log — where "
+               "set-mapping pressure concentrates.\n\n";
+        out << "| set | evictions |\n|---:|---:|\n";
+        for (const auto &[set, evictions] : top)
+            out << "| " << set << " | " << evictions << " |\n";
+        out << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::string manifest_path = args.get("manifest");
+    const std::string events_path = args.get("events");
+    const std::string out_dir = args.get("out-dir");
+    if (manifest_path.empty() || events_path.empty() || out_dir.empty())
+        fatal("need --manifest, --events and --out-dir\n", kUsage);
+    const std::size_t top_n =
+        static_cast<std::size_t>(args.getUint("top", 8));
+
+    std::string err;
+    const std::optional<JsonValue> manifest =
+        parseJson(readFile(manifest_path), &err);
+    if (!manifest)
+        fatal(manifest_path, ": ", err);
+    if (const JsonValue *schema = manifest->find("schema");
+        schema == nullptr || schema->asString() != "cachelab.run_manifest")
+        fatal(manifest_path, ": not a cachelab run manifest");
+
+    const EventLog log = loadEvents(events_path);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec)
+        fatal("cannot create '", out_dir, "': ", ec.message());
+
+    writeIntervalsCsv(out_dir + "/intervals.csv", log);
+    writeBreakdownCsv(out_dir + "/breakdown_3c.csv",
+                      log.haveTotals ? log.totals : Interval{});
+    writeReportMd(out_dir + "/report.md", *manifest, log, top_n);
+
+    inform("wrote intervals.csv (", log.intervals.size(),
+           " intervals), breakdown_3c.csv and report.md to ", out_dir);
+    return 0;
+}

@@ -35,6 +35,9 @@
 #include "cache/organization.hh"
 #include "cache/sector_cache.hh"
 #include "cache/stack_analysis.hh"
+#include "obs/classify.hh"
+#include "obs/event_log.hh"
+#include "obs/event_stats.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
@@ -49,6 +52,7 @@
 #include "trace/transforms.hh"
 #include "util/csv.hh"
 #include "util/format.hh"
+#include "util/json_writer.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/profiles.hh"
@@ -114,6 +118,25 @@ this family start with --sample):
   --sample-confidence C confidence level (default 0.95)
   --sample-error R      sequential mode: stop when the miss-ratio CI is
                         within +/- R relative (e.g. 0.05)
+
+cache-event introspection (probe sinks; see DESIGN.md section 4f):
+  --classify            split misses into compulsory / capacity /
+                        conflict (3C) and print the breakdown; with
+                        --sweep, one breakdown per size
+  --classify-interval N per-interval 3C granularity in refs (default
+                        65536); with --events the intervals are
+                        appended as {"type":"interval"} records
+  --events FILE         write sampled cache events as JSONL; with
+                        --sweep each size writes FILE.<size>, with
+                        --split each side writes FILE.icache/.dcache
+  --events-sample N     log every Nth event (default 1 = all; purge
+                        events are always logged)
+  --set-heatmap FILE    write a per-set hit/miss/fill/eviction CSV;
+                        suffixed like --events under --sweep/--split
+                        Instrumentation needs a real simulated cache:
+                        --stack-curve, --sample and the single-pass /
+                        sampled engines reject it; --sector supports
+                        --events only
 
 observability:
   --metrics-json FILE   write a schema-versioned run manifest as JSON
@@ -346,6 +369,311 @@ printStats(const std::string &what, const CacheStats &s)
               << formatCount(s.dirtyPushes()) << " dirty)\n";
 }
 
+/** The --classify/--events/--set-heatmap flag bundle. */
+struct InstrumentFlags
+{
+    bool classify = false;
+    std::uint64_t classifyInterval = 65536;
+    std::string eventsPath;  ///< empty = no event log
+    std::uint64_t eventsSample = 1;
+    std::string heatmapPath; ///< empty = no heatmap
+
+    bool
+    any() const
+    {
+        return classify || !eventsPath.empty() || !heatmapPath.empty();
+    }
+};
+
+InstrumentFlags
+instrumentFrom(const Args &args)
+{
+    InstrumentFlags instr;
+    instr.classify = args.has("classify");
+    instr.classifyInterval =
+        args.getUint("classify-interval", instr.classifyInterval);
+    if (instr.classifyInterval == 0)
+        fatal("--classify-interval must be positive");
+    if (args.has("classify-interval") && !instr.classify)
+        fatal("--classify-interval requires --classify");
+    instr.eventsPath = args.get("events");
+    if (args.has("events") && instr.eventsPath.empty())
+        fatal("--events needs a file path");
+    instr.eventsSample = args.getUint("events-sample", instr.eventsSample);
+    if (instr.eventsSample == 0)
+        fatal("--events-sample must be positive");
+    if (args.has("events-sample") && instr.eventsPath.empty())
+        fatal("--events-sample requires --events FILE");
+    instr.heatmapPath = args.get("set-heatmap");
+    if (args.has("set-heatmap") && instr.heatmapPath.empty())
+        fatal("--set-heatmap needs a file path");
+    return instr;
+}
+
+/**
+ * First record of an events file: identifies the run, so the file is
+ * self-describing for cachelab_report and ad-hoc jq.
+ */
+void
+writeEventsHeader(std::ostream &os, const InstrumentFlags &instr,
+                  const CacheConfig &cfg, std::string_view trace_name,
+                  std::string_view role)
+{
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject();
+    w.member("type", "run");
+    w.member("tool", "cachelab_sim");
+    w.member("trace", trace_name);
+    w.member("role", role);
+    w.member("cache", cfg.describe());
+    w.member("size_bytes", cfg.sizeBytes);
+    w.member("line_bytes", cfg.lineBytes);
+    w.member("associativity", cfg.associativity);
+    w.member("sample_every", instr.eventsSample);
+    w.endObject();
+    os << '\n';
+}
+
+/** Append per-interval and whole-run 3C records to an events file. */
+void
+writeClassifierRecords(std::ostream &os, const MissClassifier &c)
+{
+    for (const ClassifiedInterval &iv : c.intervals()) {
+        JsonWriter w(os, JsonWriter::Compact);
+        w.beginObject();
+        w.member("type", "interval");
+        w.member("start_ref", iv.startRef);
+        w.member("refs", iv.refs);
+        w.member("misses", iv.misses);
+        w.member("compulsory", iv.compulsory);
+        w.member("capacity", iv.capacity);
+        w.member("conflict", iv.conflict);
+        w.endObject();
+        os << '\n';
+    }
+    const ClassifiedTotals &t = c.totals();
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject();
+    w.member("type", "totals");
+    w.member("refs", c.refsObserved());
+    w.member("misses", t.misses);
+    w.member("compulsory", t.compulsory);
+    w.member("capacity", t.capacity);
+    w.member("conflict", t.conflict);
+    w.endObject();
+    os << '\n';
+}
+
+/** Final record of an events file: the sink's own volume accounting. */
+void
+writeLogSummary(std::ostream &os, const EventLogSink &log)
+{
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject();
+    w.member("type", "log_summary");
+    w.member("seen", log.seen());
+    w.member("logged", log.logged());
+    w.member("dropped", log.dropped());
+    w.endObject();
+    os << '\n';
+}
+
+/**
+ * The sink bundle for one instrumented cache (a unified cache, one
+ * side of a split, or a sector cache).  Attach probe() before the
+ * run; finish() finalizes the sinks, writes the file artifacts and
+ * publishes into the global registry.
+ */
+class SinkSet
+{
+  public:
+    SinkSet(const InstrumentFlags &flags, const CacheConfig &cfg,
+            std::string_view trace_name, std::string_view role,
+            const std::string &events_path, const std::string &heatmap_path)
+        : eventsPath_(events_path), heatmapPath_(heatmap_path)
+    {
+        if (flags.classify)
+            classifier_ =
+                std::make_unique<MissClassifier>(cfg, flags.classifyInterval);
+        if (!heatmap_path.empty())
+            stats_ = std::make_unique<EventStatsSink>();
+        if (!events_path.empty()) {
+            eventsOut_.open(events_path);
+            if (!eventsOut_)
+                fatal("cannot open '", events_path, "'");
+            writeEventsHeader(eventsOut_, flags, cfg, trace_name, role);
+            log_ =
+                std::make_unique<EventLogSink>(eventsOut_, flags.eventsSample);
+        }
+        fanout_.add(classifier_.get());
+        fanout_.add(stats_.get());
+        fanout_.add(log_.get());
+    }
+
+    /** @return the probe to attach, or nullptr when nothing is on. */
+    CacheProbe *
+    probe()
+    {
+        return fanout_.empty() ? nullptr : &fanout_;
+    }
+
+    /**
+     * Finalize and write every artifact.  @p total_refs is the
+     * instrumented cache's accessClock() (0 = trust the event
+     * stream); @p labels qualify the published metric keys.
+     */
+    void
+    finish(std::uint64_t total_refs, const std::vector<obs::Label> &labels)
+    {
+        if (classifier_) {
+            classifier_->finalize(total_refs);
+            classifier_->publish(obs::Registry::global(), labels);
+            if (eventsOut_.is_open())
+                writeClassifierRecords(eventsOut_, *classifier_);
+        }
+        if (stats_) {
+            stats_->publish(obs::Registry::global(), labels);
+            std::ofstream out(heatmapPath_);
+            if (!out)
+                fatal("cannot open '", heatmapPath_, "'");
+            stats_->writeHeatmapCsv(out);
+            inform("wrote per-set heatmap to ", heatmapPath_);
+        }
+        if (log_) {
+            writeLogSummary(eventsOut_, *log_);
+            inform("wrote ", log_->logged(), " of ", log_->seen(),
+                   " cache events to ", eventsPath_);
+        }
+    }
+
+    const MissClassifier *classifier() const { return classifier_.get(); }
+    const EventStatsSink *stats() const { return stats_.get(); }
+
+  private:
+    std::string eventsPath_;
+    std::string heatmapPath_;
+    std::ofstream eventsOut_;
+    std::unique_ptr<MissClassifier> classifier_;
+    std::unique_ptr<EventStatsSink> stats_;
+    std::unique_ptr<EventLogSink> log_;
+    ProbeFanout fanout_;
+};
+
+/** Print the one-line 3C summary for a finished classifier. */
+void
+print3C(const MissClassifier &c, std::string_view tag)
+{
+    const ClassifiedTotals &t = c.totals();
+    const auto share = [&](std::uint64_t v) {
+        return t.misses == 0 ? std::string("-")
+                             : formatPercent(static_cast<double>(v) /
+                                             static_cast<double>(t.misses));
+    };
+    std::cout << "  " << (tag.empty() ? "" : std::string(tag) + " ")
+              << "3C: " << formatCount(t.misses) << " misses = "
+              << formatCount(t.compulsory) << " compulsory ("
+              << share(t.compulsory) << ") + " << formatCount(t.capacity)
+              << " capacity (" << share(t.capacity) << ") + "
+              << formatCount(t.conflict) << " conflict ("
+              << share(t.conflict) << ")\n";
+}
+
+/** Print where conflict pressure concentrates. */
+void
+printConflictSets(const EventStatsSink &stats, std::string_view tag)
+{
+    const auto top = stats.topConflictSets(4);
+    if (top.empty())
+        return;
+    std::cout << "  " << (tag.empty() ? "" : std::string(tag) + " ")
+              << "hottest sets (evictions):";
+    for (std::uint64_t set : top)
+        std::cout << " " << set << " ("
+                  << formatCount(stats.sets()[set].evictions) << ")";
+    std::cout << "\n";
+}
+
+/** Print the human-readable sink lines for one finished cache. */
+void
+printSinkLines(const SinkSet &sinks, std::string_view tag)
+{
+    if (sinks.classifier() != nullptr)
+        print3C(*sinks.classifier(), tag);
+    if (sinks.stats() != nullptr)
+        printConflictSets(*sinks.stats(), tag);
+}
+
+/**
+ * Instrumentation for --sweep: one SinkSet per swept size, created
+ * serially by the engine's factory pass.  File artifacts get a
+ * ".<size>" suffix so each cache's stream stays self-contained.
+ */
+class SweepProbeFactory : public CacheProbeFactory
+{
+  public:
+    SweepProbeFactory(const InstrumentFlags &flags, std::string trace_name)
+        : flags_(flags), traceName_(std::move(trace_name))
+    {}
+
+    CacheProbe *
+    probeFor(const CacheConfig &cfg, std::string_view role) override
+    {
+        const std::string suffix = "." + std::to_string(cfg.sizeBytes);
+        entries_.push_back(
+            {cfg.sizeBytes,
+             std::make_unique<SinkSet>(
+                 flags_, cfg, traceName_, role,
+                 flags_.eventsPath.empty() ? std::string{}
+                                           : flags_.eventsPath + suffix,
+                 flags_.heatmapPath.empty() ? std::string{}
+                                            : flags_.heatmapPath + suffix)});
+        return entries_.back().sinks->probe();
+    }
+
+    /** Finalize every size's sinks; print the per-size 3C table. */
+    void
+    finish()
+    {
+        for (Entry &e : entries_)
+            e.sinks->finish(0, {{"size", std::to_string(e.sizeBytes)}});
+        if (!flags_.classify)
+            return;
+        TextTable table("3C breakdown: " + traceName_ + " (size varied)");
+        table.setHeader(
+            {"size", "misses", "compulsory", "capacity", "conflict"});
+        table.setAlignment(
+            {TextTable::Align::Right, TextTable::Align::Right,
+             TextTable::Align::Right, TextTable::Align::Right,
+             TextTable::Align::Right});
+        for (const Entry &e : entries_) {
+            const ClassifiedTotals &t = e.sinks->classifier()->totals();
+            const auto cell = [&](std::uint64_t v) {
+                return t.misses == 0
+                    ? formatCount(v)
+                    : formatCount(v) + " (" +
+                        formatPercent(static_cast<double>(v) /
+                                      static_cast<double>(t.misses)) +
+                        ")";
+            };
+            table.addRow({formatSize(e.sizeBytes), formatCount(t.misses),
+                          cell(t.compulsory), cell(t.capacity),
+                          cell(t.conflict)});
+        }
+        std::cout << table;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sizeBytes;
+        std::unique_ptr<SinkSet> sinks;
+    };
+
+    InstrumentFlags flags_;
+    std::string traceName_;
+    std::vector<Entry> entries_;
+};
+
 /** @p input is a const Trace (materialized) or a TraceSource. */
 template <typename Input>
 int
@@ -412,7 +740,7 @@ template <typename Input>
 int
 runSweep(const Args &args, Input &input, const CacheConfig &base,
          const RunConfig &run, SweepEngine engine,
-         obs::RunManifest &manifest)
+         const InstrumentFlags &instr, obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
@@ -440,6 +768,7 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
                         TextTable::Align::Right, TextTable::Align::Right,
                         TextTable::Align::Right});
 
+    std::unique_ptr<SweepProbeFactory> probes;
     if (args.has("stack-curve")) {
         // One pass, all sizes: only valid for the Table 1 config.
         const std::uint64_t refs = inputRefs(input);
@@ -459,7 +788,13 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
             }
         }
     } else {
-        const auto points = sweepUnified(input, sizes, base, run, engine);
+        RunConfig instrumented = run;
+        if (instr.any()) {
+            probes = std::make_unique<SweepProbeFactory>(instr, input.name());
+            instrumented.probeFactory = probes.get();
+        }
+        const auto points =
+            sweepUnified(input, sizes, base, instrumented, engine);
         for (const SweepPoint &pt : points)
             manifest.results.push_back({"sweep", pt.cacheBytes, pt.stats});
         for (const SweepPoint &pt : points) {
@@ -484,6 +819,8 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
     }
     if (!csv || args.get("csv") != "-")
         std::cout << table;
+    if (probes)
+        probes->finish();
     return 0;
 }
 
@@ -496,7 +833,8 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
 template <typename Input>
 int
 runModes(const Args &args, Input &input, const CacheConfig &base,
-         const RunConfig &run, bool sampling, obs::RunManifest &manifest)
+         const RunConfig &run, bool sampling, const InstrumentFlags &instr,
+         obs::RunManifest &manifest)
 {
     constexpr bool materialized =
         std::is_same_v<std::remove_const_t<Input>, Trace>;
@@ -510,16 +848,38 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
             fatal("--sector does not support --stream yet");
     }
 
+    if (instr.any()) {
+        // Instrumentation needs a real simulated cache to emit events.
+        if (args.has("stack-curve"))
+            fatal("--classify/--events/--set-heatmap do not support "
+                  "--stack-curve: the one-pass Mattson analyzer keeps no "
+                  "real cache to emit events (use an instrumented "
+                  "--engine per-size sweep instead)");
+        if (sampling)
+            fatal("--classify/--events/--set-heatmap do not support "
+                  "--sample: sampled estimates are stitched from measured "
+                  "intervals, so the event stream would have gaps");
+        if (args.has("sector") &&
+            (instr.classify || !instr.heatmapPath.empty()))
+            fatal("--sector supports --events only: sector events carry "
+                  "sub-block addresses without set geometry, so 3C "
+                  "classification and set heatmaps are undefined");
+    }
+
     if (args.has("sweep")) {
         const SweepEngine engine = engineFrom(args);
         if (sampling && args.has("engine") &&
             engine != SweepEngine::Sampled)
             fatal("--sample with --sweep implies the sampled engine; "
                   "drop --engine or pass --engine sampled");
-        if (sampling || engine == SweepEngine::Sampled)
+        if (sampling || engine == SweepEngine::Sampled) {
+            if (instr.any())
+                fatal("--classify/--events/--set-heatmap do not support "
+                      "the sampled engine; use --engine per-size");
             return runSampledSweep(args, input, base, run,
                                    sampleConfigFrom(args), manifest);
-        return runSweep(args, input, base, run, engine, manifest);
+        }
+        return runSweep(args, input, base, run, engine, instr, manifest);
     }
 
     if (sampling && args.has("sector"))
@@ -535,6 +895,9 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
             cfg.subblockBytes =
                 static_cast<std::uint32_t>(args.getUint("sector", 4));
             SectorCache cache(cfg);
+            SinkSet sinks(instr, base, input.name(), "sector",
+                          instr.eventsPath, std::string{});
+            cache.setProbe(sinks.probe());
             std::uint64_t since_purge = 0;
             for (const MemoryRef &ref : input) {
                 if (run.purgeInterval && since_purge == run.purgeInterval) {
@@ -549,6 +912,7 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
                            std::to_string(cfg.subblockBytes) +
                            "B blocks on " + input.name(),
                        cache.stats());
+            sinks.finish(cache.accessClock(), {{"role", "sector"}});
             manifest.results.push_back(
                 {"sector", cfg.sizeBytes, cache.stats()});
             return 0;
@@ -566,11 +930,26 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
                 {"split", base.sizeBytes, r});
             return 0;
         }
+        const auto side_path = [&](const std::string &path,
+                                   const char *side) {
+            return path.empty() ? std::string{} : path + side;
+        };
+        SinkSet isinks(instr, base, input.name(), "icache",
+                       side_path(instr.eventsPath, ".icache"),
+                       side_path(instr.heatmapPath, ".icache"));
+        SinkSet dsinks(instr, base, input.name(), "dcache",
+                       side_path(instr.eventsPath, ".dcache"),
+                       side_path(instr.heatmapPath, ".dcache"));
+        split.setProbes(isinks.probe(), dsinks.probe());
         const CacheStats s = runTrace(input, split, run);
         printStats("split " + base.describe() + " on " + input.name(), s);
         std::cout << "  I-cache: " << split.icache().stats().summarize()
                   << "\n  D-cache: " << split.dcache().stats().summarize()
                   << "\n";
+        isinks.finish(split.icache().accessClock(), {{"role", "icache"}});
+        dsinks.finish(split.dcache().accessClock(), {{"role", "dcache"}});
+        printSinkLines(isinks, "I-cache");
+        printSinkLines(dsinks, "D-cache");
         manifest.results.push_back({"combined", base.sizeBytes, s});
         manifest.results.push_back(
             {"icache", base.sizeBytes, split.icache().stats()});
@@ -591,8 +970,13 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
     }
 
     Cache cache(base);
+    SinkSet sinks(instr, base, input.name(), "unified", instr.eventsPath,
+                  instr.heatmapPath);
+    cache.setProbe(sinks.probe());
     const CacheStats s = runTrace(input, cache, run);
     printStats(base.describe() + " on " + input.name(), s);
+    sinks.finish(cache.accessClock(), {});
+    printSinkLines(sinks, {});
     manifest.results.push_back({"unified", base.sizeBytes, s});
 
     if (args.has("opt")) {
@@ -676,6 +1060,7 @@ main(int argc, char **argv)
     run.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
     run.batchRefs = args.getUint("batch", 0);
 
+    const InstrumentFlags instr = instrumentFrom(args);
     const bool sampling = args.has("sample");
     if (sampling && args.has("stack-curve"))
         fatal("--sample and --stack-curve are mutually exclusive");
@@ -710,6 +1095,7 @@ main(int argc, char **argv)
 
     obs::RunManifest manifest;
     manifest.tool = "cachelab_sim";
+    manifest.argv = obs::joinArgv(argc, argv);
     manifest.traceName = stream ? source->name() : trace->name();
     manifest.traceRefs = stream ? inputRefs(*source) : trace->size();
     manifest.seed = args.getUint("seed", 1);
@@ -739,9 +1125,10 @@ main(int argc, char **argv)
     int rc = 0;
     {
         obs::ProfileScope sim_scope("simulate");
-        rc = stream ? runModes(args, *source, base, run, sampling, manifest)
-                    : runModes(args, static_cast<const Trace &>(*trace),
-                               base, run, sampling, manifest);
+        rc = stream
+            ? runModes(args, *source, base, run, sampling, instr, manifest)
+            : runModes(args, static_cast<const Trace &>(*trace), base, run,
+                       sampling, instr, manifest);
     }
 
     if (args.has("progress"))

@@ -33,6 +33,50 @@ python3 -m json.tool build-ci/smoke-manifest.json > /dev/null
 python3 -m json.tool build-ci/smoke-trace.json > /dev/null
 echo "    manifest + trace are valid JSON"
 
+echo "==> introspection smoke (3C sweep, event log, report, flags-off parity)"
+sim=build-ci/tools/cachelab_sim
+# Flags-off parity: with no instrumentation flags the probe layer must
+# be invisible — two plain runs are byte-identical, and an instrumented
+# run prints exactly the same sweep table before its 3C breakdown.
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+    > build-ci/smoke-plain-a.txt 2>/dev/null
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+    > build-ci/smoke-plain-b.txt 2>/dev/null
+cmp build-ci/smoke-plain-a.txt build-ci/smoke-plain-b.txt
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+    --classify --events build-ci/smoke-events.jsonl --events-sample 100 \
+    --set-heatmap build-ci/smoke-heatmap.csv \
+    > build-ci/smoke-instr.txt 2>/dev/null
+head -c "$(stat -c%s build-ci/smoke-plain-a.txt)" build-ci/smoke-instr.txt \
+    | cmp - build-ci/smoke-plain-a.txt
+echo "    flags-off output identical; instrumented table unchanged"
+
+# Streamed classified run -> manifest + event log -> report artifacts.
+${sim} --stream --profile ZGREP --refs 200000 --size 4096 \
+    --classify --classify-interval 20000 \
+    --events build-ci/smoke-run-events.jsonl --events-sample 50 \
+    --metrics-json build-ci/smoke-run-manifest.json > /dev/null
+build-ci/tools/cachelab_report \
+    --manifest build-ci/smoke-run-manifest.json \
+    --events build-ci/smoke-run-events.jsonl \
+    --out-dir build-ci/smoke-report
+python3 - build-ci/smoke-report <<'EOF'
+import csv, os, sys
+out = sys.argv[1]
+rows = list(csv.DictReader(open(os.path.join(out, "intervals.csv"))))
+assert len(rows) == 10, len(rows)
+for r in rows:
+    split = int(r["compulsory"]) + int(r["capacity"]) + int(r["conflict"])
+    assert split == int(r["misses"]), r
+bd = list(csv.DictReader(open(os.path.join(out, "breakdown_3c.csv"))))
+total = next(r for r in bd if r["class"] == "total")
+classified = sum(int(r["misses"]) for r in bd if r["class"] != "total")
+assert classified == int(total["misses"]), (classified, total)
+assert os.path.getsize(os.path.join(out, "report.md")) > 0
+print(f"    report: {len(rows)} intervals,"
+      f" {total['misses']} misses classified")
+EOF
+
 echo "==> out-of-core smoke (stream 100 M refs under an address-space cap)"
 # 100 M references materialize to 1.6 GB (16 B/ref); the cap is 10x
 # smaller, so the run only completes if the pipeline truly streams.
