@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Campaign fan-out: live-point checkpoints vs functional replay.
+ *
+ * A sampled configuration campaign sweeps many cache sizes over one
+ * trace.  Under functional warming every size replays the full trace
+ * (O(configs x trace)); with a live-point store the trace is streamed
+ * once at write time and every size restores the warmed state at each
+ * interval start (O(trace + configs x sample)).  This bench times the
+ * two campaigns over the same >= 16-size fully-associative sweep,
+ * checks the results are bitwise identical, and reports the
+ * wall-clock speedup — the acceptance bar is >= 5x at >= 16 configs
+ * (amortized fan-out, excluding the one-time store write) on a single
+ * core.
+ *
+ * One JSON line per size (miss ratios + bitwise match), then a
+ * summary line: {config_count, replay_seconds, ckpt_write_seconds,
+ * ckpt_fanout_seconds, speedup, speedup_incl_write,
+ * bitwise_identical}.
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+
+#include "ckpt/live_points.hh"
+#include "sim/run.hh"
+#include "sim/sampled.hh"
+#include "sim/sweep.hh"
+#include "util/json_writer.hh"
+
+using namespace cachelab;
+using namespace cachelab::bench;
+
+namespace
+{
+
+constexpr std::uint64_t kTraceRefs = 4'000'000;
+constexpr std::uint64_t kMinSize = 64;
+constexpr std::uint64_t kMaxSize = 2 * 1024 * 1024; // 16 sizes
+
+/** Wall-clock seconds fn() takes. */
+template <typename Fn>
+double
+timeSeconds(Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+SampleConfig
+sampleConfig(WarmingPolicy warming)
+{
+    SampleConfig cfg;
+    cfg.unitRefs = 10000;
+    cfg.fraction = 0.02;
+    cfg.warming = warming;
+    return cfg;
+}
+
+bool
+pointsIdentical(const SampledSweepPoint &a, const SampledSweepPoint &b)
+{
+    return a.cacheBytes == b.cacheBytes &&
+           std::memcmp(&a.result.measured, &b.result.measured,
+                       sizeof(CacheStats)) == 0 &&
+           std::memcmp(&a.result.estimated, &b.result.estimated,
+                       sizeof(CacheStats)) == 0 &&
+           a.result.missRatio.mean == b.result.missRatio.mean &&
+           a.result.intervalsMeasured == b.result.intervalsMeasured;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::uint64_t> sizes = powersOfTwo(kMinSize, kMaxSize);
+    const TraceProfile &profile = allTraceProfiles().front();
+
+    banner("Checkpoint fan-out — live-point store vs functional replay",
+           profile.name + ", " + formatCount(kTraceRefs) + " refs, " +
+               std::to_string(sizes.size()) +
+               " fully associative sizes, 2% sampled; serial (jobs = 1)");
+
+    Trace trace = generateTraceExactly(profile, kTraceRefs);
+    const CacheConfig base = table1Config(sizes.front());
+    RunConfig serial;
+    serial.jobs = 1;
+
+    // Baseline campaign: functional warming, every size replays the
+    // whole trace.
+    std::vector<SampledSweepPoint> replay;
+    const double replay_seconds = timeSeconds([&] {
+        replay = sweepUnifiedSampled(trace, sizes, base,
+                                     sampleConfig(WarmingPolicy::Functional),
+                                     serial);
+    });
+
+    // One-time producer pass: stream the trace once, write the store.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "cachelab_bench_ckpt_fanout";
+    std::filesystem::remove_all(dir);
+    ckpt::LivePointWriteSpec spec;
+    spec.sample = sampleConfig(WarmingPolicy::Functional);
+    spec.base = base;
+    spec.sizes = sizes;
+    spec.jobs = 1;
+    spec.createdBy = "bench_checkpoint_fanout";
+    ckpt::LivePointWriteSummary written;
+    const double write_seconds = timeSeconds([&] {
+        trace.reset();
+        written = writeLivePoints(trace, dir.string(), spec);
+    });
+
+    // Checkpoint campaign: every size restores warmed state from the
+    // store instead of replaying the gaps.
+    std::vector<SampledSweepPoint> fanout;
+    const double fanout_seconds = timeSeconds([&] {
+        const ckpt::LivePointStore store =
+            ckpt::LivePointStore::load(dir.string());
+        trace.reset();
+        fanout = sweepUnifiedSampled(trace, sizes, base,
+                                     sampleConfig(WarmingPolicy::Checkpoint),
+                                     serial, store);
+    });
+    std::filesystem::remove_all(dir);
+
+    bool all_identical = replay.size() == fanout.size();
+    for (std::size_t i = 0; i < replay.size() && all_identical; ++i) {
+        const bool same = pointsIdentical(replay[i], fanout[i]);
+        all_identical = all_identical && same;
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject()
+            .member("cache_bytes", replay[i].cacheBytes)
+            .member("replay_miss", replay[i].result.missRatio.mean)
+            .member("ckpt_miss", fanout[i].result.missRatio.mean)
+            .member("intervals", replay[i].result.intervalsMeasured)
+            .member("bitwise_identical", same)
+            .endObject();
+        std::cout << "\n";
+    }
+
+    const double speedup =
+        fanout_seconds > 0.0 ? replay_seconds / fanout_seconds : 0.0;
+    const double speedup_incl_write =
+        (write_seconds + fanout_seconds) > 0.0
+            ? replay_seconds / (write_seconds + fanout_seconds)
+            : 0.0;
+    {
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject().key("summary").beginObject();
+        w.member("trace", profile.name)
+            .member("trace_refs", trace.size())
+            .member("config_count", sizes.size())
+            .member("store_groups", written.groups)
+            .member("store_intervals", written.intervals)
+            .member("store_bytes", written.bytesWritten)
+            .member("replay_seconds", replay_seconds)
+            .member("ckpt_write_seconds", write_seconds)
+            .member("ckpt_fanout_seconds", fanout_seconds)
+            .member("speedup", speedup)
+            .member("speedup_incl_write", speedup_incl_write)
+            .member("bitwise_identical", all_identical)
+            .endObject()
+            .endObject();
+        std::cout << "\n";
+    }
+
+    std::cout << "\nfan-out speedup over functional replay: " +
+                     ratio2(speedup) + "x (incl. one-time write: " +
+                     ratio2(speedup_incl_write) + "x), results " +
+                     (all_identical ? "bitwise identical" : "MISMATCHED") +
+                     "\n";
+    return all_identical ? 0 : 1;
+}

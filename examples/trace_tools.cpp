@@ -54,7 +54,7 @@ cmdExport(const std::string &name, const std::string &path)
         return 1;
     }
     const Trace t = generateTrace(*p);
-    saveTrace(t, path);
+    saveTrace(t, path, formatForPath(path));
     std::cout << "wrote " << t.size() << " refs to " << path << "\n";
     return 0;
 }
@@ -62,7 +62,7 @@ cmdExport(const std::string &name, const std::string &path)
 int
 cmdAnalyze(const std::string &path)
 {
-    const Trace t = loadTrace(path);
+    const Trace t = openTraceSource(path)->materialize();
     const TraceCharacteristics c = analyzeTrace(t);
     std::cout << "trace:    " << t.name() << "\n"
               << "refs:     " << formatCount(c.refCount) << "\n"
@@ -83,7 +83,7 @@ int
 cmdSimulate(const std::string &path, std::uint64_t size,
             std::uint32_t line, std::uint32_t ways)
 {
-    const Trace t = loadTrace(path);
+    const Trace t = openTraceSource(path)->materialize();
     CacheConfig cfg;
     cfg.sizeBytes = size;
     cfg.lineBytes = line;

@@ -310,6 +310,100 @@ Cache::purge()
     ++stats_.purges;
 }
 
+CacheState
+Cache::exportState() const
+{
+    CacheState state;
+    state.sizeBytes = config_.sizeBytes;
+    state.lineBytes = config_.lineBytes;
+    state.sets = sets_;
+    state.assoc = assoc_;
+    state.lines.reserve(lines_.size());
+    for (const Line &line : lines_)
+        state.lines.push_back({line.lineAddr, line.valid, line.dirty});
+    state.recency.reserve(lines_.size());
+    for (std::uint64_t set = 0; set < sets_; ++set)
+        for (std::uint32_t idx = head_[set]; idx != kInvalid;
+             idx = next_[idx])
+            state.recency.push_back(idx);
+    CACHELAB_ASSERT(state.recency.size() == lines_.size(),
+                    "recency lists cover ", state.recency.size(), " of ",
+                    lines_.size(), " ways");
+    state.rngState = rng_.state();
+    state.clock = clock_;
+    state.stats = stats_;
+    return state;
+}
+
+void
+Cache::importState(const CacheState &state)
+{
+    if (state.sizeBytes != config_.sizeBytes ||
+        state.lineBytes != config_.lineBytes || state.sets != sets_ ||
+        state.assoc != assoc_) {
+        fatal("cache state import: snapshot geometry ", state.sizeBytes,
+              "B/", state.lineBytes, "B lines/", state.sets, "x",
+              state.assoc, " does not match cache ", config_.sizeBytes,
+              "B/", config_.lineBytes, "B lines/", sets_, "x", assoc_);
+    }
+    CACHELAB_ASSERT(state.lines.size() == lines_.size(),
+                    "cache state import: ", state.lines.size(),
+                    " lines for ", lines_.size(), " ways");
+    CACHELAB_ASSERT(state.recency.size() == lines_.size(),
+                    "cache state import: recency covers ",
+                    state.recency.size(), " of ", lines_.size(), " ways");
+
+    index_.clear();
+    validLines_ = 0;
+    for (std::size_t idx = 0; idx < lines_.size(); ++idx) {
+        Line &line = lines_[idx];
+        line.lineAddr = state.lines[idx].lineAddr;
+        line.valid = state.lines[idx].valid;
+        line.dirty = state.lines[idx].dirty;
+        if (line.valid) {
+            CACHELAB_ASSERT(setOf(line.lineAddr) == idx / assoc_,
+                            "cache state import: line ", line.lineAddr,
+                            " in way ", idx, " maps to set ",
+                            setOf(line.lineAddr));
+            const bool inserted =
+                index_.emplace(line.lineAddr,
+                               static_cast<std::uint32_t>(idx)).second;
+            CACHELAB_ASSERT(inserted, "cache state import: duplicate line ",
+                            line.lineAddr);
+            ++validLines_;
+        }
+    }
+
+    // Rebuild the per-set recency lists from the snapshot's order.
+    std::fill(head_.begin(), head_.end(), kInvalid);
+    std::fill(tail_.begin(), tail_.end(), kInvalid);
+    std::fill(next_.begin(), next_.end(), kInvalid);
+    std::fill(prev_.begin(), prev_.end(), kInvalid);
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+        std::uint32_t prev = kInvalid;
+        for (std::uint64_t pos = 0; pos < assoc_; ++pos) {
+            const std::uint32_t idx = state.recency[set * assoc_ + pos];
+            CACHELAB_ASSERT(idx / assoc_ == set && next_[idx] == kInvalid &&
+                                prev_[idx] == kInvalid && head_[set] != idx,
+                            "cache state import: recency list of set ", set,
+                            " is not a permutation of its ways");
+            if (prev == kInvalid)
+                head_[set] = idx;
+            else
+                next_[prev] = idx;
+            prev_[idx] = prev;
+            prev = idx;
+        }
+        tail_[set] = prev;
+    }
+
+    rng_.setState(state.rngState);
+    clock_ = state.clock;
+    stats_ = state.stats;
+    if (!probeMeta_.empty())
+        probeMeta_.assign(lines_.size(), ProbeMeta{});
+}
+
 bool
 Cache::contains(Addr addr) const
 {

@@ -13,6 +13,7 @@
 #ifndef CACHELAB_CACHE_CACHE_HH
 #define CACHELAB_CACHE_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
@@ -42,6 +43,48 @@ class CacheObserver
 
     /** A valid line was removed (replacement or purge). */
     virtual void onEvict(Addr line_addr, bool dirty, bool is_purge) = 0;
+};
+
+/**
+ * Complete dynamic state of a Cache, as exported by
+ * Cache::exportState() and accepted by Cache::importState().
+ *
+ * The snapshot is exact: importing it into a cache of the identical
+ * geometry and continuing the reference stream reproduces the original
+ * run bit for bit, for every replacement/write/fetch policy (way
+ * identity and the random-replacement generator state are preserved).
+ * Serialization lives in src/ckpt (state_io).
+ */
+struct CacheState
+{
+    // Geometry echo, checked on import.
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t lineBytes = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t assoc = 0;
+
+    struct Line
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirty = false;
+
+        bool operator==(const Line &) const = default;
+    };
+
+    /** Way-indexed lines, sets * assoc entries. */
+    std::vector<Line> lines;
+
+    /**
+     * Per-set recency order as way indices, MRU first: entries
+     * [set * assoc, (set + 1) * assoc) list every way of @p set
+     * exactly once (invalid ways are on the list too).
+     */
+    std::vector<std::uint32_t> recency;
+
+    std::array<std::uint64_t, 4> rngState{};
+    std::uint64_t clock = 0;
+    CacheStats stats;
 };
 
 /**
@@ -112,6 +155,18 @@ class Cache
 
     /** @return number of access() calls so far (the event clock). */
     std::uint64_t accessClock() const { return clock_; }
+
+    /** @return an exact snapshot of the cache's dynamic state. */
+    CacheState exportState() const;
+
+    /**
+     * Replace the cache's dynamic state with @p state (an exact
+     * restore: tags, dirty bits, recency order, way identity, rng
+     * state, clock and statistics).  fatal() when the snapshot's
+     * geometry does not match this cache's configuration or its
+     * recency lists are malformed.
+     */
+    void importState(const CacheState &state);
 
   private:
     static constexpr std::uint32_t kInvalid =

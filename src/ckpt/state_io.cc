@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Implementation of exact cache-state serialization.
+ */
+
+#include "ckpt/state_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace cachelab::ckpt
+{
+
+namespace
+{
+
+constexpr std::uint32_t kStateVersion = 1;
+
+void
+writeBytes(std::ostream &os, const void *data, std::size_t n)
+{
+    os.write(static_cast<const char *>(data),
+             static_cast<std::streamsize>(n));
+}
+
+void
+readBytes(std::istream &is, void *data, std::size_t n)
+{
+    is.read(static_cast<char *>(data), static_cast<std::streamsize>(n));
+    if (!is)
+        fatal("cache state: truncated record");
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    writeBytes(os, &v, sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v;
+    readBytes(is, &v, sizeof(T));
+    return v;
+}
+
+void
+writeMagic(std::ostream &os, const char magic[4])
+{
+    writeBytes(os, magic, 4);
+    writePod<std::uint32_t>(os, kStateVersion);
+}
+
+void
+expectMagic(std::istream &is, const char magic[4], const char *what)
+{
+    char got[4];
+    readBytes(is, got, 4);
+    if (std::memcmp(got, magic, 4) != 0)
+        fatal("cache state: expected a ", what, " record (magic ",
+              std::string(magic, 4), "), got '", std::string(got, 4), "'");
+    const auto version = readPod<std::uint32_t>(is);
+    if (version != kStateVersion)
+        fatal("cache state: ", what, " record version ", version,
+              " is not the supported version ", kStateVersion);
+}
+
+void
+writeStats(std::ostream &os, const CacheStats &stats)
+{
+    writePod(os, stats);
+}
+
+CacheStats
+readStats(std::istream &is)
+{
+    return readPod<CacheStats>(is);
+}
+
+} // namespace
+
+void
+writeCacheState(std::ostream &os, const CacheState &state)
+{
+    writeMagic(os, "CKS1");
+    writePod(os, state.sizeBytes);
+    writePod(os, state.lineBytes);
+    writePod(os, state.sets);
+    writePod(os, state.assoc);
+    const auto lines = static_cast<std::uint64_t>(state.lines.size());
+    writePod(os, lines);
+    for (const CacheState::Line &line : state.lines) {
+        writePod(os, line.lineAddr);
+        writePod<std::uint8_t>(os, static_cast<std::uint8_t>(
+                                       (line.valid ? 1 : 0) |
+                                       (line.dirty ? 2 : 0)));
+    }
+    CACHELAB_ASSERT(state.recency.size() == state.lines.size(),
+                    "cache state: recency covers ", state.recency.size(),
+                    " of ", state.lines.size(), " ways");
+    for (std::uint32_t way : state.recency)
+        writePod(os, way);
+    for (std::uint64_t word : state.rngState)
+        writePod(os, word);
+    writePod(os, state.clock);
+    writeStats(os, state.stats);
+}
+
+CacheState
+readCacheState(std::istream &is)
+{
+    expectMagic(is, "CKS1", "CacheState");
+    CacheState state;
+    state.sizeBytes = readPod<std::uint64_t>(is);
+    state.lineBytes = readPod<std::uint32_t>(is);
+    state.sets = readPod<std::uint64_t>(is);
+    state.assoc = readPod<std::uint64_t>(is);
+    const auto lines = readPod<std::uint64_t>(is);
+    if (state.sets * state.assoc != lines)
+        fatal("cache state: ", lines, " lines for ", state.sets, "x",
+              state.assoc, " geometry");
+    state.lines.reserve(lines);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+        CacheState::Line line;
+        line.lineAddr = readPod<Addr>(is);
+        const auto flags = readPod<std::uint8_t>(is);
+        line.valid = (flags & 1) != 0;
+        line.dirty = (flags & 2) != 0;
+        state.lines.push_back(line);
+    }
+    state.recency.reserve(lines);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        state.recency.push_back(readPod<std::uint32_t>(is));
+    for (std::uint64_t &word : state.rngState)
+        word = readPod<std::uint64_t>(is);
+    state.clock = readPod<std::uint64_t>(is);
+    state.stats = readStats(is);
+    return state;
+}
+
+void
+writeSplitCacheState(std::ostream &os, const SplitCacheState &state)
+{
+    writeMagic(os, "CKS2");
+    writeCacheState(os, state.icache);
+    writeCacheState(os, state.dcache);
+}
+
+SplitCacheState
+readSplitCacheState(std::istream &is)
+{
+    expectMagic(is, "CKS2", "SplitCacheState");
+    SplitCacheState state;
+    state.icache = readCacheState(is);
+    state.dcache = readCacheState(is);
+    return state;
+}
+
+void
+writeTwoLevelCacheState(std::ostream &os, const TwoLevelCacheState &state)
+{
+    writeMagic(os, "CKS3");
+    writeCacheState(os, state.l1);
+    writeCacheState(os, state.l2);
+    writePod(os, state.refs);
+    writePod(os, state.globalMisses);
+}
+
+TwoLevelCacheState
+readTwoLevelCacheState(std::istream &is)
+{
+    expectMagic(is, "CKS3", "TwoLevelCacheState");
+    TwoLevelCacheState state;
+    state.l1 = readCacheState(is);
+    state.l2 = readCacheState(is);
+    state.refs = readPod<std::uint64_t>(is);
+    state.globalMisses = readPod<std::uint64_t>(is);
+    return state;
+}
+
+void
+writeSectorCacheState(std::ostream &os, const SectorCacheState &state)
+{
+    writeMagic(os, "CKS4");
+    writePod(os, state.sizeBytes);
+    writePod(os, state.sectorBytes);
+    writePod(os, state.subblockBytes);
+    const auto sectors = static_cast<std::uint64_t>(state.sectors.size());
+    writePod(os, sectors);
+    for (const SectorCacheState::Sector &s : state.sectors) {
+        writePod(os, s.sectorAddr);
+        writePod(os, s.validMask);
+        writePod(os, s.dirtyMask);
+    }
+    writePod(os, state.clock);
+    writeStats(os, state.stats);
+}
+
+SectorCacheState
+readSectorCacheState(std::istream &is)
+{
+    expectMagic(is, "CKS4", "SectorCacheState");
+    SectorCacheState state;
+    state.sizeBytes = readPod<std::uint64_t>(is);
+    state.sectorBytes = readPod<std::uint32_t>(is);
+    state.subblockBytes = readPod<std::uint32_t>(is);
+    const auto sectors = readPod<std::uint64_t>(is);
+    if (state.sectorBytes == 0 ||
+        sectors != state.sizeBytes / state.sectorBytes)
+        fatal("cache state: ", sectors, " sectors for ", state.sizeBytes,
+              "B/", state.sectorBytes, "B geometry");
+    state.sectors.reserve(sectors);
+    for (std::uint64_t i = 0; i < sectors; ++i) {
+        SectorCacheState::Sector s;
+        s.sectorAddr = readPod<Addr>(is);
+        s.validMask = readPod<std::uint64_t>(is);
+        s.dirtyMask = readPod<std::uint64_t>(is);
+        state.sectors.push_back(s);
+    }
+    state.clock = readPod<std::uint64_t>(is);
+    state.stats = readStats(is);
+    return state;
+}
+
+void
+saveCacheState(const CacheState &state, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeCacheState(os, state);
+    os.flush();
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+CacheState
+loadCacheState(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open '", path, "'");
+    return readCacheState(is);
+}
+
+} // namespace cachelab::ckpt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Binary serialization of exact cache-state snapshots.
+ *
+ * CacheState (cache/cache.hh) and its composite variants are plain
+ * value types; this module moves them to and from streams/files in a
+ * compact versioned binary format so warmed state can outlive the
+ * process that produced it.  Every record starts with a four-byte
+ * magic and a version word; readers fatal() on unknown magics or
+ * versions rather than guessing.
+ *
+ * Byte order is the host's — snapshots are local artifacts (like the
+ * build tree), not interchange files.  The interchange-grade format
+ * with cross-configuration sharing is the live-point store
+ * (live_points.hh); these exact records are its general-purpose
+ * sibling, valid for *every* policy combination (FIFO/Random
+ * replacement, prefetch, no-allocate, sector caches, hierarchies)
+ * because they snapshot one concrete cache instead of a family.
+ */
+
+#ifndef CACHELAB_CKPT_STATE_IO_HH
+#define CACHELAB_CKPT_STATE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/organization.hh"
+#include "cache/sector_cache.hh"
+
+namespace cachelab::ckpt
+{
+
+/** Write one CacheState record (magic "CKS1"). */
+void writeCacheState(std::ostream &os, const CacheState &state);
+
+/** Read one CacheState record; fatal() on malformed input. */
+CacheState readCacheState(std::istream &is);
+
+/** Write one SplitCacheState record (magic "CKS2": I then D). */
+void writeSplitCacheState(std::ostream &os, const SplitCacheState &state);
+
+/** Read one SplitCacheState record; fatal() on malformed input. */
+SplitCacheState readSplitCacheState(std::istream &is);
+
+/** Write one TwoLevelCacheState record (magic "CKS3"). */
+void writeTwoLevelCacheState(std::ostream &os,
+                             const TwoLevelCacheState &state);
+
+/** Read one TwoLevelCacheState record; fatal() on malformed input. */
+TwoLevelCacheState readTwoLevelCacheState(std::istream &is);
+
+/** Write one SectorCacheState record (magic "CKS4"). */
+void writeSectorCacheState(std::ostream &os, const SectorCacheState &state);
+
+/** Read one SectorCacheState record; fatal() on malformed input. */
+SectorCacheState readSectorCacheState(std::istream &is);
+
+/** writeCacheState() to @p path; fatal() on I/O failure. */
+void saveCacheState(const CacheState &state, const std::string &path);
+
+/** readCacheState() from @p path; fatal() on I/O failure. */
+CacheState loadCacheState(const std::string &path);
+
+} // namespace cachelab::ckpt
+
+#endif // CACHELAB_CKPT_STATE_IO_HH

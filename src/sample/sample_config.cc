@@ -35,6 +35,8 @@ toString(WarmingPolicy warming)
         return "fixed-warmup";
       case WarmingPolicy::Functional:
         return "functional";
+      case WarmingPolicy::Checkpoint:
+        return "checkpoint";
     }
     panic("unreachable warming policy");
 }

@@ -61,6 +61,19 @@ enum class WarmingPolicy : std::uint8_t
      * and compositional (the same plan drives cheaper estimators).
      */
     Functional,
+
+    /**
+     * Restore functionally warmed state from a checkpoint store
+     * (src/ckpt "live-points") at each interval start instead of
+     * replaying the skipped references.  Per-interval statistics are
+     * bitwise identical to Functional, at Cold's skip cost — the
+     * warming work was paid once, by the store's producer, for every
+     * configuration the store can serve.  Only the checkpoint-aware
+     * drivers (sweepUnifiedSampled / sweepSplitSampled with a
+     * LivePointStore, or warmToInterval with a restorer) accept this
+     * policy; plain runSampled() rejects it.
+     */
+    Checkpoint,
 };
 
 /** @return display name for each policy value. */

@@ -59,6 +59,10 @@ warmToInterval(const Trace &trace, System &system,
         break;
       case WarmingPolicy::Functional:
         break;
+      case WarmingPolicy::Checkpoint:
+        fatal("warmToInterval: Checkpoint warming needs a restorer — "
+              "use the overload taking one (or a checkpoint-aware "
+              "sampled driver)");
     }
     for (; pos < interval.begin; ++pos) {
         if (purge_interval != 0 && since_purge == purge_interval) {
@@ -69,6 +73,35 @@ warmToInterval(const Trace &trace, System &system,
         ++since_purge;
         ++processed;
     }
+}
+
+/**
+ * warmToInterval() with checkpoint support: under
+ * WarmingPolicy::Checkpoint the skipped references are not replayed —
+ * @p restore is invoked as restore(system, interval_index, since_purge)
+ * and must leave @p system in the exact state a functional replay up
+ * to interval.begin would have produced (and set @p since_purge to the
+ * replay's carry), which is what ckpt::LivePointGroup::restoreInto()
+ * provides.  Every other policy behaves exactly as the base overload.
+ */
+template <typename System, typename Restorer>
+void
+warmToInterval(const Trace &trace, System &system,
+               const SampleConfig &config, std::uint64_t purge_interval,
+               const SampleInterval &interval, std::size_t interval_index,
+               std::uint64_t &pos, std::uint64_t &since_purge,
+               std::uint64_t &processed, Restorer &&restore)
+{
+    if (config.warming == WarmingPolicy::Checkpoint) {
+        CACHELAB_ASSERT(pos <= interval.begin,
+                        "warming cursor ", pos, " past interval start ",
+                        interval.begin);
+        pos = interval.begin;
+        restore(system, interval_index, since_purge);
+        return;
+    }
+    warmToInterval(trace, system, config, purge_interval, interval, pos,
+                   since_purge, processed);
 }
 
 } // namespace cachelab

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/live_points.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "obs/trace_event.hh"
@@ -78,12 +79,22 @@ template <typename System>
 class SampledEngine
 {
   public:
+    /**
+     * Checkpoint-warming restorer: must leave the system in the exact
+     * functionally-warmed state at the given plan interval's start and
+     * set the purge-schedule carry (ckpt::LivePointGroup::restoreInto
+     * wrapped over the right group is the canonical one).
+     */
+    using Restore =
+        std::function<void(System &, std::size_t, std::uint64_t &)>;
+
     SampledEngine(std::uint64_t length, System &system,
                   const SampleConfig &sample, const RunConfig &run,
-                  std::function<CacheStats(System &)> stats_of)
+                  std::function<CacheStats(System &)> stats_of,
+                  Restore restore = {})
         : system_(system), sample_(sample), statsOf_(std::move(stats_of)),
-          purgeInterval_(run.purgeInterval), length_(length),
-          recorder_(obs::TraceRecorder::global()),
+          restore_(std::move(restore)), purgeInterval_(run.purgeInterval),
+          length_(length), recorder_(obs::TraceRecorder::global()),
           recordPurges_(recorder_.enabled())
     {
         sample_.validate();
@@ -92,14 +103,19 @@ class SampledEngine
                   "(estimates are stitched from measured intervals, so the "
                   "event stream would have gaps); use the per-size engine "
                   "for instrumented runs");
+        if (sample_.warming == WarmingPolicy::Checkpoint && !restore_)
+            fatal("runSampled: checkpoint warming needs a live-point "
+                  "store — use the sweep overloads taking a "
+                  "ckpt::LivePointStore");
         CACHELAB_ASSERT(run.warmupRefs == 0,
                         "runSampled: warm-up is the warming policy's job; "
                         "RunConfig::warmupRefs must be 0");
         CACHELAB_ASSERT(purgeInterval_ == 0 ||
-                            sample_.warming == WarmingPolicy::Functional,
+                            sample_.warming == WarmingPolicy::Functional ||
+                            sample_.warming == WarmingPolicy::Checkpoint,
                         "runSampled: purgeInterval (", purgeInterval_,
-                        ") requires functional warming — a skipping policy "
-                        "cannot replay the purge schedule");
+                        ") requires functional (or checkpoint) warming — a "
+                        "skipping policy cannot replay the purge schedule");
         CACHELAB_ASSERT(purgeInterval_ == 0 || purgeInterval_ <= length_,
                         "purgeInterval (", purgeInterval_,
                         ") exceeds trace length (", length_, ")");
@@ -214,6 +230,11 @@ class SampledEngine
           case WarmingPolicy::Functional:
             warmStart_ = pos_;
             break;
+          case WarmingPolicy::Checkpoint:
+            // Like Cold, nothing is replayed: the state comes from the
+            // restorer when the cursor reaches the interval.
+            warmStart_ = iv.begin;
+            break;
         }
         warmProfile_.emplace("sample.warm");
         warmSpan_.emplace("warm", "sample");
@@ -230,6 +251,11 @@ class SampledEngine
         // since the skipped region touches nothing.
         if (sample_.warming == WarmingPolicy::Cold)
             system_.purge();
+        else if (sample_.warming == WarmingPolicy::Checkpoint)
+            // Restore *before* resetStats and before the first measured
+            // reference's purge-due check, mirroring where functional
+            // warming leaves the system at interval start.
+            restore_(system_, planIdx_, sincePurge_);
         system_.resetStats();
         measureProfile_.emplace("sample.measure");
         measureSpan_.emplace(
@@ -270,6 +296,7 @@ class SampledEngine
     System &system_;
     SampleConfig sample_;
     std::function<CacheStats(System &)> statsOf_;
+    Restore restore_;
     std::uint64_t purgeInterval_;
     std::uint64_t length_;
     obs::TraceRecorder &recorder_;
@@ -525,6 +552,181 @@ sweepSplitSampled(TraceSource &source, const std::vector<std::uint64_t> &sizes,
             dengines[i]->feed(dspan);
         });
     }
+
+    std::vector<SplitSampledSweepPoint> out(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        out[i] = {sizes[i], iengines[i]->finish(), dengines[i]->finish()};
+    return out;
+}
+
+namespace
+{
+
+/** Fatal unless the fully-consumed stream matches the store's trace. */
+void
+verifyStoreContent(const ckpt::LivePointStore &store, std::uint64_t consumed,
+                   std::uint64_t expected, std::uint64_t content_hash)
+{
+    if (consumed != expected)
+        return; // early stop: the tail was never decoded, skip the check
+    if (content_hash != store.contentHash())
+        fatal("live points: trace content hash ", content_hash,
+              " does not match the store's ", store.contentHash(),
+              " — same name and length, different references; the store "
+              "'", store.directory(), "' was written from another trace");
+}
+
+} // namespace
+
+std::vector<SampledSweepPoint>
+sweepUnifiedSampled(TraceSource &source,
+                    const std::vector<std::uint64_t> &sizes,
+                    const CacheConfig &base, const SampleConfig &sample,
+                    const RunConfig &run, const ckpt::LivePointStore &store)
+{
+    if (sample.warming != WarmingPolicy::Checkpoint)
+        fatal("sweepUnifiedSampled(store): a live-point store implies "
+              "checkpoint warming; got ", toString(sample.warming));
+    const std::uint64_t length = sourceLength(source);
+    store.checkCompatible(ckpt::unifiedLivePointKey(
+        source.name(), length, sample, run.purgeInterval));
+
+    std::vector<std::unique_ptr<Cache>> caches;
+    std::vector<std::unique_ptr<SampledEngine<Cache>>> engines;
+    caches.reserve(sizes.size());
+    engines.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        config.validate();
+        const ckpt::LivePointGroup &group =
+            store.group("unified", config.lineBytes, config.setCount(),
+                        config.effectiveAssociativity());
+        caches.push_back(std::make_unique<Cache>(config));
+        engines.push_back(std::make_unique<SampledEngine<Cache>>(
+            length, *caches.back(), sample, run,
+            [](Cache &c) { return c.stats(); },
+            [&group](Cache &c, std::size_t idx, std::uint64_t &sp) {
+                group.restoreInto(c, idx, sp);
+            }));
+    }
+
+    // Chunk-synchronous over the size axis, exactly like the
+    // functional-warming streamed sweep — but the engines skip every
+    // gap in O(1), so decode dominates and the content hash rides
+    // along for free.
+    detail::BatchExecutor exec(run);
+    std::vector<MemoryRef> buffer(run.resolvedBatchRefs());
+    std::uint64_t consumed = 0;
+    std::uint64_t content_hash = ckpt::kFnvOffset;
+    std::size_t got;
+    while ((got = source.nextBatch(buffer)) != 0) {
+        const std::span<const MemoryRef> batch(buffer.data(), got);
+        content_hash = ckpt::hashRefs(content_hash, batch);
+        consumed += got;
+        exec.parallelFor(sizes.size(),
+                         [&](std::size_t i) { engines[i]->feed(batch); });
+        bool any_active = false;
+        for (const auto &engine : engines)
+            any_active = any_active || engine->active();
+        if (!any_active)
+            break; // every size stopped early; stop decoding
+    }
+    verifyStoreContent(store, consumed, length, content_hash);
+
+    std::vector<SampledSweepPoint> out(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        out[i] = {sizes[i], engines[i]->finish()};
+    return out;
+}
+
+std::vector<SplitSampledSweepPoint>
+sweepSplitSampled(TraceSource &source, const std::vector<std::uint64_t> &sizes,
+                  const CacheConfig &base, const SampleConfig &sample,
+                  const RunConfig &run, const ckpt::LivePointStore &store)
+{
+    if (sample.warming != WarmingPolicy::Checkpoint)
+        fatal("sweepSplitSampled(store): a live-point store implies "
+              "checkpoint warming; got ", toString(sample.warming));
+    CACHELAB_ASSERT(run.purgeInterval == 0,
+                    "sampled split sweep: purge schedule is defined on the "
+                    "combined stream; run unsampled or purge-free");
+    std::uint64_t ilen = 0, dlen = 0;
+    source.forEachBatch(
+        [&](std::span<const MemoryRef> batch) {
+            for (const MemoryRef &ref : batch) {
+                if (ref.kind == AccessKind::IFetch)
+                    ++ilen;
+                else
+                    ++dlen;
+            }
+        },
+        run.resolvedBatchRefs());
+    source.reset();
+    const std::uint64_t length = ilen + dlen;
+    store.checkCompatible(ckpt::splitLivePointKey(source.name(), length,
+                                                  ilen, dlen, sample));
+
+    std::vector<std::unique_ptr<Cache>> icaches, dcaches;
+    std::vector<std::unique_ptr<SampledEngine<Cache>>> iengines, dengines;
+    icaches.reserve(sizes.size());
+    dcaches.reserve(sizes.size());
+    iengines.reserve(sizes.size());
+    dengines.reserve(sizes.size());
+    for (std::uint64_t size : sizes) {
+        CacheConfig config = base;
+        config.sizeBytes = size;
+        config.validate();
+        const ckpt::LivePointGroup &igroup =
+            store.group("icache", config.lineBytes, config.setCount(),
+                        config.effectiveAssociativity());
+        const ckpt::LivePointGroup &dgroup =
+            store.group("dcache", config.lineBytes, config.setCount(),
+                        config.effectiveAssociativity());
+        icaches.push_back(std::make_unique<Cache>(config));
+        dcaches.push_back(std::make_unique<Cache>(config));
+        iengines.push_back(std::make_unique<SampledEngine<Cache>>(
+            ilen, *icaches.back(), sample, run,
+            [](Cache &c) { return c.stats(); },
+            [&igroup](Cache &c, std::size_t idx, std::uint64_t &sp) {
+                igroup.restoreInto(c, idx, sp);
+            }));
+        dengines.push_back(std::make_unique<SampledEngine<Cache>>(
+            dlen, *dcaches.back(), sample, run,
+            [](Cache &c) { return c.stats(); },
+            [&dgroup](Cache &c, std::size_t idx, std::uint64_t &sp) {
+                dgroup.restoreInto(c, idx, sp);
+            }));
+    }
+
+    detail::BatchExecutor exec(run);
+    std::vector<MemoryRef> buffer(run.resolvedBatchRefs());
+    std::vector<MemoryRef> ibuf, dbuf;
+    ibuf.reserve(buffer.size());
+    dbuf.reserve(buffer.size());
+    std::uint64_t consumed = 0;
+    std::uint64_t content_hash = ckpt::kFnvOffset;
+    std::size_t got;
+    while ((got = source.nextBatch(buffer)) != 0) {
+        const std::span<const MemoryRef> batch(buffer.data(), got);
+        content_hash = ckpt::hashRefs(content_hash, batch);
+        consumed += got;
+        ibuf.clear();
+        dbuf.clear();
+        for (const MemoryRef &ref : batch) {
+            if (ref.kind == AccessKind::IFetch)
+                ibuf.push_back(ref);
+            else
+                dbuf.push_back(ref);
+        }
+        const std::span<const MemoryRef> ispan(ibuf.data(), ibuf.size());
+        const std::span<const MemoryRef> dspan(dbuf.data(), dbuf.size());
+        exec.parallelFor(sizes.size(), [&](std::size_t i) {
+            iengines[i]->feed(ispan);
+            dengines[i]->feed(dspan);
+        });
+    }
+    verifyStoreContent(store, consumed, length, content_hash);
 
     std::vector<SplitSampledSweepPoint> out(sizes.size());
     for (std::size_t i = 0; i < sizes.size(); ++i)

@@ -35,6 +35,11 @@
 namespace cachelab
 {
 
+namespace ckpt
+{
+class LivePointStore;
+}
+
 /**
  * Run @p trace through @p cache, measuring only the sampled
  * intervals.
@@ -132,6 +137,31 @@ std::vector<SplitSampledSweepPoint> sweepSplitSampled(
     TraceSource &source, const std::vector<std::uint64_t> &sizes,
     const CacheConfig &base, const SampleConfig &sample,
     const RunConfig &run = {});
+
+/**
+ * Checkpoint-warming sweepUnifiedSampled(): every size restores the
+ * functionally-warmed state at each interval start from @p store
+ * instead of replaying the gaps, so the sweep costs O(decode +
+ * configs x sample) while staying bitwise identical to functional
+ * warming.  @p sample must carry WarmingPolicy::Checkpoint, and the
+ * store must have been written with the same trace, plan and purge
+ * schedule (checked up front by key hash, and again streamwise by the
+ * full-trace content hash when the run consumes the whole stream).
+ */
+std::vector<SampledSweepPoint> sweepUnifiedSampled(
+    TraceSource &source, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run, const ckpt::LivePointStore &store);
+
+/**
+ * Checkpoint-warming sweepSplitSampled(): like the store-backed
+ * unified sweep, with each side restoring from its own channel
+ * ("icache"/"dcache") of @p store.
+ */
+std::vector<SplitSampledSweepPoint> sweepSplitSampled(
+    TraceSource &source, const std::vector<std::uint64_t> &sizes,
+    const CacheConfig &base, const SampleConfig &sample,
+    const RunConfig &run, const ckpt::LivePointStore &store);
 
 } // namespace cachelab
 

@@ -782,61 +782,4 @@ openTraceSource(const std::string &path)
     return openTraceSource(path, formatForPath(path));
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated wrappers.
-
-void
-writeDin(const Trace &trace, std::ostream &os)
-{
-    writeTrace(trace, os, TraceFormat::Din);
-}
-
-Trace
-readDin(std::istream &is, std::string name)
-{
-    return readTrace(is, TraceFormat::Din, std::move(name));
-}
-
-void
-writeBinary(const Trace &trace, std::ostream &os)
-{
-    writeTrace(trace, os, TraceFormat::Binary);
-}
-
-Trace
-readBinary(std::istream &is)
-{
-    return readTrace(is, TraceFormat::Binary, {});
-}
-
-void
-writeCompressed(const Trace &trace, std::ostream &os)
-{
-    writeTrace(trace, os, TraceFormat::Compressed);
-}
-
-Trace
-readCompressed(std::istream &is)
-{
-    return readTrace(is, TraceFormat::Compressed, {});
-}
-
-void
-saveTrace(const Trace &trace, const std::string &path)
-{
-    saveTrace(trace, path, formatForPath(path));
-}
-
-Trace
-loadTrace(const std::string &path)
-{
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        fatal("cannot open '", path, "' for reading");
-    const TraceFormat format = formatForPath(path);
-    return readTrace(is, format,
-                     format == TraceFormat::Din ? baseName(path)
-                                                : std::string{});
-}
-
 } // namespace cachelab

@@ -22,8 +22,9 @@
  *
  * Two access styles:
  *
- *  - Materialized: writeTrace()/readTrace() and the path-level
- *    saveTrace()/loadTrace() move whole Trace objects.
+ *  - Materialized: writeTrace()/readTrace() move whole Trace objects
+ *    through streams; saveTrace() writes one to a path, and
+ *    openTraceSource(path)->materialize() reads one back.
  *  - Streaming: openTraceSource() returns a TraceSource that decodes
  *    on demand in O(batch) memory — an mmap-backed zero-copy reader
  *    for Binary, incremental decoders for Din and Compressed — and
@@ -99,35 +100,6 @@ std::unique_ptr<TraceSource> openTraceSource(const std::string &path);
 /** openTraceSource() with the format forced instead of inferred. */
 std::unique_ptr<TraceSource> openTraceSource(const std::string &path,
                                              TraceFormat format);
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers.  Thin aliases kept for source compatibility;
-// new code should use the TraceFormat API above.
-
-/** @deprecated Use writeTrace(trace, os, TraceFormat::Din). */
-void writeDin(const Trace &trace, std::ostream &os);
-
-/** @deprecated Use readTrace(is, TraceFormat::Din, name). */
-Trace readDin(std::istream &is, std::string name);
-
-/** @deprecated Use writeTrace(trace, os, TraceFormat::Binary). */
-void writeBinary(const Trace &trace, std::ostream &os);
-
-/** @deprecated Use readTrace(is, TraceFormat::Binary, {}). */
-Trace readBinary(std::istream &is);
-
-/** @deprecated Use writeTrace(trace, os, TraceFormat::Compressed). */
-void writeCompressed(const Trace &trace, std::ostream &os);
-
-/** @deprecated Use readTrace(is, TraceFormat::Compressed, {}). */
-Trace readCompressed(std::istream &is);
-
-/** @deprecated Use saveTrace(trace, path, formatForPath(path)). */
-void saveTrace(const Trace &trace, const std::string &path);
-
-/** @deprecated Use openTraceSource(path) (streaming) or
- *  openTraceSource(path)->materialize(). */
-Trace loadTrace(const std::string &path);
 
 } // namespace cachelab
 

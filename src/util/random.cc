@@ -42,6 +42,15 @@ Rng::Rng(std::uint64_t seed)
         word = splitmix64(s);
 }
 
+void
+Rng::setState(const std::array<std::uint64_t, 4> &state)
+{
+    CACHELAB_ASSERT(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                        state[3] != 0,
+                    "all-zero xoshiro256** state is a fixed point");
+    state_ = state;
+}
+
 Rng::result_type
 Rng::operator()()
 {

@@ -67,6 +67,15 @@ class Rng
     /** Derive an independent child generator (for sub-streams). */
     Rng split();
 
+    /**
+     * @return the raw xoshiro256** state, for exact checkpointing.
+     * Restoring it with setState() resumes the stream bit for bit.
+     */
+    const std::array<std::uint64_t, 4> &state() const { return state_; }
+
+    /** Restore a state captured with state(); must not be all zero. */
+    void setState(const std::array<std::uint64_t, 4> &state);
+
   private:
     std::array<std::uint64_t, 4> state_;
 };

@@ -77,43 +77,43 @@ TEST(SectorConfigValidation, RejectsTooManySubblocks)
 TEST(TraceIo, RejectsBadDinLabel)
 {
     std::stringstream ss("7 1000\n");
-    EXPECT_DEATH({ readDin(ss, "bad"); }, "unknown access label");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Din, "bad"); }, "unknown access label");
 }
 
 TEST(TraceIo, RejectsMalformedDinLine)
 {
     std::stringstream ss("read 0x10\n");
-    EXPECT_DEATH({ readDin(ss, "bad"); }, "expected");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Din, "bad"); }, "expected");
 }
 
 TEST(TraceIo, RejectsBadHexAddress)
 {
     std::stringstream ss("0 zzzz\n");
-    EXPECT_DEATH({ readDin(ss, "bad"); }, "bad address");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Din, "bad"); }, "bad address");
 }
 
 TEST(TraceIo, RejectsZeroSizeAccess)
 {
     std::stringstream ss("0 1000 0\n");
-    EXPECT_DEATH({ readDin(ss, "bad"); }, "zero access size");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Din, "bad"); }, "zero access size");
 }
 
 TEST(TraceIo, RejectsBadBinaryMagic)
 {
     std::stringstream ss("NOPE....");
-    EXPECT_DEATH({ readBinary(ss); }, "bad magic");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Binary, {}); }, "bad magic");
 }
 
 TEST(TraceIo, RejectsTruncatedBinary)
 {
     // Valid magic, then nothing.
     std::stringstream ss(std::string("CLT1"), std::ios::in);
-    EXPECT_DEATH({ readBinary(ss); }, "");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Binary, {}); }, "");
 }
 
 TEST(TraceIo, RejectsMissingFile)
 {
-    EXPECT_DEATH({ loadTrace("/nonexistent/path/trace.din"); },
+    EXPECT_DEATH({ openTraceSource("/nonexistent/path/trace.din"); },
                  "cannot open");
 }
 

@@ -183,8 +183,8 @@ TEST(CompressedTrace, RoundTripExact)
 {
     const Trace t = generateTrace(*findTraceProfile("VSPICE"), 30000);
     std::stringstream ss;
-    writeCompressed(t, ss);
-    const Trace back = readCompressed(ss);
+    writeTrace(t, ss, TraceFormat::Compressed);
+    const Trace back = readTrace(ss, TraceFormat::Compressed, {});
     ASSERT_EQ(back.size(), t.size());
     EXPECT_EQ(back.name(), t.name());
     for (std::size_t i = 0; i < t.size(); ++i)
@@ -195,8 +195,8 @@ TEST(CompressedTrace, MuchSmallerThanPacked)
 {
     const Trace t = generateTrace(*findTraceProfile("MVS1"), 50000);
     std::stringstream packed, compressed;
-    writeBinary(t, packed);
-    writeCompressed(t, compressed);
+    writeTrace(t, packed, TraceFormat::Binary);
+    writeTrace(t, compressed, TraceFormat::Compressed);
     const auto packed_size = packed.str().size();
     const auto compressed_size = compressed.str().size();
     EXPECT_LT(compressed_size * 3, packed_size)
@@ -213,8 +213,8 @@ TEST(CompressedTrace, HandlesMixedSizes)
     t.append(0x104, 4, AccessKind::IFetch); // size change within kind
     t.append(0x2008, 8, AccessKind::Write);
     std::stringstream ss;
-    writeCompressed(t, ss);
-    const Trace back = readCompressed(ss);
+    writeTrace(t, ss, TraceFormat::Compressed);
+    const Trace back = readTrace(ss, TraceFormat::Compressed, {});
     ASSERT_EQ(back.size(), t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
         EXPECT_EQ(back[i], t[i]) << "ref " << i;
@@ -227,8 +227,8 @@ TEST(CompressedTrace, BackwardDeltasSurvive)
     t.append(0x00000010, 4, AccessKind::Read); // large negative delta
     t.append(0xffff0000, 4, AccessKind::Read);
     std::stringstream ss;
-    writeCompressed(t, ss);
-    const Trace back = readCompressed(ss);
+    writeTrace(t, ss, TraceFormat::Compressed);
+    const Trace back = readTrace(ss, TraceFormat::Compressed, {});
     ASSERT_EQ(back.size(), 3u);
     EXPECT_EQ(back[1].addr, 0x00000010u);
     EXPECT_EQ(back[2].addr, 0xffff0000u);
@@ -238,8 +238,8 @@ TEST(CompressedTrace, SaveLoadByExtension)
 {
     const Trace t = generateTrace(*findTraceProfile("ZLS"), 5000);
     const std::string path = testing::TempDir() + "/clt_test.ctr";
-    saveTrace(t, path);
-    const Trace back = loadTrace(path);
+    saveTrace(t, path, formatForPath(path));
+    const Trace back = openTraceSource(path)->materialize();
     EXPECT_EQ(back.size(), t.size());
     EXPECT_EQ(back.name(), "ZLS"); // compressed format embeds the name
     std::remove(path.c_str());
@@ -248,17 +248,17 @@ TEST(CompressedTrace, SaveLoadByExtension)
 TEST(CompressedTrace, RejectsBadMagic)
 {
     std::stringstream ss("CLT1....");
-    EXPECT_DEATH({ readCompressed(ss); }, "bad magic");
+    EXPECT_DEATH({ readTrace(ss, TraceFormat::Compressed, {}); }, "bad magic");
 }
 
 TEST(CompressedTrace, RejectsTruncation)
 {
     const Trace t = generateTrace(*findTraceProfile("ZLS"), 100);
     std::stringstream ss;
-    writeCompressed(t, ss);
+    writeTrace(t, ss, TraceFormat::Compressed);
     const std::string whole = ss.str();
     std::stringstream cut(whole.substr(0, whole.size() / 2));
-    EXPECT_DEATH({ readCompressed(cut); }, "");
+    EXPECT_DEATH({ readTrace(cut, TraceFormat::Compressed, {}); }, "");
 }
 
 // --- set-associative stack analysis ---------------------------------

@@ -67,8 +67,8 @@ TEST(TraceIo, DinRoundTrip)
 {
     const Trace t = smallTrace();
     std::stringstream ss;
-    writeDin(t, ss);
-    const Trace back = readDin(ss, "small");
+    writeTrace(t, ss, TraceFormat::Din);
+    const Trace back = readTrace(ss, TraceFormat::Din, "small");
     ASSERT_EQ(back.size(), t.size());
     for (std::size_t i = 0; i < t.size(); ++i)
         EXPECT_EQ(back[i], t[i]) << "ref " << i;
@@ -79,7 +79,7 @@ TEST(TraceIo, DinLabelsMatchDineroConvention)
 {
     const Trace t = smallTrace();
     std::stringstream ss;
-    writeDin(t, ss);
+    writeTrace(t, ss, TraceFormat::Din);
     const std::string text = ss.str();
     // 2 = ifetch at 0x1000, 0 = read at 0x2000, 1 = write at 0x2004.
     EXPECT_NE(text.find("2 1000 4"), std::string::npos);
@@ -90,7 +90,7 @@ TEST(TraceIo, DinLabelsMatchDineroConvention)
 TEST(TraceIo, DinDefaultsSizeToFour)
 {
     std::stringstream ss("0 ff\n2 100\n");
-    const Trace t = readDin(ss, "x");
+    const Trace t = readTrace(ss, TraceFormat::Din, "x");
     ASSERT_EQ(t.size(), 2u);
     EXPECT_EQ(t[0].size, 4u);
     EXPECT_EQ(t[0].addr, 0xffu);
@@ -100,7 +100,7 @@ TEST(TraceIo, DinDefaultsSizeToFour)
 TEST(TraceIo, DinSkipsCommentsAndBlankLines)
 {
     std::stringstream ss("# header\n\n0 10\n# mid\n1 20\n");
-    const Trace t = readDin(ss, "x");
+    const Trace t = readTrace(ss, TraceFormat::Din, "x");
     EXPECT_EQ(t.size(), 2u);
 }
 
@@ -108,8 +108,8 @@ TEST(TraceIo, BinaryRoundTrip)
 {
     const Trace t = smallTrace();
     std::stringstream ss;
-    writeBinary(t, ss);
-    const Trace back = readBinary(ss);
+    writeTrace(t, ss, TraceFormat::Binary);
+    const Trace back = readTrace(ss, TraceFormat::Binary, {});
     ASSERT_EQ(back.size(), t.size());
     EXPECT_EQ(back.name(), t.name());
     for (std::size_t i = 0; i < t.size(); ++i)
@@ -121,10 +121,10 @@ TEST(TraceIo, SaveLoadByExtension)
     const Trace t = smallTrace();
     const std::string din_path = testing::TempDir() + "/clt_test.din";
     const std::string bin_path = testing::TempDir() + "/clt_test.trace";
-    saveTrace(t, din_path);
-    saveTrace(t, bin_path);
-    const Trace from_din = loadTrace(din_path);
-    const Trace from_bin = loadTrace(bin_path);
+    saveTrace(t, din_path, formatForPath(din_path));
+    saveTrace(t, bin_path, formatForPath(bin_path));
+    const Trace from_din = openTraceSource(din_path)->materialize();
+    const Trace from_bin = openTraceSource(bin_path)->materialize();
     EXPECT_EQ(from_din.size(), t.size());
     EXPECT_EQ(from_bin.size(), t.size());
     EXPECT_EQ(from_din.name(), "clt_test"); // named after the file

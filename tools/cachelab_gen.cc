@@ -101,7 +101,7 @@ cmdList()
 int
 cmdAnalyze(const std::string &path)
 {
-    const Trace t = loadTrace(path);
+    const Trace t = openTraceSource(path)->materialize();
     const TraceCharacteristics c = analyzeTrace(t);
     TextTable table("Characteristics of " + t.name());
     table.setHeader({"metric", "value"});
@@ -161,7 +161,8 @@ main(int argc, char **argv)
         fatal("need --list, --analyze, --profile or --machine\n", kUsage);
     }
 
-    saveTrace(trace, args.get("out"));
+    saveTrace(trace, args.get("out"),
+              formatForPath(args.get("out")));
     std::cout << "wrote " << formatCount(trace.size()) << " references to "
               << args.get("out") << "\n";
     return 0;

@@ -25,6 +25,7 @@
  */
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "cache/organization.hh"
 #include "cache/sector_cache.hh"
 #include "cache/stack_analysis.hh"
+#include "ckpt/live_points.hh"
 #include "obs/classify.hh"
 #include "obs/event_log.hh"
 #include "obs/event_stats.hh"
@@ -108,7 +110,8 @@ this family start with --sample):
   --sample F            measure only fraction F of the trace (0 < F <= 1)
   --sample-unit U       measured interval length in refs (default 1000)
   --sample-select P     systematic | random (default systematic)
-  --sample-warming P    functional | fixed | cold (default functional)
+  --sample-warming P    functional | fixed | cold | checkpoint
+                        (default functional; checkpoint needs --ckpt)
   --sample-warmup W     warm-up refs per interval (fixed warming;
                         default = interval length).  Per-interval
                         warming is clamped to the refs available before
@@ -118,6 +121,19 @@ this family start with --sample):
   --sample-confidence C confidence level (default 0.95)
   --sample-error R      sequential mode: stop when the miss-ratio CI is
                         within +/- R relative (e.g. 0.05)
+
+warm-state checkpoints (campaign fan-out; see DESIGN.md section 4g):
+  --ckpt-write DIR      one functional pass writes a live-point store:
+                        the warmed cache state at every interval of the
+                        --sample plan, for every --sweep size (and the
+                        --purge schedule; --split for per-side stores).
+                        LRU + demand fetch + fetch-on-write only
+  --ckpt DIR            sampled --sweep that restores warmed state from
+                        the store instead of replaying the gaps; the
+                        results are bitwise identical to functional
+                        warming.  Implies --sample-warming checkpoint;
+                        the store must match the trace, plan and purge
+                        schedule (checked by key and content hash)
 
 cache-event introspection (probe sinks; see DESIGN.md section 4f):
   --classify            split misses into compulsory / capacity /
@@ -163,7 +179,7 @@ Trace
 loadInput(const Args &args)
 {
     if (args.has("trace")) {
-        Trace t = loadTrace(args.get("trace"));
+        Trace t = openTraceSource(args.get("trace"))->materialize();
         if (args.has("refs"))
             return cachelab::truncate(t, args.getUint("refs", t.size()));
         return t;
@@ -304,14 +320,22 @@ sampleConfigFrom(const Args &args)
     else
         fatal("--sample-select: unknown policy '", select, "'");
 
-    const std::string warming = args.get("sample-warming", "functional");
+    // --ckpt restores warmed state from a live-point store, so its
+    // natural (and only meaningful) warming policy is checkpoint.
+    const std::string warming = args.get(
+        "sample-warming", args.has("ckpt") ? "checkpoint" : "functional");
     if (warming == "functional")
         cfg.warming = WarmingPolicy::Functional;
     else if (warming == "fixed")
         cfg.warming = WarmingPolicy::FixedWarmup;
     else if (warming == "cold")
         cfg.warming = WarmingPolicy::Cold;
-    else
+    else if (warming == "checkpoint") {
+        if (!args.has("ckpt"))
+            fatal("--sample-warming checkpoint needs --ckpt DIR (the "
+                  "live-point store to restore from)");
+        cfg.warming = WarmingPolicy::Checkpoint;
+    } else
         fatal("--sample-warming: unknown policy '", warming, "'");
     if (cfg.warming == WarmingPolicy::FixedWarmup)
         cfg.warmupRefs = args.getUint("sample-warmup", cfg.unitRefs);
@@ -674,16 +698,13 @@ class SweepProbeFactory : public CacheProbeFactory
     std::vector<Entry> entries_;
 };
 
-/** @p input is a const Trace (materialized) or a TraceSource. */
-template <typename Input>
+/** Print (and CSV/manifest) the points of a sampled size sweep. */
 int
-runSampledSweep(const Args &args, Input &input,
-                const CacheConfig &base, const RunConfig &run,
-                const SampleConfig &sample, obs::RunManifest &manifest)
+reportSampledSweep(const Args &args, const std::string &input_name,
+                   const CacheConfig &base, const SampleConfig &sample,
+                   const std::vector<SampledSweepPoint> &points,
+                   obs::RunManifest &manifest)
 {
-    const auto [lo, hi] = sweepRange(args);
-    const auto sizes = powersOfTwo(lo, hi);
-    const auto points = sweepUnifiedSampled(input, sizes, base, sample, run);
     for (const SampledSweepPoint &pt : points)
         manifest.sampledResults.push_back(
             {"sweep", pt.cacheBytes, pt.result});
@@ -703,7 +724,7 @@ runSampledSweep(const Args &args, Input &input,
                      "intervals", "measured_fraction", "est_speedup"});
     }
 
-    TextTable table("Sampled sweep: " + input.name() + " on " +
+    TextTable table("Sampled sweep: " + input_name + " on " +
                     base.describe() + " [" + sample.describe() + "]");
     table.setHeader({"size", "miss", "95% CI", "intervals", "measured",
                      "est speedup"});
@@ -733,6 +754,115 @@ runSampledSweep(const Args &args, Input &input,
     if (!csv || args.get("csv") != "-")
         std::cout << table;
     return 0;
+}
+
+/** @p input is a const Trace (materialized) or a TraceSource. */
+template <typename Input>
+int
+runSampledSweep(const Args &args, Input &input,
+                const CacheConfig &base, const RunConfig &run,
+                const SampleConfig &sample, obs::RunManifest &manifest)
+{
+    const auto [lo, hi] = sweepRange(args);
+    const auto sizes = powersOfTwo(lo, hi);
+    const auto points = sweepUnifiedSampled(input, sizes, base, sample, run);
+    return reportSampledSweep(args, input.name(), base, sample, points,
+                              manifest);
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** --ckpt-write: one functional pass producing a live-point store. */
+int
+runCkptWrite(const Args &args, TraceSource &source, const CacheConfig &base,
+             const RunConfig &run, obs::RunManifest &manifest)
+{
+    const auto [lo, hi] = sweepRange(args);
+    const std::string dir = args.get("ckpt-write");
+
+    ckpt::LivePointWriteSpec spec;
+    spec.sample = sampleConfigFrom(args);
+    spec.purgeInterval = run.purgeInterval;
+    spec.split = args.has("split");
+    spec.base = base;
+    spec.sizes = powersOfTwo(lo, hi);
+    spec.jobs = run.jobs;
+    spec.createdBy = "cachelab_sim";
+
+    const ckpt::LivePointWriteSummary s =
+        ckpt::writeLivePoints(source, dir, spec);
+    std::cout << "checkpoint store " << dir << " ["
+              << (spec.split ? "split" : "unified") << ", "
+              << spec.sample.describe() << "]\n"
+              << "  key " << hex64(s.keyHash) << ", content "
+              << hex64(s.contentHash) << "\n"
+              << "  " << formatCount(s.traceRefs) << " refs -> "
+              << s.intervals << " interval images x " << s.groups
+              << " group(s), " << formatSize(s.bytesWritten) << "\n";
+
+    manifest.config.emplace_back("ckpt_action", "write");
+    manifest.config.emplace_back("ckpt_dir", dir);
+    manifest.config.emplace_back("ckpt_key_hash", hex64(s.keyHash));
+    manifest.config.emplace_back("ckpt_content_hash", hex64(s.contentHash));
+    return 0;
+}
+
+/** --ckpt: sampled sweep restoring warmed state from a store. */
+int
+runCkptSweep(const Args &args, TraceSource &source, const CacheConfig &base,
+             const RunConfig &run, obs::RunManifest &manifest)
+{
+    const auto [lo, hi] = sweepRange(args);
+    const auto sizes = powersOfTwo(lo, hi);
+    const SampleConfig sample = sampleConfigFrom(args);
+
+    const ckpt::LivePointStore store =
+        ckpt::LivePointStore::load(args.get("ckpt"));
+    manifest.config.emplace_back("ckpt_action", "fanout");
+    manifest.config.emplace_back("ckpt_dir", store.directory());
+    manifest.config.emplace_back("ckpt_key_hash", hex64(store.keyHash()));
+    manifest.config.emplace_back("ckpt_content_hash",
+                                 hex64(store.contentHash()));
+
+    if (args.has("split")) {
+        const auto points =
+            sweepSplitSampled(source, sizes, base, sample, run, store);
+        TextTable table("Checkpoint split sweep: " + source.name() +
+                        " on " + base.describe() + " per side [" +
+                        sample.describe() + "]");
+        table.setHeader({"size/side", "I miss", "D miss", "intervals"});
+        table.setAlignment(
+            {TextTable::Align::Right, TextTable::Align::Right,
+             TextTable::Align::Right, TextTable::Align::Right});
+        for (const SplitSampledSweepPoint &pt : points) {
+            table.addRow(
+                {formatSize(pt.cacheBytes),
+                 formatPercent(pt.icache.missRatio.mean) + " +/- " +
+                     formatPercent(pt.icache.missRatio.halfWidth),
+                 formatPercent(pt.dcache.missRatio.mean) + " +/- " +
+                     formatPercent(pt.dcache.missRatio.halfWidth),
+                 std::to_string(pt.icache.intervalsMeasured) + "/" +
+                     std::to_string(pt.dcache.intervalsMeasured)});
+            manifest.sampledResults.push_back(
+                {"icache", pt.cacheBytes, pt.icache});
+            manifest.sampledResults.push_back(
+                {"dcache", pt.cacheBytes, pt.dcache});
+        }
+        std::cout << table;
+        return 0;
+    }
+
+    const auto points =
+        sweepUnifiedSampled(source, sizes, base, sample, run, store);
+    return reportSampledSweep(args, source.name(), base, sample, points,
+                              manifest);
 }
 
 /** @p input is a const Trace (materialized) or a TraceSource. */
@@ -1000,6 +1130,10 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
 std::string
 modeName(const Args &args, bool sampling)
 {
+    if (args.has("ckpt-write"))
+        return "ckpt-write";
+    if (args.has("ckpt"))
+        return "ckpt-sweep";
     if (args.has("stack-curve"))
         return "stack-curve";
     if (args.has("sweep"))
@@ -1070,6 +1204,32 @@ main(int argc, char **argv)
     if (args.has("engine") && !args.has("sweep"))
         fatal("--engine only applies to --sweep");
 
+    const bool ckpt_write = args.has("ckpt-write");
+    const bool ckpt_read = args.has("ckpt");
+    if (ckpt_write && ckpt_read)
+        fatal("--ckpt-write and --ckpt are mutually exclusive (write the "
+              "store first, then fan out with --ckpt)");
+    if (ckpt_write || ckpt_read) {
+        const char *flag = ckpt_write ? "--ckpt-write" : "--ckpt";
+        if (args.get(ckpt_write ? "ckpt-write" : "ckpt").empty())
+            fatal(flag, " needs a store directory");
+        if (!args.has("sweep"))
+            fatal(flag, " needs --sweep LO:HI (the store serves a size "
+                  "sweep; a single size is a one-point sweep)");
+        if (args.has("engine"))
+            fatal(flag, " picks its own engine; drop --engine");
+        if (args.has("stack-curve") || args.has("opt") ||
+            args.has("sector"))
+            fatal(flag, " supports plain --sweep only (no --stack-curve/"
+                  "--opt/--sector)");
+        if (args.has("warmup"))
+            fatal(flag, " replaces --warmup with the sampling plan's "
+                  "warming");
+        if (instr.any())
+            fatal(flag, " does not support --classify/--events/"
+                  "--set-heatmap");
+    }
+
     if (args.has("progress")) {
         std::uint64_t expected =
             stream ? inputRefs(*source) : trace->size();
@@ -1118,17 +1278,28 @@ main(int argc, char **argv)
     if (stream)
         manifest.config.emplace_back(
             "batch_refs", std::to_string(run.resolvedBatchRefs()));
-    if (sampling)
+    if (sampling || ckpt_write || ckpt_read)
         manifest.config.emplace_back("sample",
                                      sampleConfigFrom(args).describe());
 
     int rc = 0;
     {
         obs::ProfileScope sim_scope("simulate");
-        rc = stream
-            ? runModes(args, *source, base, run, sampling, instr, manifest)
-            : runModes(args, static_cast<const Trace &>(*trace), base, run,
-                       sampling, instr, manifest);
+        if (ckpt_write || ckpt_read) {
+            // Both checkpoint modes stream; a materialized Trace is its
+            // own TraceSource.
+            TraceSource &input =
+                stream ? *source : static_cast<TraceSource &>(*trace);
+            rc = ckpt_write
+                ? runCkptWrite(args, input, base, run, manifest)
+                : runCkptSweep(args, input, base, run, manifest);
+        } else {
+            rc = stream
+                ? runModes(args, *source, base, run, sampling, instr,
+                           manifest)
+                : runModes(args, static_cast<const Trace &>(*trace), base,
+                           run, sampling, instr, manifest);
+        }
     }
 
     if (args.has("progress"))

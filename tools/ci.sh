@@ -102,6 +102,54 @@ print(f"    peak rss {rss / 2**20:.1f} MiB (cap {cap_bytes / 2**20:.0f}"
       f" MiB), {rate / 1e6:.1f} M refs/s")
 EOF
 
+echo "==> checkpoint smoke (live-point store: write, fan out, bitwise parity)"
+# One functional pass writes the store; the --ckpt sweep must then
+# reproduce the functional-warming sweep bit for bit, and the manifest
+# must carry the store's provenance (key/content hash).
+ckpt_dir=build-ci/smoke-ckpt-store
+ckpt_flags=(--profile ZGREP --refs 200000 --sweep 256:8192
+            --sample 0.1 --sample-unit 1000 --jobs 1)
+rm -rf "${ckpt_dir}"
+${sim} "${ckpt_flags[@]}" --ckpt-write "${ckpt_dir}" \
+    --metrics-json build-ci/smoke-ckpt-write.json > /dev/null
+${sim} "${ckpt_flags[@]}" \
+    --metrics-json build-ci/smoke-ckpt-functional.json > /dev/null
+${sim} "${ckpt_flags[@]}" --ckpt "${ckpt_dir}" \
+    --metrics-json build-ci/smoke-ckpt-fanout.json > /dev/null
+python3 - build-ci/smoke-ckpt-functional.json \
+    build-ci/smoke-ckpt-fanout.json build-ci/smoke-ckpt-write.json \
+    "${ckpt_dir}/store.json" <<'EOF'
+import json, sys
+functional, fanout, write, store = (json.load(open(p)) for p in sys.argv[1:5])
+
+# The fan-out legitimately differs from functional warming only in how
+# it got there: plan label, refs processed, and the speedup estimate.
+def comparable(entry):
+    sampled = dict(entry["sampled"])
+    for key in ("plan", "processed_refs", "processed_fraction",
+                "speedup_estimate"):
+        sampled.pop(key)
+    return {"name": entry["name"], "cache_bytes": entry["cache_bytes"],
+            "sampled": sampled}
+
+a = [comparable(e) for e in functional["sampled_results"]]
+b = [comparable(e) for e in fanout["sampled_results"]]
+assert len(a) == len(b) and len(a) > 0, (len(a), len(b))
+for fa, fb in zip(a, b):
+    assert fa == fb, f"sampled results differ at {fa['cache_bytes']}: " \
+                     f"{fa} vs {fb}"
+
+# Provenance: both manifests must name the store they touched, with
+# hashes matching store.json.
+for manifest, action in ((write, "write"), (fanout, "fanout")):
+    cfg = manifest["config"]
+    assert cfg["ckpt_action"] == action, cfg
+    assert cfg["ckpt_key_hash"] == store["key_hash"], cfg
+    assert cfg["ckpt_content_hash"] == store["content_hash"], cfg
+print(f"    {len(a)} sizes bitwise identical to functional warming;"
+      f" key hash {store['key_hash']}")
+EOF
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 
