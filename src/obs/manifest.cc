@@ -204,7 +204,14 @@ writeSampledResultJson(JsonWriter &w, const SampledRunResult &r)
 void
 writeManifest(std::ostream &os, const RunManifest &manifest)
 {
-    JsonWriter w(os);
+    writeManifest(os, manifest, 2);
+    os << '\n';
+}
+
+void
+writeManifest(std::ostream &os, const RunManifest &manifest, int indent)
+{
+    JsonWriter w(os, indent);
     w.beginObject();
     w.member("schema", "cachelab.run_manifest");
     w.member("schema_version", kSchemaVersion);
@@ -274,7 +281,6 @@ writeManifest(std::ostream &os, const RunManifest &manifest)
         w.endArray();
     }
     w.endObject();
-    os << '\n';
 }
 
 } // namespace cachelab::obs

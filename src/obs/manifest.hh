@@ -100,6 +100,14 @@ struct RunManifest
 /** Serialize @p manifest to @p os as the schema-versioned document. */
 void writeManifest(std::ostream &os, const RunManifest &manifest);
 
+/**
+ * writeManifest() with the JsonWriter indent chosen by the caller —
+ * JsonWriter::Compact produces a single line, which is what the serve
+ * protocol needs to embed a manifest in a newline-delimited stream.
+ */
+void writeManifest(std::ostream &os, const RunManifest &manifest,
+                   int indent);
+
 /** @return argc/argv joined with single spaces (manifest provenance). */
 std::string joinArgv(int argc, const char *const *argv);
 

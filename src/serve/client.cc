@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Implementation of the serve client.
+ */
+
+#include "serve/client.hh"
+
+namespace cachelab::serve
+{
+
+std::unique_ptr<Client>
+Client::connect(const std::string &socket_path, std::string *error)
+{
+    const int fd = connectUnix(socket_path, error);
+    if (fd < 0)
+        return nullptr;
+    return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::RunOutcome
+Client::run(const std::string &spec_json,
+            const std::function<void(const JsonValue &)> &on_event)
+{
+    RunOutcome outcome;
+
+    // Normalize the spec to one compact line inside the request
+    // envelope, whatever formatting the caller's file used.
+    std::string parse_error;
+    std::optional<JsonValue> spec = parseJson(spec_json, &parse_error);
+    if (!spec) {
+        outcome.error = "spec is not valid JSON: " + parse_error;
+        return outcome;
+    }
+    std::string request = "{\"op\":\"run\",\"spec\":";
+    request += toCompactJson(*spec);
+    request += "}";
+    if (!channel_.writeLine(request)) {
+        outcome.error = "connection lost while sending the request";
+        return outcome;
+    }
+
+    std::string line;
+    while (channel_.readLine(line)) {
+        std::optional<JsonValue> event = parseJson(line);
+        if (!event || !event->isObject())
+            continue; // not ours to crash on
+        if (on_event)
+            on_event(*event);
+        const JsonValue *name = event->find("event");
+        if (name == nullptr || !name->isString())
+            continue;
+        const std::string &kind = name->asString();
+        if (kind == "ack") {
+            if (const JsonValue *id = event->find("request_id");
+                id != nullptr && id->isUint())
+                outcome.requestId = id->asUint();
+        } else if (kind == "progress") {
+            ++outcome.progressEvents;
+        } else if (kind == "result") {
+            const JsonValue *manifest = event->find("manifest");
+            if (manifest == nullptr) {
+                outcome.error = "result event without a manifest";
+                return outcome;
+            }
+            outcome.manifestJson = toCompactJson(*manifest);
+            outcome.ok = true;
+            return outcome;
+        } else if (kind == "error") {
+            const JsonValue *message = event->find("message");
+            outcome.error = message != nullptr && message->isString()
+                                ? message->asString()
+                                : "server error";
+            return outcome;
+        }
+    }
+    outcome.error = "connection closed before the result arrived";
+    return outcome;
+}
+
+bool
+Client::ping()
+{
+    if (!channel_.writeLine("{\"op\":\"ping\"}"))
+        return false;
+    std::string line;
+    while (channel_.readLine(line)) {
+        std::optional<JsonValue> event = parseJson(line);
+        if (!event || !event->isObject())
+            continue;
+        const JsonValue *name = event->find("event");
+        if (name != nullptr && name->isString() &&
+            name->asString() == "pong")
+            return true;
+    }
+    return false;
+}
+
+std::optional<std::string>
+Client::stats()
+{
+    if (!channel_.writeLine("{\"op\":\"stats\"}"))
+        return std::nullopt;
+    std::string line;
+    while (channel_.readLine(line)) {
+        std::optional<JsonValue> event = parseJson(line);
+        if (!event || !event->isObject())
+            continue;
+        const JsonValue *name = event->find("event");
+        if (name != nullptr && name->isString() &&
+            name->asString() == "stats")
+            return toCompactJson(*event);
+    }
+    return std::nullopt;
+}
+
+bool
+Client::shutdownServer()
+{
+    if (!channel_.writeLine("{\"op\":\"shutdown\"}"))
+        return false;
+    std::string line;
+    while (channel_.readLine(line)) {
+        std::optional<JsonValue> event = parseJson(line);
+        if (!event || !event->isObject())
+            continue;
+        const JsonValue *name = event->find("event");
+        if (name != nullptr && name->isString() &&
+            name->asString() == "bye")
+            return true;
+    }
+    return false;
+}
+
+} // namespace cachelab::serve

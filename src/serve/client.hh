@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synchronous client for the campaign server: the library behind the
+ * cachelab_client CLI and the serve tests.
+ *
+ * One Client wraps one connection.  run() submits a spec and blocks,
+ * delivering every server event through an optional callback, until
+ * the terminal "result" or "error" event for the request arrives.
+ */
+
+#ifndef CACHELAB_SERVE_CLIENT_HH
+#define CACHELAB_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace cachelab::serve
+{
+
+class Client
+{
+  public:
+    /** Connect to the server at @p socket_path.
+     *  @return nullptr with @p *error set on failure. */
+    static std::unique_ptr<Client> connect(const std::string &socket_path,
+                                           std::string *error);
+
+    /** Outcome of one run() call. */
+    struct RunOutcome
+    {
+        bool ok = false;
+        std::uint64_t requestId = 0;     ///< server-assigned id
+        std::string manifestJson;        ///< compact manifest (ok only)
+        std::string error;               ///< diagnostic (!ok only)
+        std::uint64_t progressEvents = 0;
+    };
+
+    /**
+     * Submit @p spec_json (one experiment spec, any formatting) and
+     * block until its result.  @p on_event, when set, sees every
+     * event line's parsed JSON as it arrives (progress streaming).
+     */
+    RunOutcome run(const std::string &spec_json,
+                   const std::function<void(const JsonValue &)> &on_event =
+                       {});
+
+    /** @return true when the server answered the ping. */
+    bool ping();
+
+    /** @return the server's stats event as compact JSON, or nullopt. */
+    std::optional<std::string> stats();
+
+    /** Ask the server to shut down. @return true on acknowledgement. */
+    bool shutdownServer();
+
+  private:
+    explicit Client(int fd) : channel_(fd) {}
+
+    LineChannel channel_;
+};
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_CLIENT_HH

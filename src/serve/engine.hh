@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Coalesced experiment engine: N compatible experiment specs, one
+ * trace pass.
+ *
+ * The campaign server's economics rest on one observation: the sweep
+ * hot loop (sim/drive.hh driveSpan) is chunk-synchronous, and every
+ * simulated point carries its *own* cache and DriveState.  So points
+ * belonging to different tenants can share a pass exactly the way one
+ * tenant's size axis already does — each batch read from the input
+ * fans out over the union of all requests' (config x size) points.
+ * N tenants sweeping the same input cost ~one trace decode instead of
+ * N, and each point's access/purge/resetStats sequence is identical
+ * to a standalone run, so the statistics are bitwise identical to
+ * running each request alone (requests may even differ in purge
+ * interval and warm-up: that state is per-point too).
+ *
+ * The same entry points back `cachelab_sim --spec`, so a tenant can
+ * re-run any server answer standalone and diff the manifests.
+ */
+
+#ifndef CACHELAB_SERVE_ENGINE_HH
+#define CACHELAB_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hh"
+#include "serve/spec.hh"
+#include "sim/sweep.hh"
+#include "trace/source.hh"
+
+namespace cachelab::serve
+{
+
+/** Outcome of one experiment spec. */
+struct ExperimentResult
+{
+    std::vector<SweepPoint> points;    ///< one per spec size, in order
+    std::uint64_t refsProcessed = 0;   ///< input length actually driven
+    double wallSeconds = 0.0;          ///< shared pass wall clock
+    std::uint64_t coalescedGroup = 1;  ///< specs sharing the pass
+    std::string error;                 ///< non-empty = request failed
+};
+
+/** Knobs of one engine pass. */
+struct EngineOptions
+{
+    /** Fan-out width over points (RunConfig::jobs semantics). */
+    unsigned jobs = 0;
+
+    /** Streaming batch size; 0 = kDefaultBatchRefs. */
+    std::size_t batchRefs = 0;
+
+    /**
+     * Progress callback, invoked from the driving thread after each
+     * batch: (refs driven so far, known total or 0).  Keep it cheap.
+     */
+    std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+/**
+ * Drive @p source once, fanning every batch over the union of the
+ * specs' points.  All specs must share a batchKey() — i.e. describe
+ * the same input; @p source must be that input, positioned at its
+ * start.  Specs must already be validated (parseExperimentSpec).
+ *
+ * @return one result per spec, in order.
+ */
+std::vector<ExperimentResult> runCoalesced(
+    TraceSource &source, std::span<const ExperimentSpec> specs,
+    const EngineOptions &options = {});
+
+/**
+ * Standalone convenience: open the spec's input and run it alone.
+ * On input failure the result carries the error instead.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec,
+                               const EngineOptions &options = {});
+
+/**
+ * Assemble the schema-versioned run manifest for one completed spec.
+ * @p extra_config is appended to the config section (the server adds
+ * request provenance: coalesced group size, resource-cache outcome).
+ */
+obs::RunManifest buildExperimentManifest(
+    const ExperimentSpec &spec, const ExperimentResult &result,
+    const std::string &tool, const std::string &argv,
+    const std::vector<std::pair<std::string, std::string>> &extra_config =
+        {});
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_ENGINE_HH

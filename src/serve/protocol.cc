@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Implementation of the serve wire protocol.
+ */
+
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/json_writer.hh"
+
+namespace cachelab::serve
+{
+
+namespace
+{
+
+/** Fill @p addr for @p path; false when the path does not fit. */
+bool
+fillAddress(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+UnixListener::UnixListener(const std::string &path, std::string *error)
+    : path_(path)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr)) {
+        if (error != nullptr)
+            *error = "socket path \"" + path +
+                     "\" is empty or too long for AF_UNIX";
+        return;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket");
+        return;
+    }
+    // A stale path from a dead server would make bind() fail; the
+    // operator owns the path, so replacing it is the right default.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, "bind " + path);
+        ::close(fd);
+        return;
+    }
+    if (::listen(fd, 64) != 0) {
+        setError(error, "listen " + path);
+        ::close(fd);
+        ::unlink(path.c_str());
+        return;
+    }
+    fd_ = fd;
+}
+
+UnixListener::~UnixListener()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        ::unlink(path_.c_str());
+    }
+}
+
+int
+UnixListener::acceptConnection()
+{
+    if (fd_ < 0)
+        return -1;
+    while (true) {
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn >= 0)
+            return conn;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+void
+UnixListener::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr)) {
+        if (error != nullptr)
+            *error = "socket path \"" + path +
+                     "\" is empty or too long for AF_UNIX";
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, "connect " + path);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+LineChannel::LineChannel(int fd, bool own) : fd_(fd), own_(own) {}
+
+LineChannel::~LineChannel()
+{
+    if (own_ && fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string &out)
+{
+    while (true) {
+        const std::size_t eol = buffer_.find('\n');
+        if (eol != std::string::npos) {
+            out.assign(buffer_, 0, eol);
+            buffer_.erase(0, eol + 1);
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+        if (got > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or hard error; a partial line is dropped
+    }
+}
+
+bool
+LineChannel::writeLine(std::string_view line)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    std::string framed;
+    framed.reserve(line.size() + 1);
+    framed.append(line);
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        // MSG_NOSIGNAL: a vanished client must surface as an error
+        // return, not a SIGPIPE that kills the server.
+        const ssize_t n = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+LineChannel::close()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::optional<Request>
+parseRequest(std::string_view line, std::string *error)
+{
+    JsonParseError parse_error;
+    std::optional<JsonValue> doc = parseJson(line, &parse_error);
+    if (!doc) {
+        if (error != nullptr)
+            *error = "request is not valid JSON: " + parse_error.describe();
+        return std::nullopt;
+    }
+    if (!doc->isObject()) {
+        if (error != nullptr)
+            *error = "request must be a JSON object";
+        return std::nullopt;
+    }
+    const JsonValue *op = doc->find("op");
+    if (op == nullptr || !op->isString()) {
+        if (error != nullptr)
+            *error = "request requires a string \"op\"";
+        return std::nullopt;
+    }
+
+    Request request;
+    const std::string &name = op->asString();
+    if (name == "run") {
+        request.op = Request::Op::Run;
+        const JsonValue *spec = doc->find("spec");
+        if (spec == nullptr) {
+            if (error != nullptr)
+                *error = "run request requires a \"spec\" object";
+            return std::nullopt;
+        }
+        request.spec = *spec;
+    } else if (name == "ping") {
+        request.op = Request::Op::Ping;
+    } else if (name == "stats") {
+        request.op = Request::Op::Stats;
+    } else if (name == "shutdown") {
+        request.op = Request::Op::Shutdown;
+    } else {
+        if (error != nullptr)
+            *error = "unknown op \"" + name + "\"";
+        return std::nullopt;
+    }
+    return request;
+}
+
+namespace
+{
+
+std::string
+simpleEvent(std::string_view event)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject().member("event", event).endObject();
+    return os.str();
+}
+
+} // namespace
+
+std::string
+makeAck(std::uint64_t request_id)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject()
+        .member("event", "ack")
+        .member("request_id", request_id)
+        .endObject();
+    return os.str();
+}
+
+std::string
+makeError(const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject()
+        .member("event", "error")
+        .member("message", message)
+        .endObject();
+    return os.str();
+}
+
+std::string
+makeRequestError(std::uint64_t request_id, const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject()
+        .member("event", "error")
+        .member("request_id", request_id)
+        .member("message", message)
+        .endObject();
+    return os.str();
+}
+
+std::string
+makeProgress(std::uint64_t request_id, std::string_view stage,
+             std::uint64_t refs_processed, std::uint64_t refs_total)
+{
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject()
+        .member("event", "progress")
+        .member("request_id", request_id)
+        .member("stage", stage)
+        .member("refs_processed", refs_processed)
+        .member("refs_total", refs_total)
+        .endObject();
+    return os.str();
+}
+
+std::string
+makeResult(std::uint64_t request_id, const std::string &manifest_json)
+{
+    // The manifest is already a complete compact JSON document, so the
+    // envelope is assembled textually; JsonWriter cannot splice one.
+    std::string line = "{\"event\":\"result\",\"request_id\":";
+    line += std::to_string(request_id);
+    line += ",\"manifest\":";
+    line += manifest_json;
+    line += "}";
+    return line;
+}
+
+std::string
+makePong()
+{
+    return simpleEvent("pong");
+}
+
+std::string
+makeBye()
+{
+    return simpleEvent("bye");
+}
+
+} // namespace cachelab::serve

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Wire protocol of the campaign server: newline-delimited JSON over a
+ * local Unix-domain stream socket.
+ *
+ * Framing: every message, in both directions, is one JSON object on
+ * one line terminated by '\n'.  Requests carry an "op":
+ *
+ *   {"op": "run", "spec": { ... experiment spec ... }}
+ *   {"op": "ping"}
+ *   {"op": "stats"}
+ *   {"op": "shutdown"}
+ *
+ * Responses carry an "event".  A "run" is answered by an "ack"
+ * naming the server-assigned request id, a stream of "progress"
+ * events, and finally one "result" whose "manifest" member embeds the
+ * complete schema-versioned run manifest (obs/manifest) compactly:
+ *
+ *   {"event": "ack", "request_id": 7}
+ *   {"event": "progress", "request_id": 7, "stage": "running",
+ *    "refs_processed": 131072, "refs_total": 500000}
+ *   {"event": "result", "request_id": 7, "manifest": {...}}
+ *   {"event": "error", "message": "..."}        // request rejected
+ *   {"event": "pong"} / {"event": "stats", ...} / {"event": "bye"}
+ *
+ * Trust model: the socket is a filesystem path with the operator's own
+ * permissions — tenants are local processes of the same user.  The
+ * server survives arbitrarily malformed *protocol* input; trace file
+ * *content* named by a spec is trusted like any other operator file.
+ */
+
+#ifndef CACHELAB_SERVE_PROTOCOL_HH
+#define CACHELAB_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json_reader.hh"
+
+namespace cachelab::serve
+{
+
+/** Listening end of the socket; unlinks the path on destruction. */
+class UnixListener
+{
+  public:
+    /** Bind + listen on @p path; on failure valid() is false and
+     *  @p *error (when non-null) says why. */
+    UnixListener(const std::string &path, std::string *error);
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Block for one connection; -1 on shutdown()/error. */
+    int acceptConnection();
+
+    /** Unblock acceptConnection() and stop listening. */
+    void shutdown();
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/** @return a connected socket fd to @p path, or -1 with @p *error. */
+int connectUnix(const std::string &path, std::string *error);
+
+/**
+ * Line framing over one connected fd.  readLine() is meant for a
+ * single reader thread; writeLine() is serialized by an internal
+ * mutex so the executor and the connection's own thread can both
+ * send events without interleaving bytes.
+ */
+class LineChannel
+{
+  public:
+    /** @param own close @p fd on destruction. */
+    explicit LineChannel(int fd, bool own = true);
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /** Read up to the next '\n' (consumed, not returned).
+     *  @return false on EOF or error. */
+    bool readLine(std::string &out);
+
+    /** Write @p line plus '\n' atomically w.r.t. other writers.
+     *  @return false when the peer is gone. */
+    bool writeLine(std::string_view line);
+
+    /** Shut the socket down, unblocking a reader. */
+    void close();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_;
+    bool own_;
+    std::string buffer_; ///< bytes read past the last returned line
+    std::mutex writeMutex_;
+};
+
+/** A parsed request line. */
+struct Request
+{
+    enum class Op
+    {
+        Run,
+        Ping,
+        Stats,
+        Shutdown,
+    };
+
+    Op op = Op::Ping;
+    JsonValue spec; ///< the "spec" member (Op::Run only)
+};
+
+/** @return the parsed request, or std::nullopt with @p *error set. */
+std::optional<Request> parseRequest(std::string_view line,
+                                    std::string *error);
+
+// Response builders (each returns one unterminated JSON line).
+std::string makeAck(std::uint64_t request_id);
+std::string makeError(const std::string &message);
+/** An error attributable to an accepted request. */
+std::string makeRequestError(std::uint64_t request_id,
+                             const std::string &message);
+std::string makeProgress(std::uint64_t request_id, std::string_view stage,
+                         std::uint64_t refs_processed,
+                         std::uint64_t refs_total);
+/** @param manifest_json a complete compact JSON document (embedded
+ *  verbatim as the "manifest" member). */
+std::string makeResult(std::uint64_t request_id,
+                       const std::string &manifest_json);
+std::string makePong();
+std::string makeBye();
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_PROTOCOL_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the serve resource cache.
+ */
+
+#include "serve/resource_cache.hh"
+
+#include "obs/metrics.hh"
+
+namespace cachelab::serve
+{
+
+namespace
+{
+
+std::size_t
+traceBytes(const Trace &trace)
+{
+    return trace.size() * sizeof(MemoryRef);
+}
+
+void
+publishBytes(std::size_t resident)
+{
+    obs::Registry::global()
+        .gauge("serve.cache.bytes")
+        .set(static_cast<double>(resident));
+}
+
+} // namespace
+
+ResourceCache::ResourceCache(std::size_t capacity_bytes)
+    : capacityBytes_(capacity_bytes)
+{}
+
+std::shared_ptr<const Trace>
+ResourceCache::acquire(const InputSpec &input, std::string *error)
+{
+    const std::string key = input.cacheKey();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            obs::Registry::global().counter("serve.cache.hits").add();
+            return it->second->trace;
+        }
+        ++stats_.misses;
+        obs::Registry::global().counter("serve.cache.misses").add();
+    }
+
+    // Load outside the lock: a cold multi-second decode must not block
+    // tenants whose inputs are already resident.  Two concurrent
+    // misses on the same key both load; insertLocked keeps the first
+    // and the duplicate is dropped when its shared_ptr dies.
+    std::unique_ptr<TraceSource> source = input.open(error);
+    if (source == nullptr)
+        return nullptr;
+    auto trace = std::make_shared<const Trace>(source->materialize());
+
+    Entry entry{key, trace, traceBytes(*trace)};
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.find(key) == index_.end() && entry.bytes <= capacityBytes_)
+        insertLocked(std::move(entry));
+    return trace;
+}
+
+void
+ResourceCache::insertLocked(Entry entry)
+{
+    while (!lru_.empty() && residentBytes_ + entry.bytes > capacityBytes_) {
+        const Entry &victim = lru_.back();
+        residentBytes_ -= victim.bytes;
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+        obs::Registry::global().counter("serve.cache.evictions").add();
+    }
+    residentBytes_ += entry.bytes;
+    lru_.push_front(std::move(entry));
+    index_[lru_.front().key] = lru_.begin();
+    publishBytes(residentBytes_);
+}
+
+ResourceCache::Stats
+ResourceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.residentBytes = residentBytes_;
+    s.entries = lru_.size();
+    return s;
+}
+
+} // namespace cachelab::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Session-scoped resource cache: loaded traces shared across requests.
+ *
+ * The expensive part of a campaign request is usually not the
+ * simulation but re-acquiring the input — decoding a trace file or
+ * re-running a generator.  The server therefore keeps materialized
+ * inputs warm across requests, keyed by InputSpec::cacheKey(), in a
+ * byte-capped LRU: ten tenants sweeping the same trace decode it
+ * once.
+ *
+ * Entries are immutable (shared_ptr<const Trace>) so concurrent
+ * requests can stream the same materialized trace without copies or
+ * locks — Trace is a TraceSource over its vector, and each request
+ * wraps its own MemorySource cursor over the shared refs.
+ *
+ * Inputs larger than the configured capacity are loaded but not
+ * retained (a one-request visitor must not wipe the whole cache).
+ *
+ * Metrics: serve.cache.hits / serve.cache.misses / serve.cache.evictions
+ * count acquisitions; the gauge serve.cache.bytes tracks residency.
+ */
+
+#ifndef CACHELAB_SERVE_RESOURCE_CACHE_HH
+#define CACHELAB_SERVE_RESOURCE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/spec.hh"
+#include "trace/trace.hh"
+
+namespace cachelab::serve
+{
+
+/** Byte-capped LRU over materialized inputs. */
+class ResourceCache
+{
+  public:
+    /** @param capacity_bytes retained-trace budget (16 B/ref). */
+    explicit ResourceCache(std::size_t capacity_bytes);
+
+    /**
+     * @return the materialized input for @p input, loading on miss, or
+     * nullptr with @p *error set when the input cannot be loaded.
+     * Thread-safe; the loading itself happens outside the lock so a
+     * slow load does not serialize unrelated acquisitions.
+     */
+    std::shared_ptr<const Trace> acquire(const InputSpec &input,
+                                         std::string *error);
+
+    /** Point-in-time counters (also published as serve.cache.*). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t residentBytes = 0;
+        std::size_t entries = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::shared_ptr<const Trace> trace;
+        std::size_t bytes = 0;
+    };
+
+    /** Insert @p entry, evicting LRU tails to fit; lock held. */
+    void insertLocked(Entry entry);
+
+    std::size_t capacityBytes_;
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::size_t residentBytes_ = 0;
+    Stats stats_;
+};
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_RESOURCE_CACHE_HH

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Implementation of the campaign server.
+ */
+
+#include "serve/server.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
+
+namespace cachelab::serve
+{
+
+namespace
+{
+
+/** Progress cadence: one event per this many driven references. */
+constexpr std::uint64_t kProgressEveryRefs = std::uint64_t{1} << 21;
+
+} // namespace
+
+Server::Server(const ServerOptions &options)
+    : options_(options), cache_(options.cacheBytes)
+{}
+
+Server::~Server()
+{
+    requestShutdown();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (executorThread_.joinable())
+        executorThread_.join();
+    reapConnections(true);
+}
+
+bool
+Server::start(std::string *error)
+{
+    listener_ =
+        std::make_unique<UnixListener>(options_.socketPath, error);
+    if (!listener_->valid()) {
+        listener_.reset();
+        return false;
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    executorThread_ = std::thread([this] { executorLoop(); });
+    return true;
+}
+
+void
+Server::serve()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (executorThread_.joinable())
+        executorThread_.join();
+    reapConnections(true);
+}
+
+void
+Server::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    if (listener_ != nullptr)
+        listener_->shutdown();
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        const int fd = listener_->acceptConnection();
+        if (fd < 0)
+            break; // listener shut down
+        reapConnections(false);
+        auto connection = std::make_shared<Connection>(fd);
+        connection->reader =
+            std::thread([this, connection] { readerLoop(connection); });
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections_.push_back(connection);
+    }
+    // Connections are deliberately NOT closed here: the executor may
+    // still be draining in-flight requests whose results go out over
+    // these channels.  reapConnections(true) — which runs after the
+    // executor thread is joined — closes them, unblocking any reader
+    // still parked in readLine().
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> connection)
+{
+    std::string line;
+    while (connection->channel.readLine(line)) {
+        if (line.empty())
+            continue;
+        std::string error;
+        std::optional<Request> request = parseRequest(line, &error);
+        if (!request) {
+            obs::Registry::global().counter("serve.errors").add();
+            if (!connection->channel.writeLine(makeError(error)))
+                break;
+            continue;
+        }
+        handleRequest(connection, *request);
+        if (request->op == Request::Op::Shutdown)
+            break;
+    }
+    connection->done.store(true);
+}
+
+void
+Server::handleRequest(const std::shared_ptr<Connection> &connection,
+                      const Request &request)
+{
+    switch (request.op) {
+      case Request::Op::Ping:
+        connection->channel.writeLine(makePong());
+        return;
+      case Request::Op::Stats:
+        connection->channel.writeLine(statsLine());
+        return;
+      case Request::Op::Shutdown:
+        connection->channel.writeLine(makeBye());
+        requestShutdown();
+        return;
+      case Request::Op::Run:
+        break;
+    }
+
+    obs::Registry::global().counter("serve.requests").add();
+    ExperimentSpec spec;
+    if (auto error = parseExperimentSpec(request.spec, spec)) {
+        obs::Registry::global().counter("serve.errors").add();
+        connection->channel.writeLine(makeError(*error));
+        return;
+    }
+
+    PendingRequest pending;
+    pending.id = nextRequestId_.fetch_add(1);
+    pending.spec = std::move(spec);
+    pending.connection = connection;
+
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (stopping_) {
+            connection->channel.writeLine(
+                makeError("server is shutting down"));
+            return;
+        }
+        if (queue_.size() >= options_.maxQueue) {
+            obs::Registry::global().counter("serve.rejected").add();
+            connection->channel.writeLine(
+                makeError("server busy: request queue is full"));
+            return;
+        }
+        connection->channel.writeLine(makeAck(pending.id));
+        connection->channel.writeLine(
+            makeProgress(pending.id, "queued", 0,
+                         pending.spec.input.knownRefs()));
+        queue_.push_back(std::move(pending));
+        accepted_.fetch_add(1);
+    }
+    queueCv_.notify_all();
+}
+
+std::vector<Server::PendingRequest>
+Server::takeGroupLocked()
+{
+    std::vector<PendingRequest> group;
+    group.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const std::string key = group.front().spec.batchKey();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->spec.batchKey() == key) {
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return group;
+}
+
+void
+Server::executorLoop()
+{
+    while (true) {
+        std::unique_lock<std::mutex> lock(queueMutex_);
+        queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                break;
+            continue;
+        }
+
+        // Batch window: hold the pass open briefly so same-input
+        // requests arriving together share it.  Skipped when draining.
+        if (options_.batchWindowMs != 0 && !stopping_) {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.batchWindowMs);
+            while (!stopping_ &&
+                   std::chrono::steady_clock::now() < deadline)
+                queueCv_.wait_until(lock, deadline);
+        }
+
+        std::vector<PendingRequest> group = takeGroupLocked();
+        lock.unlock();
+        executeGroup(std::move(group));
+
+        if (options_.maxRequests != 0 &&
+            completed_.load() >= options_.maxRequests) {
+            bool drained;
+            {
+                std::lock_guard<std::mutex> guard(queueMutex_);
+                drained = queue_.empty();
+            }
+            if (drained) {
+                requestShutdown();
+                break;
+            }
+        }
+    }
+
+    // Drain leftovers (requests that raced in before stopping_ was
+    // visible): every accepted request still gets its result.
+    while (true) {
+        std::vector<PendingRequest> group;
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            if (queue_.empty())
+                break;
+            group = takeGroupLocked();
+        }
+        executeGroup(std::move(group));
+    }
+}
+
+void
+Server::executeGroup(std::vector<PendingRequest> group)
+{
+    if (group.size() > 1) {
+        coalesced_.fetch_add(group.size() - 1);
+        obs::Registry::global()
+            .counter("serve.batch.coalesced")
+            .add(group.size() - 1);
+    }
+    obs::Registry::global().counter("serve.batch.groups").add();
+
+    const auto tellEach =
+        [&group](const std::function<std::string(const PendingRequest &)>
+                     &make) {
+            for (const PendingRequest &request : group)
+                request.connection->channel.writeLine(make(request));
+        };
+
+    tellEach([](const PendingRequest &r) {
+        return makeProgress(r.id, "loading", 0, r.spec.input.knownRefs());
+    });
+
+    const ResourceCache::Stats before = cache_.stats();
+    std::string load_error;
+    std::shared_ptr<const Trace> trace =
+        cache_.acquire(group.front().spec.input, &load_error);
+    if (trace == nullptr) {
+        obs::Registry::global().counter("serve.errors").add();
+        // Count before delivery, so a tenant that has its answer never
+        // observes a completed count that excludes it.
+        completed_.fetch_add(group.size());
+        tellEach([&load_error](const PendingRequest &r) {
+            return makeRequestError(r.id, load_error);
+        });
+        return;
+    }
+    const bool cache_hit = cache_.stats().hits > before.hits;
+
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(group.size());
+    for (const PendingRequest &request : group)
+        specs.push_back(request.spec);
+
+    EngineOptions engine;
+    engine.jobs = options_.jobs;
+    std::uint64_t last_reported = 0;
+    engine.progress = [&](std::uint64_t done, std::uint64_t total) {
+        if (done - last_reported < kProgressEveryRefs && done != total)
+            return;
+        last_reported = done;
+        tellEach([done, total](const PendingRequest &r) {
+            return makeProgress(r.id, "running", done, total);
+        });
+    };
+
+    MemorySource source(trace->refs(), trace->name());
+    std::vector<ExperimentResult> results =
+        runCoalesced(source, specs, engine);
+
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const PendingRequest &request = group[i];
+        const ExperimentResult &result = results[i];
+        request.connection->channel.writeLine(makeProgress(
+            request.id, "finishing", result.refsProcessed,
+            result.refsProcessed));
+        obs::RunManifest manifest = buildExperimentManifest(
+            request.spec, result, "cachelab_serve", "",
+            {{"resource_cache", cache_hit ? "hit" : "miss"},
+             {"request_id", std::to_string(request.id)}});
+        std::ostringstream os;
+        obs::writeManifest(os, manifest, JsonWriter::Compact);
+        completed_.fetch_add(1);
+        request.connection->channel.writeLine(
+            makeResult(request.id, os.str()));
+    }
+}
+
+void
+Server::reapConnections(bool all)
+{
+    std::list<std::shared_ptr<Connection>> stale;
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (auto it = connections_.begin(); it != connections_.end();) {
+            if (all || (*it)->done.load()) {
+                if (all)
+                    (*it)->channel.close();
+                stale.push_back(*it);
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &connection : stale)
+        if (connection->reader.joinable())
+            connection->reader.join();
+}
+
+std::string
+Server::statsLine()
+{
+    const ResourceCache::Stats cache = cache_.stats();
+    std::size_t queued;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        queued = queue_.size();
+    }
+    std::ostringstream os;
+    JsonWriter w(os, JsonWriter::Compact);
+    w.beginObject()
+        .member("event", "stats")
+        .member("accepted", accepted_.load())
+        .member("completed", completed_.load())
+        .member("coalesced", coalesced_.load())
+        .member("queued", static_cast<std::uint64_t>(queued))
+        .member("cache_hits", cache.hits)
+        .member("cache_misses", cache.misses)
+        .member("cache_evictions", cache.evictions)
+        .member("cache_resident_bytes",
+                static_cast<std::uint64_t>(cache.residentBytes))
+        .member("cache_entries", static_cast<std::uint64_t>(cache.entries))
+        .endObject();
+    return os.str();
+}
+
+} // namespace cachelab::serve

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The campaign server: a long-running multi-tenant experiment daemon.
+ *
+ * Architecture (DESIGN.md §4h):
+ *
+ *   accept thread ──► one reader thread per connection
+ *                         │  parse / validate / ack     (never fatal)
+ *                         ▼
+ *                    bounded request queue
+ *                         │  batch window groups same-input requests
+ *                         ▼
+ *                    one executor thread ──► runCoalesced()
+ *                         │                   └─ shared ThreadPool
+ *                         ▼
+ *                    progress + result events back per connection
+ *
+ * Concurrency bounds: one engine pass runs at a time (the executor is
+ * single-threaded); within a pass the point fan-out width is
+ * ServerOptions::jobs over the shared pool.  The request queue is
+ * capped — beyond it tenants get a "server busy" error instead of
+ * unbounded memory growth.
+ *
+ * Validation is strictly non-fatal: any malformed request line, spec,
+ * or missing input produces an "error" event on that connection; the
+ * daemon keeps serving everyone else.
+ *
+ * Shutdown ("shutdown" op, or maxRequests for tests): new run
+ * requests are refused, the queue drains — in-flight requests still
+ * get their results — then the listener closes, every connection is
+ * shut down, and serve() returns.
+ */
+
+#ifndef CACHELAB_SERVE_SERVER_HH
+#define CACHELAB_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "serve/protocol.hh"
+#include "serve/resource_cache.hh"
+#include "serve/spec.hh"
+
+namespace cachelab::serve
+{
+
+/** Everything that parameterizes one server instance. */
+struct ServerOptions
+{
+    std::string socketPath;
+
+    /** Engine fan-out width (RunConfig::jobs semantics; 0 = pool). */
+    unsigned jobs = 0;
+
+    /** Resource-cache budget for retained traces. */
+    std::size_t cacheBytes = std::size_t{256} << 20;
+
+    /** How long the batcher holds a request open for same-input
+     *  company before starting the pass. */
+    std::uint64_t batchWindowMs = 5;
+
+    /** Pending-request cap; beyond it tenants get "server busy". */
+    std::size_t maxQueue = 64;
+
+    /** Auto-shutdown after this many completed run requests
+     *  (0 = run until a shutdown op).  Used by tests and CI. */
+    std::uint64_t maxRequests = 0;
+};
+
+/** One cachelab_serve instance. */
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the socket and start the worker threads.
+     *  @return false with @p *error set when the socket cannot bind. */
+    bool start(std::string *error);
+
+    /** Block until the server has shut down (start() first). */
+    void serve();
+
+    /** Initiate the drain-then-exit sequence (async, idempotent). */
+    void requestShutdown();
+
+    const std::string &socketPath() const
+    {
+        return options_.socketPath;
+    }
+
+    /** Test introspection. */
+    ResourceCache::Stats cacheStats() const { return cache_.stats(); }
+    std::uint64_t completedRequests() const { return completed_.load(); }
+
+  private:
+    /** One connected tenant. */
+    struct Connection
+    {
+        explicit Connection(int fd) : channel(fd) {}
+
+        LineChannel channel;
+        std::thread reader;
+        std::atomic<bool> done{false};
+    };
+
+    /** One accepted run request waiting for (or in) execution. */
+    struct PendingRequest
+    {
+        std::uint64_t id = 0;
+        ExperimentSpec spec;
+        std::shared_ptr<Connection> connection;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> connection);
+    void executorLoop();
+
+    /** Handle one parsed request from @p connection's reader. */
+    void handleRequest(const std::shared_ptr<Connection> &connection,
+                       const Request &request);
+
+    /** Pop the front request plus every queued same-input companion.
+     *  Queue lock must be held. */
+    std::vector<PendingRequest> takeGroupLocked();
+
+    /** Run one coalesced group and deliver results. */
+    void executeGroup(std::vector<PendingRequest> group);
+
+    /** Join and drop finished connections (and optionally all). */
+    void reapConnections(bool all);
+
+    std::string statsLine();
+
+    ServerOptions options_;
+    ResourceCache cache_;
+    std::unique_ptr<UnixListener> listener_;
+
+    std::thread acceptThread_;
+    std::thread executorThread_;
+
+    std::mutex connectionsMutex_;
+    std::list<std::shared_ptr<Connection>> connections_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<PendingRequest> queue_;
+    bool stopping_ = false;
+
+    std::atomic<std::uint64_t> nextRequestId_{1};
+    std::atomic<std::uint64_t> accepted_{0};  ///< run requests enqueued
+    std::atomic<std::uint64_t> completed_{0}; ///< run requests answered
+    std::atomic<std::uint64_t> coalesced_{0}; ///< riders beyond group head
+};
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_SERVER_HH

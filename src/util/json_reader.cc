@@ -8,7 +8,9 @@
 #include <cctype>
 #include <charconv>
 #include <limits>
+#include <sstream>
 
+#include "util/json_writer.hh"
 #include "util/logging.hh"
 
 namespace cachelab
@@ -59,6 +61,16 @@ JsonValue::asInt() const
                     std::numeric_limits<std::int64_t>::max()))
         fatal("JSON integer ", uint_, " overflows int64");
     return static_cast<std::int64_t>(uint_);
+}
+
+bool
+JsonValue::isInt() const
+{
+    if (type_ != Type::Number || !integral_)
+        return false;
+    const auto max_mag = static_cast<std::uint64_t>(
+        std::numeric_limits<std::int64_t>::max());
+    return negative_ ? uint_ <= max_mag + 1 : uint_ <= max_mag;
 }
 
 const std::string &
@@ -133,15 +145,19 @@ class JsonParser
     explicit JsonParser(std::string_view text) : text_(text) {}
 
     std::optional<JsonValue>
-    parse(std::string *error)
+    parse(JsonParseError *error)
     {
         JsonValue root;
-        if (!parseValue(root, 0) || !atEndAfterSpace()) {
-            if (error != nullptr) {
-                if (error_.empty())
-                    error_ = "trailing content";
-                *error = error_ + " at offset " + std::to_string(pos_);
-            }
+        if (!parseValue(root, 0)) {
+            if (error != nullptr)
+                *error = {error_, error_pos_};
+            return std::nullopt;
+        }
+        if (!atEndAfterSpace()) {
+            // parseValue() consumed a complete value; anything left
+            // over (other than whitespace) is trailing garbage.
+            if (error != nullptr)
+                *error = {"trailing content", pos_};
             return std::nullopt;
         }
         return root;
@@ -153,8 +169,13 @@ class JsonParser
     bool
     fail(std::string_view what)
     {
-        if (error_.empty())
+        // Record the first failure only: recursive callers unwind
+        // through here with less specific messages, and the offset is
+        // only meaningful at the original failure point.
+        if (error_.empty()) {
             error_ = what;
+            error_pos_ = pos_;
+        }
         return false;
     }
 
@@ -383,6 +404,10 @@ class JsonParser
             ++pos_;
         if (pos_ == digits_start)
             return fail("bad number");
+        if (pos_ - digits_start > 1 && text_[digits_start] == '0') {
+            pos_ = digits_start;
+            return fail("number has leading zero");
+        }
         if (pos_ < text_.size() && text_[pos_] == '.') {
             integral = false;
             ++pos_;
@@ -441,12 +466,76 @@ class JsonParser
     std::string_view text_;
     std::size_t pos_ = 0;
     std::string error_;
+    std::size_t error_pos_ = 0;
 };
+
+std::string
+JsonParseError::describe() const
+{
+    return message + " at offset " + std::to_string(offset);
+}
 
 std::optional<JsonValue>
 parseJson(std::string_view text, std::string *error)
 {
+    JsonParseError structured;
+    auto doc = JsonParser(text).parse(&structured);
+    if (!doc && error != nullptr)
+        *error = structured.describe();
+    return doc;
+}
+
+std::optional<JsonValue>
+parseJson(std::string_view text, JsonParseError *error)
+{
     return JsonParser(text).parse(error);
+}
+
+void
+writeJson(const JsonValue &value, JsonWriter &writer)
+{
+    switch (value.type()) {
+      case JsonValue::Type::Null:
+        writer.null();
+        break;
+      case JsonValue::Type::Bool:
+        writer.value(value.asBool());
+        break;
+      case JsonValue::Type::Number:
+        if (value.isUint())
+            writer.value(value.asUint());
+        else if (value.isInt())
+            writer.value(value.asInt());
+        else
+            writer.value(value.asDouble());
+        break;
+      case JsonValue::Type::String:
+        writer.value(value.asString());
+        break;
+      case JsonValue::Type::Array:
+        writer.beginArray();
+        for (const JsonValue &item : value.items())
+            writeJson(item, writer);
+        writer.endArray();
+        break;
+      case JsonValue::Type::Object:
+        writer.beginObject();
+        for (const auto &[key, member] : value.members()) {
+            writer.key(key);
+            writeJson(member, writer);
+        }
+        writer.endObject();
+        break;
+    }
+}
+
+std::string
+toCompactJson(const JsonValue &value)
+{
+    std::ostringstream os;
+    JsonWriter writer(os, JsonWriter::Compact);
+    writeJson(value, writer);
+    return os.str();
 }
 
 } // namespace cachelab

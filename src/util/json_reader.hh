@@ -55,6 +55,17 @@ class JsonValue
     bool isNull() const { return type_ == Type::Null; }
     bool isBool() const { return type_ == Type::Bool; }
     bool isNumber() const { return type_ == Type::Number; }
+
+    /** @return true when asUint() would succeed: a Number the
+     *  document spelled as a non-negative integer in uint64 range. */
+    bool isUint() const
+    {
+        return type_ == Type::Number && integral_ && !negative_;
+    }
+
+    /** @return true when asInt() would succeed (integer in int64
+     *  range, either sign). */
+    bool isInt() const;
     bool isString() const { return type_ == Type::String; }
     bool isArray() const { return type_ == Type::Array; }
     bool isObject() const { return type_ == Type::Object; }
@@ -112,17 +123,45 @@ class JsonValue
     std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+/** Structured parse failure: what went wrong, and where. */
+struct JsonParseError
+{
+    std::string message;     ///< diagnostic, without position
+    std::size_t offset = 0;  ///< byte offset of the offending input
+
+    /** @return "message at offset N", the human-readable form. */
+    std::string describe() const;
+};
+
 /**
  * Parse one JSON document.
  *
  * @param text the complete document; trailing whitespace is allowed,
  * any other trailing content is an error.
- * @param error receives a message with character offset on failure
- * (ignored when nullptr).
+ * @param error receives a message with byte offset on failure
+ * (ignored when nullptr).  The offset is captured at the point of
+ * failure, for every error path.
  * @return the document, or std::nullopt on malformed input.
  */
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string *error = nullptr);
+
+/** Overload surfacing the structured error instead of a string. */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   JsonParseError *error);
+
+class JsonWriter;
+
+/**
+ * Re-emit a parsed value through @p writer (member order preserved,
+ * integers exact, doubles shortest-round-trip).  Bridges the reader
+ * back to the writer: re-compacting documents for the serve wire
+ * protocol, and the reader/writer round-trip tests.
+ */
+void writeJson(const JsonValue &value, JsonWriter &writer);
+
+/** @return @p value serialized as one compact JSON line. */
+std::string toCompactJson(const JsonValue &value);
 
 } // namespace cachelab
 

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Implementation of the KV/CDN workload model.
+ */
+
+#include "workload/kv_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachelab
+{
+
+std::optional<std::string>
+KvWorkloadParams::check() const
+{
+    if (refCount == 0)
+        return "kv workload refCount must be positive";
+    if (keyCount == 0)
+        return "kv workload keyCount must be positive";
+    if (objectBytes == 0 || refBytes == 0)
+        return "kv workload objectBytes and refBytes must be positive";
+    if (objectBytes % refBytes != 0)
+        return "kv workload refBytes must divide objectBytes";
+    if (zipfTheta < 0.0)
+        return "kv workload zipfTheta must be non-negative";
+    if (readRatio < 0.0 || readRatio > 1.0)
+        return "kv workload readRatio must be in [0, 1]";
+    if (scanFraction < 0.0 || scanFraction >= 1.0)
+        return "kv workload scanFraction must be in [0, 1)";
+    if (meanScanObjects < 1.0)
+        return "kv workload meanScanObjects must be >= 1";
+    return std::nullopt;
+}
+
+void
+KvWorkloadParams::validate() const
+{
+    if (auto err = check())
+        fatal(*err);
+}
+
+KvWorkloadSource::KvWorkloadSource(const KvWorkloadParams &params,
+                                   std::string name)
+    : params_(params),
+      name_(std::move(name)),
+      rng_(params.seed),
+      popularity_(params.keyCount, params.zipfTheta)
+{
+    params_.validate();
+}
+
+std::uint64_t
+KvWorkloadSource::keyAtRank(std::uint64_t rank) const
+{
+    // Working-set drift: the mapping from popularity rank to key id
+    // rotates one position every driftRefs generated references, so
+    // the hot set creeps through the key space at a controlled rate.
+    std::uint64_t offset = 0;
+    if (params_.driftRefs != 0)
+        offset = (generated_ / params_.driftRefs) % params_.keyCount;
+    return (rank + offset) % params_.keyCount;
+}
+
+void
+KvWorkloadSource::appendObject(std::uint64_t key, AccessKind kind)
+{
+    const std::uint32_t per_ref = params_.refBytes;
+    const Addr base = params_.baseAddr + key * params_.objectBytes;
+    for (std::uint32_t off = 0; off < params_.objectBytes; off += per_ref)
+        pending_.push_back(MemoryRef{base + off, per_ref, kind});
+}
+
+void
+KvWorkloadSource::stepOp()
+{
+    if (rng_.bernoulli(params_.scanFraction)) {
+        // Range scan: a sequential walk over consecutive objects
+        // starting at a popularity-sampled key, wrapping at the end
+        // of the key space.  Length is geometric with the configured
+        // mean, never zero.
+        const std::uint64_t start = keyAtRank(popularity_(rng_));
+        const std::uint64_t len =
+            1 + rng_.geometric(params_.meanScanObjects - 1.0);
+        for (std::uint64_t i = 0; i < len; ++i)
+            appendObject((start + i) % params_.keyCount, AccessKind::Read);
+    } else {
+        const std::uint64_t key = keyAtRank(popularity_(rng_));
+        const AccessKind kind = rng_.bernoulli(params_.readRatio)
+                                    ? AccessKind::Read
+                                    : AccessKind::Write;
+        appendObject(key, kind);
+    }
+}
+
+std::size_t
+KvWorkloadSource::nextBatch(std::span<MemoryRef> out)
+{
+    std::size_t filled = 0;
+    while (filled < out.size() && delivered_ < params_.refCount) {
+        if (pendingPos_ == pending_.size()) {
+            pending_.clear();
+            pendingPos_ = 0;
+            const std::size_t before = pending_.size();
+            stepOp();
+            generated_ += pending_.size() - before;
+        }
+        const std::size_t want =
+            std::min(out.size() - filled,
+                     std::min<std::uint64_t>(pending_.size() - pendingPos_,
+                                             params_.refCount - delivered_));
+        std::copy_n(pending_.begin() +
+                        static_cast<std::ptrdiff_t>(pendingPos_),
+                    want, out.begin() + static_cast<std::ptrdiff_t>(filled));
+        pendingPos_ += want;
+        filled += want;
+        delivered_ += want;
+    }
+    return filled;
+}
+
+void
+KvWorkloadSource::reset()
+{
+    rng_ = Rng(params_.seed);
+    pending_.clear();
+    pendingPos_ = 0;
+    delivered_ = 0;
+    generated_ = 0;
+}
+
+Trace
+generateKvWorkload(const KvWorkloadParams &params, std::string name)
+{
+    KvWorkloadSource source(params, std::move(name));
+    return source.materialize();
+}
+
+} // namespace cachelab

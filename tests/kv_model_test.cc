@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the KV/CDN workload model (workload/kv_model): exact
+ * determinism and chunk-size independence through the TraceSource
+ * contract, parameter validation, and the statistical shape the knobs
+ * promise — read ratio, Zipfian skew, sequential scan bursts, and
+ * working-set drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/kv_model.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+KvWorkloadParams
+smallParams()
+{
+    KvWorkloadParams p;
+    p.refCount = 20000;
+    p.keyCount = 512;
+    p.objectBytes = 32;
+    p.refBytes = 8;
+    p.seed = 42;
+    return p;
+}
+
+/** Drain @p source through batches of @p batch refs. */
+std::vector<MemoryRef>
+drain(TraceSource &source, std::size_t batch)
+{
+    std::vector<MemoryRef> out;
+    std::vector<MemoryRef> buffer(batch);
+    while (std::size_t got = source.nextBatch(buffer))
+        out.insert(out.end(), buffer.begin(), buffer.begin() + got);
+    return out;
+}
+
+bool
+sameRefs(const std::vector<MemoryRef> &a, const std::vector<MemoryRef> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].addr != b[i].addr || a[i].size != b[i].size ||
+            a[i].kind != b[i].kind)
+            return false;
+    return true;
+}
+
+/** @return the object key a data reference touches. */
+std::uint64_t
+keyOf(const MemoryRef &ref, const KvWorkloadParams &p)
+{
+    return (ref.addr - p.baseAddr) / p.objectBytes;
+}
+
+TEST(KvModel, ExactLengthAndKnownLength)
+{
+    const KvWorkloadParams p = smallParams();
+    KvWorkloadSource source(p, "kv");
+    EXPECT_TRUE(source.lengthKnown());
+    EXPECT_EQ(source.knownLength(), p.refCount);
+    const auto refs = drain(source, 4096);
+    EXPECT_EQ(refs.size(), p.refCount);
+
+    // A second drain without reset yields nothing; after reset the
+    // stream restarts bit for bit.
+    std::vector<MemoryRef> buffer(64);
+    EXPECT_EQ(source.nextBatch(buffer), 0u);
+    source.reset();
+    EXPECT_TRUE(sameRefs(drain(source, 4096), refs));
+}
+
+TEST(KvModel, ChunkSizeNeverChangesTheStream)
+{
+    const KvWorkloadParams p = smallParams();
+    KvWorkloadSource a(p, "kv");
+    KvWorkloadSource b(p, "kv");
+    KvWorkloadSource c(p, "kv");
+    const auto big = drain(a, 65536);
+    EXPECT_TRUE(sameRefs(drain(b, 1), big));
+    EXPECT_TRUE(sameRefs(drain(c, 7), big));
+
+    // materialize() is the same stream again.
+    const Trace t = generateKvWorkload(p, "kv");
+    ASSERT_EQ(t.size(), big.size());
+    for (std::size_t i = 0; i < big.size(); ++i)
+        EXPECT_EQ(t.refs()[i].addr, big[i].addr) << i;
+}
+
+TEST(KvModel, SeedChangesTheStream)
+{
+    KvWorkloadParams p = smallParams();
+    KvWorkloadSource a(p, "kv");
+    p.seed = 43;
+    KvWorkloadSource b(p, "kv");
+    EXPECT_FALSE(sameRefs(drain(a, 4096), drain(b, 4096)));
+}
+
+TEST(KvModel, EveryRefStaysInsideTheObjectArray)
+{
+    const KvWorkloadParams p = smallParams();
+    KvWorkloadSource source(p, "kv");
+    for (const MemoryRef &ref : drain(source, 4096)) {
+        EXPECT_GE(ref.addr, p.baseAddr);
+        EXPECT_LE(ref.addr + ref.size,
+                  p.baseAddr + p.keyCount * p.objectBytes);
+        EXPECT_EQ(ref.size, p.refBytes);
+        EXPECT_NE(ref.kind, AccessKind::IFetch); // data-only stream
+    }
+}
+
+TEST(KvModel, ReadRatioIsRespected)
+{
+    KvWorkloadParams p = smallParams();
+    p.refCount = 100000;
+    p.readRatio = 0.7;
+    p.scanFraction = 0.0; // point ops only, so the ratio is clean
+    KvWorkloadSource source(p, "kv");
+    std::uint64_t reads = 0, writes = 0;
+    for (const MemoryRef &ref : drain(source, 4096))
+        (ref.kind == AccessKind::Read ? reads : writes) += 1;
+    const double ratio =
+        static_cast<double>(reads) / static_cast<double>(reads + writes);
+    EXPECT_NEAR(ratio, 0.7, 0.03);
+}
+
+TEST(KvModel, ZipfSkewConcentratesOnHotKeys)
+{
+    KvWorkloadParams p = smallParams();
+    p.refCount = 100000;
+    p.zipfTheta = 0.99;
+    p.scanFraction = 0.0;
+    KvWorkloadSource source(p, "kv");
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (const MemoryRef &ref : drain(source, 4096))
+        ++counts[keyOf(ref, p)];
+    std::vector<std::uint64_t> sorted;
+    for (const auto &[key, n] : counts)
+        sorted.push_back(n);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    // The hottest key dwarfs the median key under theta ~1.
+    const std::uint64_t hottest = sorted.front();
+    const std::uint64_t median = sorted[sorted.size() / 2];
+    EXPECT_GT(hottest, 10 * std::max<std::uint64_t>(median, 1));
+
+    // Uniform (theta 0) must not show that skew.
+    p.zipfTheta = 0.0;
+    KvWorkloadSource flat(p, "kv");
+    counts.clear();
+    for (const MemoryRef &ref : drain(flat, 4096))
+        ++counts[keyOf(ref, p)];
+    sorted.clear();
+    for (const auto &[key, n] : counts)
+        sorted.push_back(n);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    EXPECT_LT(sorted.front(),
+              5 * std::max<std::uint64_t>(sorted[sorted.size() / 2], 1));
+}
+
+TEST(KvModel, ScansWalkConsecutiveObjectsSequentially)
+{
+    KvWorkloadParams p = smallParams();
+    p.refCount = 50000;
+    p.scanFraction = 1.0 - 1e-9; // effectively always scanning
+    p.meanScanObjects = 8.0;
+    p.readRatio = 1.0;
+    KvWorkloadSource source(p, "kv");
+    const auto refs = drain(source, 4096);
+    // Within the stream, consecutive refs either step by refBytes
+    // (inside an object or across a scan's adjacent objects, which
+    // are contiguous by layout) or jump to a new scan start.  Count
+    // sequential steps: scans make them dominate.
+    std::uint64_t sequential = 0;
+    for (std::size_t i = 1; i < refs.size(); ++i)
+        if (refs[i].addr == refs[i - 1].addr + p.refBytes)
+            ++sequential;
+    EXPECT_GT(sequential, refs.size() * 3 / 4);
+    for (const MemoryRef &ref : refs)
+        EXPECT_EQ(ref.kind, AccessKind::Read); // scans read
+}
+
+TEST(KvModel, DriftRotatesTheHotSet)
+{
+    KvWorkloadParams p = smallParams();
+    p.refCount = 200000;
+    p.keyCount = 1024;
+    p.zipfTheta = 1.0;
+    p.scanFraction = 0.0;
+    p.driftRefs = 1000; // rotate every 1000 refs -> 200 rotations
+
+    const auto hottestKeyIn = [&](const std::vector<MemoryRef> &refs,
+                                  std::size_t lo, std::size_t hi) {
+        std::map<std::uint64_t, std::uint64_t> counts;
+        for (std::size_t i = lo; i < hi; ++i)
+            ++counts[keyOf(refs[i], p)];
+        std::uint64_t best = 0, best_n = 0;
+        for (const auto &[key, n] : counts)
+            if (n > best_n) {
+                best = key;
+                best_n = n;
+            }
+        return best;
+    };
+
+    KvWorkloadSource drifting(p, "kv");
+    const auto refs = drain(drifting, 4096);
+    const std::uint64_t early = hottestKeyIn(refs, 0, 20000);
+    const std::uint64_t late =
+        hottestKeyIn(refs, refs.size() - 20000, refs.size());
+    EXPECT_NE(early, late);
+
+    // Without drift the hot key is stationary.
+    p.driftRefs = 0;
+    KvWorkloadSource fixed(p, "kv");
+    const auto still = drain(fixed, 4096);
+    EXPECT_EQ(hottestKeyIn(still, 0, 20000),
+              hottestKeyIn(still, still.size() - 20000, still.size()));
+}
+
+TEST(KvModel, CheckRejectsInconsistentParams)
+{
+    KvWorkloadParams p = smallParams();
+    EXPECT_FALSE(p.check().has_value());
+
+    p.refCount = 0;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.keyCount = 0;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.refBytes = 24; // does not divide objectBytes = 32
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.refBytes = 0;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.readRatio = 1.5;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.scanFraction = 1.5;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.zipfTheta = -0.1;
+    EXPECT_TRUE(p.check().has_value());
+
+    p = smallParams();
+    p.meanScanObjects = 0.5;
+    EXPECT_TRUE(p.check().has_value());
+}
+
+} // namespace
+} // namespace cachelab

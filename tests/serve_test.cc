@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the campaign server (src/serve): wire protocol, spec
+ * validation resilience, request coalescing with bitwise equivalence
+ * against standalone sweeps, the warm resource cache, concurrent
+ * clients with interleaved progress streams, and clean shutdown with
+ * in-flight requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/engine.hh"
+#include "serve/server.hh"
+#include "sim/sweep.hh"
+#include "util/json_reader.hh"
+#include "workload/kv_model.hh"
+#include "workload/profiles.hh"
+
+namespace cachelab::serve
+{
+namespace
+{
+
+/** A server on a unique socket, serving on a background thread. */
+class TestServer
+{
+  public:
+    explicit TestServer(std::uint64_t batch_window_ms,
+                        std::uint64_t max_requests = 0)
+        : server_(makeOptions(batch_window_ms, max_requests))
+    {
+        std::string error;
+        if (!server_.start(&error))
+            ADD_FAILURE() << "server start failed: " << error;
+        thread_ = std::thread([this] { server_.serve(); });
+    }
+
+    ~TestServer() { stop(); }
+
+    void
+    stop()
+    {
+        server_.requestShutdown();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    Server &server() { return server_; }
+    const std::string &socket() const { return server_.socketPath(); }
+
+    std::unique_ptr<Client>
+    connect()
+    {
+        std::string error;
+        auto client = Client::connect(socket(), &error);
+        EXPECT_NE(client, nullptr) << error;
+        return client;
+    }
+
+  private:
+    static ServerOptions
+    makeOptions(std::uint64_t batch_window_ms, std::uint64_t max_requests)
+    {
+        static std::atomic<int> counter{0};
+        ServerOptions options;
+        options.socketPath = "/tmp/cl_serve_test_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)) + ".sock";
+        options.batchWindowMs = batch_window_ms;
+        options.maxRequests = max_requests;
+        return options;
+    }
+
+    Server server_;
+    std::thread thread_;
+};
+
+/** Compare a manifest "stats" JSON object against exact CacheStats. */
+void
+expectStatsMatch(const JsonValue &json, const CacheStats &stats)
+{
+    const JsonValue &counters = json.at("counters");
+    for (std::size_t k = 0; k < stats.accesses.size(); ++k) {
+        EXPECT_EQ(counters.at("accesses").at(k).asUint(),
+                  stats.accesses[k]);
+        EXPECT_EQ(counters.at("misses").at(k).asUint(), stats.misses[k]);
+    }
+    EXPECT_EQ(counters.at("demand_fetches").asUint(), stats.demandFetches);
+    EXPECT_EQ(counters.at("bytes_from_memory").asUint(),
+              stats.bytesFromMemory);
+    EXPECT_EQ(counters.at("bytes_to_memory").asUint(), stats.bytesToMemory);
+    EXPECT_EQ(counters.at("replacement_pushes").asUint(),
+              stats.replacementPushes);
+    const JsonValue &derived = json.at("derived");
+    EXPECT_EQ(derived.at("total_accesses").asUint(), stats.totalAccesses());
+    EXPECT_EQ(derived.at("total_misses").asUint(), stats.totalMisses());
+    EXPECT_EQ(derived.at("miss_ratio").asDouble(), stats.missRatio());
+}
+
+constexpr const char *kProfileSpecA = R"({
+    "id": "tenant-a",
+    "input": {"kind": "profile", "name": "VSPICE"},
+    "cache": {"line_bytes": 16},
+    "sizes": {"lo": 1024, "hi": 4096}
+})";
+
+constexpr const char *kProfileSpecB = R"({
+    "id": "tenant-b",
+    "input": {"kind": "profile", "name": "VSPICE"},
+    "cache": {"line_bytes": 32, "associativity": 2},
+    "sizes": [2048, 8192]
+})";
+
+TEST(Serve, InvalidSpecsGetErrorsAndTheServerSurvives)
+{
+    TestServer ts(0);
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+
+    // Not JSON at all: rejected client-side before it hits the wire.
+    auto outcome = client->run("{nope");
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("not valid JSON"), std::string::npos);
+
+    // Valid JSON, bad specs: the server answers with error events and
+    // keeps serving this very connection.
+    for (const char *bad : {
+             R"({"input": {"kind": "profile", "name": "NOSUCH"},
+                 "sizes": [1024]})",
+             R"({"input": {"kind": "profile", "name": "VSPICE"}})",
+             R"({"input": {"kind": "martian"}, "sizes": [1024]})",
+             R"({"input": {"kind": "profile", "name": "VSPICE"},
+                 "sizes": [1000]})",
+             R"({"input": {"kind": "kv", "refs": 100, "ref_bytes": 24},
+                 "sizes": [1024]})",
+             R"({"input": {"kind": "kv", "refs": 100},
+                 "warmup_refs": 100, "sizes": [1024]})",
+             R"([1, 2, 3])",
+         }) {
+        outcome = client->run(bad);
+        EXPECT_FALSE(outcome.ok) << bad;
+        EXPECT_FALSE(outcome.error.empty()) << bad;
+    }
+    EXPECT_TRUE(client->ping());
+
+    // A missing trace file parses fine but fails at load time with a
+    // per-request error, not a dead server.
+    outcome = client->run(
+        R"({"input": {"kind": "file", "name": "/nonexistent/x.din"},
+            "sizes": [1024]})");
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_TRUE(client->ping());
+
+    // And a good spec still runs after all that abuse.
+    outcome = client->run(kProfileSpecA);
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_FALSE(outcome.manifestJson.empty());
+}
+
+TEST(Serve, CoalescedRequestsAreBitwiseEqualToStandaloneSweeps)
+{
+    // A long batch window so two requests submitted together reliably
+    // share one engine pass.
+    TestServer ts(1000);
+
+    Client::RunOutcome a, b;
+    std::thread ta([&] {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        a = client->run(kProfileSpecA);
+    });
+    std::thread tb([&] {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        b = client->run(kProfileSpecB);
+    });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+
+    const auto ma = parseJson(a.manifestJson);
+    const auto mb = parseJson(b.manifestJson);
+    ASSERT_TRUE(ma && mb);
+
+    // Both rode the same pass.
+    EXPECT_EQ(ma->at("config").at("coalesced_group").asString(), "2");
+    EXPECT_EQ(mb->at("config").at("coalesced_group").asString(), "2");
+
+    // The standalone truth: materialize the same profile and sweep it
+    // through the ordinary engine.
+    const TraceProfile *profile = findTraceProfile("VSPICE");
+    ASSERT_NE(profile, nullptr);
+    const Trace trace = generateTrace(*profile);
+
+    {
+        CacheConfig base;
+        base.lineBytes = 16;
+        const auto points =
+            sweepUnified(trace, {1024, 2048, 4096}, base, RunConfig{});
+        const JsonValue &results = ma->at("results");
+        ASSERT_EQ(results.size(), points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(results.at(i).at("cache_bytes").asUint(),
+                      points[i].cacheBytes);
+            expectStatsMatch(results.at(i).at("stats"), points[i].stats);
+        }
+    }
+    {
+        CacheConfig base;
+        base.lineBytes = 32;
+        base.associativity = 2;
+        const auto points =
+            sweepUnified(trace, {2048, 8192}, base, RunConfig{});
+        const JsonValue &results = mb->at("results");
+        ASSERT_EQ(results.size(), points.size());
+        for (std::size_t i = 0; i < points.size(); ++i)
+            expectStatsMatch(results.at(i).at("stats"), points[i].stats);
+    }
+}
+
+TEST(Serve, FourConcurrentClientsGetTheirOwnStreams)
+{
+    TestServer ts(100);
+
+    constexpr int kClients = 4;
+    struct PerClient
+    {
+        Client::RunOutcome outcome;
+        std::vector<std::uint64_t> eventRequestIds;
+    };
+    std::vector<PerClient> results(kClients);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&ts, &results, i] {
+            // Same input, per-tenant cache config: the classic
+            // campaign fan-out shape.
+            const std::string spec =
+                R"({"id": "tenant-)" + std::to_string(i) +
+                R"(", "input": {"kind": "profile", "name": "VSPICE"},
+                    "cache": {"line_bytes": )" +
+                std::to_string(16u << (i % 2)) +
+                R"(}, "sizes": [)" + std::to_string(1024u << i) + "]}";
+            auto client = ts.connect();
+            ASSERT_NE(client, nullptr);
+            results[i].outcome = client->run(
+                spec, [&results, i](const JsonValue &event) {
+                    if (const JsonValue *id = event.find("request_id");
+                        id != nullptr && id->isUint())
+                        results[i].eventRequestIds.push_back(id->asUint());
+                });
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < kClients; ++i) {
+        const PerClient &pc = results[i];
+        ASSERT_TRUE(pc.outcome.ok) << i << ": " << pc.outcome.error;
+        EXPECT_GE(pc.outcome.progressEvents, 1u) << i;
+        // Every event a client saw belongs to its own request: the
+        // per-connection streams don't bleed into each other.
+        for (std::uint64_t id : pc.eventRequestIds)
+            EXPECT_EQ(id, pc.outcome.requestId) << i;
+        ids.push_back(pc.outcome.requestId);
+
+        const auto manifest = parseJson(pc.outcome.manifestJson);
+        ASSERT_TRUE(manifest);
+        EXPECT_EQ(manifest->at("config").at("spec_id").asString(),
+                  "tenant-" + std::to_string(i));
+    }
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Serve, ResourceCacheServesRepeatRequestsWarm)
+{
+    TestServer ts(0);
+
+    // Ten sequential requests over the same kv input, alternating
+    // cache configs; the input is loaded once and then served warm.
+    constexpr int kRequests = 10;
+    for (int i = 0; i < kRequests; ++i) {
+        const std::string spec =
+            R"({"id": "round-)" + std::to_string(i) +
+            R"(", "input": {"kind": "kv", "refs": 20000, "key_count": 512,
+                            "seed": 9},
+                "cache": {"line_bytes": )" +
+            std::to_string(i % 2 == 0 ? 16 : 64) +
+            R"(}, "sizes": [1024, 4096]})";
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        const auto outcome = client->run(spec);
+        ASSERT_TRUE(outcome.ok) << i << ": " << outcome.error;
+
+        const auto manifest = parseJson(outcome.manifestJson);
+        ASSERT_TRUE(manifest);
+        EXPECT_EQ(manifest->at("config").at("resource_cache").asString(),
+                  i == 0 ? "miss" : "hit")
+            << i;
+    }
+
+    const ResourceCache::Stats cache = ts.server().cacheStats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.hits, kRequests - 1u);
+    EXPECT_EQ(cache.entries, 1u);
+    EXPECT_GT(cache.residentBytes, 0u);
+    EXPECT_EQ(ts.server().completedRequests(), kRequests);
+
+    // The stats op reports the same numbers over the wire.
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    const auto stats_json = client->stats();
+    ASSERT_TRUE(stats_json.has_value());
+    const auto stats = parseJson(*stats_json);
+    ASSERT_TRUE(stats);
+    EXPECT_EQ(stats->at("cache_hits").asUint(), kRequests - 1u);
+    EXPECT_EQ(stats->at("completed").asUint(), kRequests);
+}
+
+TEST(Serve, KvSpecsMatchDirectKvWorkloadSweeps)
+{
+    TestServer ts(0);
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    const auto outcome = client->run(
+        R"({"id": "kv", "input": {"kind": "kv", "refs": 30000,
+                "key_count": 1024, "object_bytes": 64, "zipf_theta": 0.9,
+                "scan_fraction": 0.05, "seed": 7},
+            "cache": {"line_bytes": 64}, "sizes": [4096, 16384]})");
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    KvWorkloadParams params;
+    params.refCount = 30000;
+    params.keyCount = 1024;
+    params.objectBytes = 64;
+    params.zipfTheta = 0.9;
+    params.scanFraction = 0.05;
+    params.seed = 7;
+    const Trace trace = generateKvWorkload(params, "kv");
+    CacheConfig base;
+    base.lineBytes = 64;
+    const auto points = sweepUnified(trace, {4096, 16384}, base, RunConfig{});
+
+    const auto manifest = parseJson(outcome.manifestJson);
+    ASSERT_TRUE(manifest);
+    const JsonValue &results = manifest->at("results");
+    ASSERT_EQ(results.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectStatsMatch(results.at(i).at("stats"), points[i].stats);
+    EXPECT_EQ(manifest->at("input").at("refs").asUint(), 30000u);
+}
+
+TEST(Serve, ShutdownStillDeliversInFlightResults)
+{
+    // A long batch window parks the request in the queue; the
+    // shutdown must cut the window short, run the request, deliver
+    // its result, and only then exit.
+    TestServer ts(10000);
+
+    Client::RunOutcome outcome;
+    std::thread tenant([&] {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        outcome = client->run(kProfileSpecA);
+    });
+
+    // Give the run request time to land in the queue, then shut down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    {
+        auto admin = ts.connect();
+        ASSERT_NE(admin, nullptr);
+        EXPECT_TRUE(admin->shutdownServer());
+    }
+    tenant.join();
+    ts.stop();
+
+    EXPECT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_FALSE(outcome.manifestJson.empty());
+    EXPECT_EQ(ts.server().completedRequests(), 1u);
+
+    // The socket is gone: new connections fail.
+    std::string error;
+    EXPECT_EQ(Client::connect(ts.socket(), &error), nullptr);
+}
+
+TEST(Serve, MaxRequestsAutoShutdown)
+{
+    TestServer ts(0, 2);
+    {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        EXPECT_TRUE(client->run(kProfileSpecA).ok);
+    }
+    {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        EXPECT_TRUE(client->run(kProfileSpecB).ok);
+    }
+    ts.stop(); // returns promptly: the server shut itself down
+    EXPECT_EQ(ts.server().completedRequests(), 2u);
+}
+
+} // namespace
+} // namespace cachelab::serve

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * cachelab_client: thin CLI for talking to a cachelab_serve daemon.
+ *
+ * Submits one experiment spec, streams the server's progress events to
+ * stdout, and writes the final run manifest to stdout or --out FILE.
+ * Also exposes the control ops (--ping, --stats, --shutdown) so
+ * scripts can manage a daemon without speaking the wire protocol
+ * themselves.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "args.hh"
+#include "serve/client.hh"
+#include "util/logging.hh"
+#include "version.hh"
+
+namespace
+{
+
+constexpr const char *kUsage = R"(cachelab_client: submit specs to cachelab_serve
+
+Usage: cachelab_client --socket PATH (--spec FILE | --ping | --stats | --shutdown)
+
+Options:
+  --socket PATH   daemon socket (required)
+  --spec FILE     experiment spec to submit; "-" reads stdin
+  --out FILE      write the result manifest here instead of stdout
+  --quiet         suppress progress lines
+  --ping          liveness check; exits 0 on pong
+  --stats         print the server's counters as one JSON line
+  --shutdown      ask the daemon to drain and exit
+  --version       print build provenance and exit
+  --help          this text
+
+Exit status is non-zero with a one-line diagnostic on any failure:
+unreachable socket, invalid spec, or a server-side error event.
+)";
+
+std::string
+readSpecFile(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream text;
+        text << std::cin.rdbuf();
+        return text.str();
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        cachelab::fatal("cannot open spec file: ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cachelab;
+    tools::handleVersionFlag(argc, argv, "cachelab_client");
+    tools::Args args(argc, argv);
+
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::string socket_path = args.get("socket");
+    if (socket_path.empty())
+        fatal("cachelab_client requires --socket PATH (see --help)");
+
+    std::string error;
+    std::unique_ptr<serve::Client> client =
+        serve::Client::connect(socket_path, &error);
+    if (!client)
+        fatal("cannot connect to ", socket_path, ": ", error);
+
+    if (args.has("ping")) {
+        if (!client->ping())
+            fatal("no pong from ", socket_path);
+        std::cout << "pong\n";
+        return 0;
+    }
+    if (args.has("stats")) {
+        std::optional<std::string> stats = client->stats();
+        if (!stats)
+            fatal("no stats reply from ", socket_path);
+        std::cout << *stats << "\n";
+        return 0;
+    }
+    if (args.has("shutdown")) {
+        if (!client->shutdownServer())
+            fatal("no shutdown acknowledgement from ", socket_path);
+        std::cout << "server shutting down\n";
+        return 0;
+    }
+
+    const std::string spec_path = args.get("spec");
+    if (spec_path.empty())
+        fatal("nothing to do: pass --spec FILE, --ping, --stats, "
+              "or --shutdown");
+    const std::string spec_json = readSpecFile(spec_path);
+
+    const bool quiet = args.has("quiet");
+    serve::Client::RunOutcome outcome = client->run(
+        spec_json, [&](const JsonValue &event) {
+            if (quiet)
+                return;
+            const JsonValue *name = event.find("event");
+            if (name == nullptr || !name->isString() ||
+                name->asString() == "result")
+                return;
+            std::cout << toCompactJson(event) << "\n";
+        });
+    if (!outcome.ok)
+        fatal("run failed: ", outcome.error);
+
+    const std::string out_path = args.get("out");
+    if (out_path.empty()) {
+        std::cout << outcome.manifestJson << "\n";
+    } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out)
+            fatal("cannot open output file: ", out_path);
+        out << outcome.manifestJson << "\n";
+        if (!out)
+            fatal("write failed: ", out_path);
+        if (!quiet)
+            std::cout << "manifest written to " << out_path << "\n";
+    }
+    return 0;
+}

@@ -24,6 +24,7 @@
 #include "workload/profiles.hh"
 
 #include "args.hh"
+#include "version.hh"
 
 using namespace cachelab;
 using namespace cachelab::tools;
@@ -125,6 +126,7 @@ cmdAnalyze(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    handleVersionFlag(argc, argv, "cachelab_gen");
     const Args args(argc, argv);
     if (args.has("help") || argc == 1) {
         std::cout << kUsage;

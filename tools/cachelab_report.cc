@@ -37,6 +37,7 @@
 #include "util/logging.hh"
 
 #include "args.hh"
+#include "version.hh"
 
 using namespace cachelab;
 using namespace cachelab::tools;
@@ -331,6 +332,7 @@ writeReportMd(const std::string &path, const JsonValue &manifest,
 int
 main(int argc, char **argv)
 {
+    handleVersionFlag(argc, argv, "cachelab_report");
     const Args args(argc, argv);
     if (args.has("help")) {
         std::cout << kUsage;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * cachelab_serve: the long-running multi-tenant campaign daemon.
+ *
+ * Accepts declarative experiment specs as newline-delimited JSON over
+ * a local Unix-domain socket, batches compatible requests into shared
+ * engine passes, keeps inputs warm in a resource cache, and streams
+ * progress plus the final run manifest back to each client.  See
+ * src/serve/server.hh for the architecture and DESIGN.md §4h for the
+ * protocol.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "args.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "version.hh"
+
+namespace
+{
+
+constexpr const char *kUsage = R"(cachelab_serve: campaign experiment daemon
+
+Usage: cachelab_serve --socket PATH [options]
+
+Options:
+  --socket PATH        Unix-domain socket path to listen on (required)
+  --jobs N             engine fan-out width (0 = shared pool width)
+  --cache-mb N         resource-cache budget in MiB (default 256)
+  --batch-window-ms N  coalescing window for compatible requests
+                       (default 5)
+  --max-queue N        pending-request cap (default 64)
+  --max-requests N     exit after N completed run requests (0 = serve
+                       until a shutdown request; used by tests/CI)
+  --version            print build provenance and exit
+  --help               this text
+
+The daemon prints one "listening on PATH" line once the socket is
+ready, then serves until a client sends {"op": "shutdown"}.
+)";
+
+cachelab::serve::Server *g_server = nullptr;
+
+void
+handleSignal(int)
+{
+    // Signal-safe enough for our purpose: flip the stopping flag and
+    // poke the threads; the drain logic runs on ordinary threads.
+    if (g_server != nullptr)
+        g_server->requestShutdown();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cachelab;
+    tools::handleVersionFlag(argc, argv, "cachelab_serve");
+    tools::Args args(argc, argv);
+
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::string socket_path = args.get("socket");
+    if (socket_path.empty())
+        fatal("cachelab_serve requires --socket PATH (see --help)");
+
+    serve::ServerOptions options;
+    options.socketPath = socket_path;
+    options.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    options.cacheBytes =
+        static_cast<std::size_t>(args.getUint("cache-mb", 256)) << 20;
+    options.batchWindowMs = args.getUint("batch-window-ms", 5);
+    options.maxQueue =
+        static_cast<std::size_t>(args.getUint("max-queue", 64));
+    options.maxRequests = args.getUint("max-requests", 0);
+
+    serve::Server server(options);
+    std::string error;
+    if (!server.start(&error))
+        fatal("cannot start server: ", error);
+
+    g_server = &server;
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+
+    // Scripts wait for this exact line before connecting.
+    std::cout << "listening on " << server.socketPath() << std::endl;
+
+    server.serve();
+    g_server = nullptr;
+    std::cout << "served " << server.completedRequests()
+              << " requests; bye" << std::endl;
+    return 0;
+}

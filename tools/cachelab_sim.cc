@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <type_traits>
 
 #include "cache/belady.hh"
@@ -45,6 +46,8 @@
 #include "obs/profile.hh"
 #include "obs/progress.hh"
 #include "obs/trace_event.hh"
+#include "serve/engine.hh"
+#include "serve/spec.hh"
 #include "sim/run.hh"
 #include "sim/sampled.hh"
 #include "sim/sweep.hh"
@@ -60,6 +63,7 @@
 #include "workload/profiles.hh"
 
 #include "args.hh"
+#include "version.hh"
 
 using namespace cachelab;
 using namespace cachelab::tools;
@@ -70,6 +74,11 @@ namespace
 constexpr const char *kUsage = R"(usage: cachelab_sim [options]
 
 input (one required):
+  --spec FILE           run a declarative experiment spec (the same
+                        JSON cachelab_serve accepts; see serve/spec.hh)
+                        standalone and write its manifest to
+                        --metrics-json (default '-'); exclusive with
+                        every other input/mode flag
   --trace FILE          trace file: din text (.din), packed binary
                         (.ctr) or delta-compressed; format picked by
                         extension (see trace/io.hh)
@@ -1126,6 +1135,72 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
     return 0;
 }
 
+/**
+ * --spec FILE: run one declarative experiment spec — the exact JSON a
+ * cachelab_serve tenant submits — standalone, through the same engine
+ * and manifest builder the server uses.  This is the reproducibility
+ * escape hatch: re-running a server answer here must produce a
+ * bitwise-identical "results" section.
+ */
+int
+runSpecMode(const Args &args, int argc, char **argv)
+{
+    // The spec carries its own input, cache axes and run parameters;
+    // mixing it with the flag-driven modes would be ambiguous.
+    for (const char *flag :
+         {"trace", "profile", "refs", "stream", "sweep", "sample", "opt",
+          "sector", "split", "stack-curve", "ckpt", "ckpt-write", "size",
+          "line", "assoc", "warmup", "purge", "classify", "events",
+          "set-heatmap"})
+        if (args.has(flag) &&
+            !(std::string_view(flag) == "profile" &&
+              args.get("profile").empty()))
+            fatal("--spec is exclusive with --", flag,
+                  " (the spec file carries the whole experiment)");
+
+    const std::string path = args.get("spec");
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            fatal("cannot open spec file: ", path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+
+    serve::ExperimentSpec spec;
+    if (std::optional<std::string> error =
+            serve::parseExperimentSpec(text, spec))
+        fatal("invalid spec ", path, ": ", *error);
+
+    serve::EngineOptions engine;
+    engine.jobs = static_cast<unsigned>(args.getUint("jobs", 0));
+    engine.batchRefs = args.getUint("batch", 0);
+    const serve::ExperimentResult result = serve::runExperiment(spec, engine);
+    if (!result.error.empty())
+        fatal("spec ", path, ": ", result.error);
+
+    obs::RunManifest manifest = serve::buildExperimentManifest(
+        spec, result, "cachelab_sim", obs::joinArgv(argc, argv));
+
+    const std::string out_path = args.get("metrics-json", "-");
+    if (out_path == "-") {
+        obs::writeManifest(std::cout, manifest);
+    } else {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot open '", out_path, "'");
+        obs::writeManifest(out, manifest);
+        inform("wrote run manifest to ", out_path);
+    }
+    return 0;
+}
+
 /** @return the descriptive mode name for the manifest config. */
 std::string
 modeName(const Args &args, bool sampling)
@@ -1150,11 +1225,14 @@ modeName(const Args &args, bool sampling)
 int
 main(int argc, char **argv)
 {
+    handleVersionFlag(argc, argv, "cachelab_sim");
     const Args args(argc, argv);
     if (args.has("help")) {
         std::cout << kUsage;
         return 0;
     }
+    if (args.has("spec"))
+        return runSpecMode(args, argc, argv);
 
     // Observability switches, decided before any work happens.  A
     // bare --profile (no value) is accepted as a --phase-profile

@@ -150,6 +150,89 @@ print(f"    {len(a)} sizes bitwise identical to functional warming;"
       f" key hash {store['key_hash']}")
 EOF
 
+echo "==> campaign-serve smoke (daemon, coalesced tenants, bitwise parity)"
+# Start the daemon, submit two compatible specs plus a KV-workload spec
+# from concurrent clients, and require every served manifest to match a
+# standalone `cachelab_sim --spec` run bitwise in its results section.
+serve_sock=build-ci/smoke-serve.sock
+serve=build-ci/tools/cachelab_serve
+client=build-ci/tools/cachelab_client
+${serve} --version | grep -q cachelab_serve
+cat > build-ci/smoke-spec-a.json <<'EOF'
+{"id": "tenant-a",
+ "input": {"kind": "profile", "name": "ZGREP", "refs": 100000},
+ "cache": {"line_bytes": 16},
+ "sizes": {"lo": 512, "hi": 4096}}
+EOF
+cat > build-ci/smoke-spec-b.json <<'EOF'
+{"id": "tenant-b",
+ "input": {"kind": "profile", "name": "ZGREP", "refs": 100000},
+ "cache": {"line_bytes": 32, "associativity": 2},
+ "sizes": [1024, 8192]}
+EOF
+cat > build-ci/smoke-spec-kv.json <<'EOF'
+{"id": "tenant-kv",
+ "input": {"kind": "kv", "refs": 100000, "key_count": 4096,
+           "object_bytes": 64, "zipf_theta": 0.9, "scan_fraction": 0.05,
+           "seed": 11},
+ "cache": {"line_bytes": 64},
+ "sizes": {"lo": 4096, "hi": 32768}}
+EOF
+rm -f "${serve_sock}"
+${serve} --socket "${serve_sock}" --batch-window-ms 500 \
+    > build-ci/smoke-serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q "^listening" build-ci/smoke-serve.log && break
+    sleep 0.1
+done
+grep -q "^listening" build-ci/smoke-serve.log
+${client} --socket "${serve_sock}" --ping > /dev/null
+# Tenants a and b share an input and should ride one coalesced pass;
+# the kv tenant brings its own generated input.
+${client} --socket "${serve_sock}" --spec build-ci/smoke-spec-a.json \
+    --quiet --out build-ci/smoke-served-a.json &
+a_pid=$!
+${client} --socket "${serve_sock}" --spec build-ci/smoke-spec-b.json \
+    --quiet --out build-ci/smoke-served-b.json &
+b_pid=$!
+${client} --socket "${serve_sock}" --spec build-ci/smoke-spec-kv.json \
+    --quiet --out build-ci/smoke-served-kv.json &
+kv_pid=$!
+wait "${a_pid}" "${b_pid}" "${kv_pid}"
+${client} --socket "${serve_sock}" --stats > build-ci/smoke-serve-stats.json
+${client} --socket "${serve_sock}" --shutdown > /dev/null
+wait "${serve_pid}"
+# The standalone truth, through the same spec files.
+for t in a b kv; do
+    ${sim} --spec "build-ci/smoke-spec-${t}.json" \
+        --metrics-json "build-ci/smoke-standalone-${t}.json" > /dev/null
+done
+# Malformed input must be a one-line diagnostic, not an assert.
+echo '{"id": "broken"' > build-ci/smoke-spec-broken.json
+if ${sim} --spec build-ci/smoke-spec-broken.json \
+    > build-ci/smoke-broken.log 2>&1; then
+    echo "    ERROR: malformed spec was accepted"; exit 1
+fi
+python3 - <<'EOF'
+import json
+for tenant in ("a", "b", "kv"):
+    served = json.load(open(f"build-ci/smoke-served-{tenant}.json"))
+    standalone = json.load(open(f"build-ci/smoke-standalone-{tenant}.json"))
+    assert served["results"] == standalone["results"], \
+        f"tenant {tenant}: served results differ from standalone"
+    assert len(served["results"]) > 0, tenant
+served_a = json.load(open("build-ci/smoke-served-a.json"))
+counters = served_a["metrics"]["counters"]
+serve_keys = [k for k in counters if k.startswith("serve.")]
+assert serve_keys, f"no serve.* counters in manifest metrics: {counters}"
+stats = json.load(open("build-ci/smoke-serve-stats.json"))
+assert stats["completed"] == 3, stats
+assert stats["coalesced"] >= 1, f"tenants a+b did not coalesce: {stats}"
+print(f"    3 tenants bitwise identical to standalone; coalesced="
+      f"{stats['coalesced']}, serve counters: {sorted(serve_keys)}")
+EOF
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared --version handling for the tools/ binaries.
+ *
+ * Every tool calls handleVersionFlag() before any other argument
+ * processing, so `cachelab_x --version` prints one provenance line —
+ * the compile-time git identity baked in by CMake (the same values
+ * run manifests record) — and exits 0.
+ */
+
+#ifndef CACHELAB_TOOLS_VERSION_HH
+#define CACHELAB_TOOLS_VERSION_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "obs/manifest.hh"
+
+namespace cachelab::tools
+{
+
+/** Print "<tool> <describe> (<sha>, <build>, <compiler>)" and exit 0
+ *  when --version appears anywhere on the command line. */
+inline void
+handleVersionFlag(int argc, char **argv, std::string_view tool)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--version")
+            continue;
+        const obs::BuildInfo build = obs::buildInfo();
+        std::cout << tool << " " << build.gitDescribe << " ("
+                  << build.gitSha << ", " << build.buildType << ", "
+                  << build.compiler << ")\n";
+        std::exit(0);
+    }
+}
+
+} // namespace cachelab::tools
+
+#endif // CACHELAB_TOOLS_VERSION_HH
