@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Run registry: the campaign daemon's persistent run history.
+ *
+ * Every completed run request — success or error — is appended under
+ * a directory the operator names with `cachelab_serve --registry DIR`:
+ *
+ *     DIR/run-<seq>.json   the full run manifest (absent for errors)
+ *     DIR/index.json       one summary entry per retained run
+ *
+ * The index is the queryable artifact: tenant, input, spec hash,
+ * timing, outcome per run, newest last.  `cachelab_report --registry`
+ * renders it as a campaign summary (per-tenant latency table, slowest
+ * runs, cache-hit ratios) without touching the per-run manifests.
+ *
+ * Retention is bounded: beyond `--registry-max-runs` entries the
+ * oldest run's manifest is deleted and its index entry dropped, so a
+ * long-lived daemon cannot grow the directory without limit.  The
+ * index is rewritten atomically (tmp + rename) after every append —
+ * readers always see a complete document.
+ *
+ * On construction an existing index.json is reloaded, so sequence
+ * numbers and retention continue across daemon restarts.
+ *
+ * Failure policy matches the serve layer: registry I/O errors are
+ * reported to the caller (which logs and keeps serving) — a full disk
+ * must not take the daemon down with it.
+ */
+
+#ifndef CACHELAB_SERVE_RUN_REGISTRY_HH
+#define CACHELAB_SERVE_RUN_REGISTRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cachelab::serve
+{
+
+/** One completed run's summary, as stored in index.json. */
+struct RunRecord
+{
+    std::uint64_t seq = 0;       ///< registry-assigned, monotonic
+    std::uint64_t requestId = 0; ///< server request id
+    std::string tenant;          ///< spec "id" ("anonymous" when empty)
+    std::string input;           ///< input display name
+    std::string inputKind;       ///< "file" | "profile" | "kv"
+    std::uint64_t specHash = 0;  ///< FNV-1a over the spec's identity
+    std::string outcome;         ///< "ok" | "error"
+    std::uint64_t refs = 0;      ///< references driven
+    bool cacheHit = false;       ///< resource-cache outcome
+    std::uint64_t queueWaitNs = 0;
+    std::uint64_t execNs = 0;
+    std::uint64_t e2eNs = 0;
+    std::int64_t unixMs = 0;     ///< completion wall-clock time
+};
+
+class RunRegistry
+{
+  public:
+    /** Index document identity (also consumed by cachelab_report). */
+    static constexpr std::string_view kSchema = "cachelab.run_registry";
+    static constexpr int kSchemaVersion = 1;
+
+    /**
+     * Open (creating @p dir as needed) with retention bound
+     * @p maxRuns (> 0).  An existing index is reloaded; a malformed
+     * one is reported via @p error and ignored (the registry starts
+     * fresh rather than refusing to serve).
+     */
+    RunRegistry(std::string dir, std::size_t maxRuns, std::string *error);
+
+    RunRegistry(const RunRegistry &) = delete;
+    RunRegistry &operator=(const RunRegistry &) = delete;
+
+    /**
+     * Persist one completed run: assigns @p record its seq, writes
+     * run-<seq>.json when @p manifestJson is non-empty, prunes past
+     * the retention bound, and rewrites index.json.
+     *
+     * @return false with @p *error set on I/O failure (daemon keeps
+     * serving; the failed run is simply not recorded).
+     */
+    bool append(RunRecord record, std::string_view manifestJson,
+                std::string *error);
+
+    /** @return retained entry count (test introspection). */
+    std::size_t runCount() const;
+
+    const std::string &directory() const { return dir_; }
+
+  private:
+    std::string runPath(std::uint64_t seq) const;
+    bool rewriteIndexLocked(std::string *error);
+    void loadExistingLocked(std::string *error);
+
+    std::string dir_;
+    std::size_t maxRuns_;
+    mutable std::mutex mutex_;
+    std::uint64_t nextSeq_ = 1;
+    std::deque<RunRecord> records_; ///< oldest first
+};
+
+/** Stable FNV-1a identity hash of @p spec (input x configs x sizes). */
+struct ExperimentSpec;
+std::uint64_t specIdentityHash(const ExperimentSpec &spec);
+
+} // namespace cachelab::serve
+
+#endif // CACHELAB_SERVE_RUN_REGISTRY_HH

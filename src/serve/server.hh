@@ -35,6 +35,7 @@
 #define CACHELAB_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,9 +46,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "serve/engine.hh"
 #include "serve/protocol.hh"
 #include "serve/resource_cache.hh"
+#include "serve/run_registry.hh"
 #include "serve/spec.hh"
 
 namespace cachelab::serve
@@ -74,6 +77,22 @@ struct ServerOptions
     /** Auto-shutdown after this many completed run requests
      *  (0 = run until a shutdown op).  Used by tests and CI. */
     std::uint64_t maxRequests = 0;
+
+    // ---- telemetry (all off by default; the no-flags hot path and
+    //      its manifests are unchanged) ----
+
+    /** JSONL flight-recorder file; "" = off.  One metrics-snapshot
+     *  line per interval plus a final line at shutdown. */
+    std::string metricsSnapshotPath;
+
+    /** Seconds between flight-recorder lines (0 = final line only). */
+    std::uint64_t metricsIntervalS = 0;
+
+    /** Run-registry directory; "" = off. */
+    std::string registryDir;
+
+    /** Registry retention bound (oldest runs pruned beyond it). */
+    std::size_t registryMaxRuns = 256;
 };
 
 /** One cachelab_serve instance. */
@@ -104,6 +123,7 @@ class Server
     /** Test introspection. */
     ResourceCache::Stats cacheStats() const { return cache_.stats(); }
     std::uint64_t completedRequests() const { return completed_.load(); }
+    const RunRegistry *runRegistry() const { return registry_.get(); }
 
   private:
     /** One connected tenant. */
@@ -114,6 +134,7 @@ class Server
         LineChannel channel;
         std::thread reader;
         std::atomic<bool> done{false};
+        std::uint64_t id = 0; ///< for structured log correlation
     };
 
     /** One accepted run request waiting for (or in) execution. */
@@ -122,15 +143,18 @@ class Server
         std::uint64_t id = 0;
         ExperimentSpec spec;
         std::shared_ptr<Connection> connection;
+        obs::RequestSpan span; ///< lifecycle stamps (telemetry)
     };
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<Connection> connection);
     void executorLoop();
 
-    /** Handle one parsed request from @p connection's reader. */
+    /** Handle one parsed request from @p connection's reader.
+     *  @p received is the stamp taken when its line left the socket. */
     void handleRequest(const std::shared_ptr<Connection> &connection,
-                       const Request &request);
+                       const Request &request,
+                       obs::RequestSpan::TimePoint received);
 
     /** Pop the front request plus every queued same-input companion.
      *  Queue lock must be held. */
@@ -144,12 +168,26 @@ class Server
 
     std::string statsLine();
 
+    /** Flight recorder: periodic + final metrics-snapshot lines. */
+    void snapshotLoop();
+    void writeSnapshotLine();
+    void stopSnapshotThread();
+
     ServerOptions options_;
     ResourceCache cache_;
     std::unique_ptr<UnixListener> listener_;
+    obs::ServiceTelemetry telemetry_;
+    std::unique_ptr<RunRegistry> registry_;
+    std::chrono::steady_clock::time_point startTime_;
 
     std::thread acceptThread_;
     std::thread executorThread_;
+
+    std::thread snapshotThread_;
+    std::mutex snapshotMutex_;
+    std::condition_variable snapshotCv_;
+    bool snapshotStop_ = false;
+    std::uint64_t snapshotSeq_ = 0; ///< snapshot thread only
 
     std::mutex connectionsMutex_;
     std::list<std::shared_ptr<Connection>> connections_;
@@ -160,6 +198,7 @@ class Server
     bool stopping_ = false;
 
     std::atomic<std::uint64_t> nextRequestId_{1};
+    std::atomic<std::uint64_t> nextConnectionId_{1};
     std::atomic<std::uint64_t> accepted_{0};  ///< run requests enqueued
     std::atomic<std::uint64_t> completed_{0}; ///< run requests answered
     std::atomic<std::uint64_t> coalesced_{0}; ///< riders beyond group head

@@ -20,6 +20,9 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace cachelab
 {
@@ -72,13 +75,15 @@ bool loggingEnabled();
 /**
  * Minimum severity that is emitted.  The initial value comes from the
  * CACHELAB_LOG environment variable: "silent" (or "quiet"/"none"),
- * "warn", or "info" (the default).  fatal()/panic() always print.
+ * "warn", "info" (the default), or "debug".  fatal()/panic() always
+ * print.
  */
 enum class LogLevel
 {
     Silent = 0, ///< suppress inform() and warn()
     Warn = 1,   ///< suppress inform(), keep warn()
-    Info = 2,   ///< everything (default)
+    Info = 2,   ///< everything except debug (default)
+    Debug = 3,  ///< everything, incl. per-request service chatter
 };
 
 /** Override the CACHELAB_LOG-derived level at runtime. */
@@ -130,6 +135,68 @@ panic(const Args &...args)
     detail::emitLine(detail::renderMessage("panic", args...));
     std::abort();
 }
+
+// ------------------------------------------------------------------
+// Structured logging: leveled, timestamped, machine-greppable lines
+// for long-running services (the campaign daemon).  One line per
+// event:
+//
+//   info 2026-08-09T07:14:20.123Z serve.server request accepted
+//       conn=3 request=7 tenant=tenant-a            (one line)
+//
+// Severity word, ISO-8601 UTC timestamp with milliseconds, component,
+// free-form message, then key=value fields (values are quoted and
+// escaped when they contain whitespace, '"' or '=').  The CACHELAB_LOG
+// level filter applies exactly as for inform()/warn(): Debug lines
+// need CACHELAB_LOG=debug.
+// ------------------------------------------------------------------
+
+/** One key=value field of a structured log line. */
+struct LogField
+{
+    std::string_view key;
+    std::string value;
+
+    LogField(std::string_view k, std::string v)
+        : key(k), value(std::move(v))
+    {}
+
+    LogField(std::string_view k, std::string_view v)
+        : key(k), value(v)
+    {}
+
+    LogField(std::string_view k, const char *v) : key(k), value(v) {}
+
+    template <typename T>
+    LogField(std::string_view k, T v)
+        requires std::is_arithmetic_v<T>
+        : key(k)
+    {
+        std::ostringstream os;
+        os << v;
+        value = os.str();
+    }
+};
+
+namespace detail
+{
+
+/** @return the formatted line (without emitting it); testable core. */
+std::string formatStructuredLine(LogLevel severity,
+                                 std::string_view component,
+                                 std::string_view message,
+                                 const std::vector<LogField> &fields);
+
+} // namespace detail
+
+/**
+ * Emit one structured line at @p severity (no-op below the current
+ * level).  @p component names the subsystem ("serve.server"); @p
+ * message is a short human phrase; @p fields carry the identifiers.
+ */
+void logStructured(LogLevel severity, std::string_view component,
+                   std::string_view message,
+                   const std::vector<LogField> &fields = {});
 
 /** panic() unless the stated invariant holds. */
 #define CACHELAB_ASSERT(cond, ...)                                          \

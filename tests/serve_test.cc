@@ -14,11 +14,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/engine.hh"
 #include "serve/server.hh"
@@ -36,9 +41,10 @@ namespace
 class TestServer
 {
   public:
-    explicit TestServer(std::uint64_t batch_window_ms,
-                        std::uint64_t max_requests = 0)
-        : server_(makeOptions(batch_window_ms, max_requests))
+    explicit TestServer(
+        std::uint64_t batch_window_ms, std::uint64_t max_requests = 0,
+        const std::function<void(ServerOptions &)> &customize = {})
+        : server_(makeOptions(batch_window_ms, max_requests, customize))
     {
         std::string error;
         if (!server_.start(&error))
@@ -70,7 +76,8 @@ class TestServer
 
   private:
     static ServerOptions
-    makeOptions(std::uint64_t batch_window_ms, std::uint64_t max_requests)
+    makeOptions(std::uint64_t batch_window_ms, std::uint64_t max_requests,
+                const std::function<void(ServerOptions &)> &customize)
     {
         static std::atomic<int> counter{0};
         ServerOptions options;
@@ -79,6 +86,8 @@ class TestServer
             std::to_string(counter.fetch_add(1)) + ".sock";
         options.batchWindowMs = batch_window_ms;
         options.maxRequests = max_requests;
+        if (customize)
+            customize(options);
         return options;
     }
 
@@ -411,6 +420,307 @@ TEST(Serve, MaxRequestsAutoShutdown)
     }
     ts.stop(); // returns promptly: the server shut itself down
     EXPECT_EQ(ts.server().completedRequests(), 2u);
+}
+
+// ------------------------------------------------------------------
+// Service telemetry (DESIGN.md §4i): lifecycle timings in manifests,
+// latency histograms behind the stats op, rejection/error counters,
+// and the persistent run registry.
+
+/** A unique, self-cleaning scratch directory under /tmp. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const char *tag)
+    {
+        static std::atomic<int> counter{0};
+        path_ = std::string("/tmp/cl_serve_") + tag + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1));
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Parse a manifest-config string member as a number. */
+std::uint64_t
+configUint(const JsonValue &manifest, std::string_view key)
+{
+    const JsonValue *value = manifest.at("config").find(key);
+    if (value == nullptr) {
+        ADD_FAILURE() << "config member missing: " << key;
+        return 0;
+    }
+    return std::stoull(value->asString());
+}
+
+TEST(ServeTelemetry, ManifestsCarryRequestLifecycleTimings)
+{
+    TestServer ts(20);
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    const auto outcome = client->run(kProfileSpecA);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+
+    const auto manifest = parseJson(outcome.manifestJson);
+    ASSERT_TRUE(manifest);
+    // The request sat in the coalescing window, so every stage is
+    // populated and the wait is at least roughly the window width.
+    const std::uint64_t queue_wait =
+        configUint(*manifest, "serve.timing.queue_wait_ns");
+    const std::uint64_t coalesce_wait =
+        configUint(*manifest, "serve.timing.coalesce_wait_ns");
+    const std::uint64_t exec =
+        configUint(*manifest, "serve.timing.exec_ns");
+    EXPECT_GT(exec, 0u);
+    EXPECT_GE(queue_wait, coalesce_wait);
+    EXPECT_GE(coalesce_wait, 1000000u); // 20 ms window, 1 ms slack
+}
+
+TEST(ServeTelemetry, StatsOpExposesHistogramsMatchingCompletedRequests)
+{
+    obs::Registry::global().resetForTesting();
+    TestServer ts(0);
+
+    constexpr int kRuns = 5;
+    for (int i = 0; i < kRuns; ++i) {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        ASSERT_TRUE(client->run(i % 2 == 0 ? kProfileSpecA : kProfileSpecB)
+                        .ok);
+    }
+
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    const auto stats_json = client->stats();
+    ASSERT_TRUE(stats_json.has_value());
+    const auto stats = parseJson(*stats_json);
+    ASSERT_TRUE(stats);
+    ASSERT_EQ(stats->at("completed").asUint(), kRuns);
+
+    // The histogram invariant CI also checks: e2e samples == completed
+    // requests (early rejections never reach the histograms).
+    const JsonValue &latencies = stats->at("metrics").at("latencies");
+    const JsonValue &e2e = latencies.at("serve.latency.e2e_ns");
+    EXPECT_EQ(e2e.at("count").asUint(), kRuns);
+    EXPECT_EQ(latencies.at("serve.latency.exec_ns").at("count").asUint(),
+              kRuns);
+    EXPECT_EQ(
+        latencies.at("serve.latency.queue_wait_ns").at("count").asUint(),
+        kRuns);
+
+    // Quantiles are monotone and bounded by the observed max.
+    const double p50 = e2e.at("p50_ns").asDouble();
+    const double p90 = e2e.at("p90_ns").asDouble();
+    const double p99 = e2e.at("p99_ns").asDouble();
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, static_cast<double>(e2e.at("max_ns").asUint()));
+
+    // Per-tenant counters: both tenants show up with their runs.
+    const JsonValue &counters = stats->at("metrics").at("counters");
+    EXPECT_EQ(counters.at("serve.tenant.requests{tenant=tenant-a}")
+                  .asUint(),
+              3u);
+    EXPECT_EQ(counters.at("serve.tenant.requests{tenant=tenant-b}")
+                  .asUint(),
+              2u);
+    EXPECT_EQ(counters.at("serve.input.requests{kind=profile}").asUint(),
+              kRuns);
+}
+
+TEST(ServeTelemetry, RejectionsAndErrorsAreCounted)
+{
+    obs::Registry::global().resetForTesting();
+    // A zero-length queue: every run request bounces with "busy".
+    TestServer ts(0, 0,
+                  [](ServerOptions &options) { options.maxQueue = 0; });
+
+    {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        const auto outcome = client->run(kProfileSpecA);
+        EXPECT_FALSE(outcome.ok);
+        EXPECT_NE(outcome.error.find("busy"), std::string::npos)
+            << outcome.error;
+    }
+    {
+        // Invalid specs fail validation before the queue: they count
+        // as errors, not rejections.
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        EXPECT_FALSE(
+            client->run(R"({"input": {"kind": "martian"}, "sizes": [1]})")
+                .ok);
+    }
+
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    const auto stats_json = client->stats();
+    ASSERT_TRUE(stats_json.has_value());
+    const auto stats = parseJson(*stats_json);
+    ASSERT_TRUE(stats);
+    const JsonValue &counters = stats->at("metrics").at("counters");
+    EXPECT_EQ(counters.at("serve.rejected").asUint(), 1u);
+    EXPECT_EQ(counters.at("serve.errors").asUint(), 1u);
+    EXPECT_EQ(stats->at("completed").asUint(), 0u);
+    // Nothing completed, so no latency samples were recorded.  (The
+    // series may exist at count 0 when an earlier same-process test
+    // registered it; resetForTesting zeroes in place.)
+    const JsonValue *latencies = stats->at("metrics").find("latencies");
+    const JsonValue *e2e = latencies != nullptr
+        ? latencies->find("serve.latency.e2e_ns")
+        : nullptr;
+    if (e2e != nullptr) {
+        EXPECT_EQ(e2e->at("count").asUint(), 0u);
+    }
+}
+
+TEST(ServeTelemetry, RunRegistryRecordsOkAndErrorOutcomes)
+{
+    ScratchDir dir("registry");
+    TestServer ts(0, 0, [&dir](ServerOptions &options) {
+        options.registryDir = dir.path();
+        options.registryMaxRuns = 8;
+    });
+
+    {
+        auto client = ts.connect();
+        ASSERT_NE(client, nullptr);
+        ASSERT_TRUE(client->run(kProfileSpecA).ok);
+        // A spec that validates but fails at load time: the registry
+        // must still record the attempt, with outcome "error".
+        EXPECT_FALSE(
+            client
+                ->run(R"({"id": "tenant-broken",
+                          "input": {"kind": "file",
+                                    "name": "/nonexistent/x.din"},
+                          "sizes": [1024]})")
+                .ok);
+    }
+    ts.stop();
+
+    std::ifstream is(dir.path() + "/index.json");
+    ASSERT_TRUE(is.good()) << "missing " << dir.path() << "/index.json";
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const auto index = parseJson(buffer.str());
+    ASSERT_TRUE(index);
+    EXPECT_EQ(index->at("schema").asString(), "cachelab.run_registry");
+    const JsonValue &runs = index->at("runs");
+    ASSERT_EQ(runs.size(), 2u);
+
+    EXPECT_EQ(runs.at(0).at("tenant").asString(), "tenant-a");
+    EXPECT_EQ(runs.at(0).at("outcome").asString(), "ok");
+    EXPECT_GT(runs.at(0).at("e2e_ns").asUint(), 0u);
+    EXPECT_EQ(runs.at(0).at("manifest").asString(), "run-1.json");
+    // The persisted manifest is the same document the client got.
+    std::ifstream manifest_file(dir.path() + "/run-1.json");
+    ASSERT_TRUE(manifest_file.good());
+    std::ostringstream manifest_text;
+    manifest_text << manifest_file.rdbuf();
+    const auto manifest = parseJson(manifest_text.str());
+    ASSERT_TRUE(manifest);
+    EXPECT_EQ(manifest->at("config").at("spec_id").asString(), "tenant-a");
+
+    EXPECT_EQ(runs.at(1).at("tenant").asString(), "tenant-broken");
+    EXPECT_EQ(runs.at(1).at("outcome").asString(), "error");
+    EXPECT_EQ(runs.at(1).find("manifest"), nullptr);
+    EXPECT_FALSE(
+        std::filesystem::exists(dir.path() + "/run-2.json"));
+}
+
+// ------------------------------------------------------------------
+// Resource-cache byte-cap boundary behaviour.  KV traces materialize
+// exactly `refs` references at 16 B each (sizeof(MemoryRef) is
+// static_asserted), so the cap arithmetic below is exact.
+
+/** A kv spec with @p refs references, keyed by @p tenant + @p seed. */
+std::string
+kvSpec(const std::string &tenant, std::uint64_t refs, std::uint64_t seed)
+{
+    return R"({"id": ")" + tenant +
+        R"(", "input": {"kind": "kv", "refs": )" + std::to_string(refs) +
+        R"(, "key_count": 64, "seed": )" + std::to_string(seed) +
+        R"(}, "cache": {"line_bytes": 16}, "sizes": [1024]})";
+}
+
+TEST(ResourceCacheBoundary, EntryExactlyAtTheCapIsRetained)
+{
+    // Cap = 1000 refs exactly; the trace fills it to the byte.
+    TestServer ts(0, 0, [](ServerOptions &options) {
+        options.cacheBytes = 1000 * sizeof(MemoryRef);
+    });
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    ASSERT_TRUE(client->run(kvSpec("tenant-a", 1000, 1)).ok);
+    ASSERT_TRUE(client->run(kvSpec("tenant-a", 1000, 1)).ok);
+
+    const ResourceCache::Stats cache = ts.server().cacheStats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.hits, 1u);
+    EXPECT_EQ(cache.entries, 1u);
+    EXPECT_EQ(cache.residentBytes, 1000 * sizeof(MemoryRef));
+}
+
+TEST(ResourceCacheBoundary, OversizeEntryIsServedButNeverRetained)
+{
+    TestServer ts(0, 0, [](ServerOptions &options) {
+        options.cacheBytes = 1000 * sizeof(MemoryRef);
+    });
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+    // A small input is resident; a one-ref-over-cap input must be
+    // served correctly yet bypass the cache entirely -- including NOT
+    // evicting the small tenant to make room it can never get.
+    ASSERT_TRUE(client->run(kvSpec("tenant-small", 500, 1)).ok);
+    ASSERT_TRUE(client->run(kvSpec("tenant-big", 1001, 2)).ok);
+    ASSERT_TRUE(client->run(kvSpec("tenant-big", 1001, 2)).ok);
+    ASSERT_TRUE(client->run(kvSpec("tenant-small", 500, 1)).ok);
+
+    const ResourceCache::Stats cache = ts.server().cacheStats();
+    EXPECT_EQ(cache.entries, 1u);
+    EXPECT_EQ(cache.evictions, 0u);
+    EXPECT_EQ(cache.residentBytes, 500 * sizeof(MemoryRef));
+    EXPECT_EQ(cache.hits, 1u);   // the small re-acquire
+    EXPECT_EQ(cache.misses, 3u); // small cold + big twice
+}
+
+TEST(ResourceCacheBoundary, LruEvictionFollowsRecencyAcrossTenants)
+{
+    // Room for 2000 refs: any two of the three inputs fit, never all
+    // three (800 + 900 + 900 = 2600).
+    TestServer ts(0, 0, [](ServerOptions &options) {
+        options.cacheBytes = 2000 * sizeof(MemoryRef);
+    });
+    auto client = ts.connect();
+    ASSERT_NE(client, nullptr);
+
+    ASSERT_TRUE(client->run(kvSpec("tenant-a", 800, 1)).ok); // miss {A}
+    ASSERT_TRUE(client->run(kvSpec("tenant-b", 900, 2)).ok); // miss {B,A}
+    ASSERT_TRUE(client->run(kvSpec("tenant-a", 800, 1)).ok); // hit  {A,B}
+    // C needs 900: evicts the least recent (B), not the re-touched A.
+    ASSERT_TRUE(client->run(kvSpec("tenant-c", 900, 3)).ok); // miss {C,A}
+    ASSERT_TRUE(client->run(kvSpec("tenant-a", 800, 1)).ok); // hit  {A,C}
+    // B again: evicts C, the stalest entry now.
+    ASSERT_TRUE(client->run(kvSpec("tenant-b", 900, 2)).ok); // miss {B,A}
+
+    const ResourceCache::Stats cache = ts.server().cacheStats();
+    EXPECT_EQ(cache.hits, 2u);
+    EXPECT_EQ(cache.misses, 4u);
+    EXPECT_EQ(cache.evictions, 2u);
+    EXPECT_EQ(cache.entries, 2u);
+    EXPECT_EQ(cache.residentBytes, (800 + 900) * sizeof(MemoryRef));
 }
 
 } // namespace

@@ -10,12 +10,15 @@
  */
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "args.hh"
 #include "serve/client.hh"
+#include "util/format.hh"
+#include "util/json_reader.hh"
 #include "util/logging.hh"
 #include "version.hh"
 
@@ -32,7 +35,9 @@ Options:
   --out FILE      write the result manifest here instead of stdout
   --quiet         suppress progress lines
   --ping          liveness check; exits 0 on pong
-  --stats         print the server's counters as one JSON line
+  --stats         print the server's counters and latency quantiles
+                  as a human-readable table
+  --json          with --stats: print the raw JSON line instead
   --shutdown      ask the daemon to drain and exit
   --version       print build provenance and exit
   --help          this text
@@ -40,6 +45,73 @@ Options:
 Exit status is non-zero with a one-line diagnostic on any failure:
 unreachable socket, invalid spec, or a server-side error event.
 )";
+
+/** "1.234 ms"-style rendering of a nanosecond quantity. */
+std::string
+formatNs(double ns)
+{
+    const char *unit = "ns";
+    double v = ns;
+    if (v >= 1e9) {
+        v /= 1e9;
+        unit = "s";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        unit = "ms";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        unit = "us";
+    }
+    std::ostringstream os;
+    os << cachelab::formatFixed(v, v >= 100 ? 0 : 2) << ' ' << unit;
+    return os.str();
+}
+
+/** Render the stats reply as a table (counters, then latencies). */
+void
+printStatsTable(const cachelab::JsonValue &stats)
+{
+    std::cout << "server stats";
+    if (const cachelab::JsonValue *uptime = stats.find("uptime_ns");
+        uptime != nullptr && uptime->isUint()) {
+        std::cout << " (uptime "
+                  << formatNs(static_cast<double>(uptime->asUint())) << ")";
+    }
+    std::cout << "\n";
+    for (const auto &[key, value] : stats.members()) {
+        if (key == "event" || key == "metrics" || key == "uptime_ns")
+            continue;
+        std::cout << "  " << std::left << std::setw(22) << key
+                  << (value.isUint()
+                          ? cachelab::formatCount(value.asUint())
+                          : std::to_string(value.asDouble()))
+                  << "\n";
+    }
+
+    const cachelab::JsonValue *metrics = stats.find("metrics");
+    const cachelab::JsonValue *latencies =
+        metrics != nullptr ? metrics->find("latencies") : nullptr;
+    if (latencies == nullptr || !latencies->isObject() ||
+        latencies->size() == 0)
+        return;
+    std::cout << "\n  " << std::left << std::setw(34) << "latency"
+              << std::right << std::setw(8) << "count" << std::setw(12)
+              << "p50" << std::setw(12) << "p90" << std::setw(12) << "p99"
+              << std::setw(12) << "max" << "\n";
+    for (const auto &[name, series] : latencies->members()) {
+        const auto quantile = [&series](std::string_view key) {
+            const cachelab::JsonValue *v = series.find(key);
+            return v != nullptr ? v->asDouble() : 0.0;
+        };
+        std::cout << "  " << std::left << std::setw(34) << name
+                  << std::right << std::setw(8)
+                  << series.at("count").asUint() << std::setw(12)
+                  << formatNs(quantile("p50_ns")) << std::setw(12)
+                  << formatNs(quantile("p90_ns")) << std::setw(12)
+                  << formatNs(quantile("p99_ns")) << std::setw(12)
+                  << formatNs(quantile("max_ns")) << "\n";
+    }
+}
 
 std::string
 readSpecFile(const std::string &path)
@@ -90,7 +162,16 @@ main(int argc, char **argv)
         std::optional<std::string> stats = client->stats();
         if (!stats)
             fatal("no stats reply from ", socket_path);
-        std::cout << *stats << "\n";
+        if (args.has("json")) {
+            std::cout << *stats << "\n";
+            return 0;
+        }
+        std::string parse_error;
+        const std::optional<JsonValue> doc =
+            parseJson(*stats, &parse_error);
+        if (!doc)
+            fatal("malformed stats reply: ", parse_error);
+        printStatsTable(*doc);
         return 0;
     }
     if (args.has("shutdown")) {

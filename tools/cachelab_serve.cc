@@ -11,9 +11,11 @@
  */
 
 #include <csignal>
+#include <fstream>
 #include <iostream>
 
 #include "args.hh"
+#include "obs/trace_event.hh"
 #include "serve/server.hh"
 #include "util/logging.hh"
 #include "version.hh"
@@ -34,11 +36,26 @@ Options:
   --max-queue N        pending-request cap (default 64)
   --max-requests N     exit after N completed run requests (0 = serve
                        until a shutdown request; used by tests/CI)
+
+Telemetry (all off by default; see DESIGN.md §4i):
+  --metrics-snapshot FILE   append schema-versioned metrics-snapshot
+                            JSONL lines (a flight recorder); one final
+                            line is always written at shutdown
+  --metrics-interval-s N    seconds between snapshot lines (default 5;
+                            0 = the final line only)
+  --registry DIR            persist every completed run's manifest +
+                            an index.json under DIR
+  --registry-max-runs N     registry retention bound (default 256)
+  --trace-out FILE          write request-lifecycle Chrome trace
+                            events (chrome://tracing) at shutdown
+
   --version            print build provenance and exit
   --help               this text
 
 The daemon prints one "listening on PATH" line once the socket is
-ready, then serves until a client sends {"op": "shutdown"}.
+ready, then serves until a client sends {"op": "shutdown"}.  Log
+verbosity follows CACHELAB_LOG (silent|warn|info|debug); per-request
+lines need debug.
 )";
 
 cachelab::serve::Server *g_server = nullptr;
@@ -78,6 +95,15 @@ main(int argc, char **argv)
     options.maxQueue =
         static_cast<std::size_t>(args.getUint("max-queue", 64));
     options.maxRequests = args.getUint("max-requests", 0);
+    options.metricsSnapshotPath = args.get("metrics-snapshot");
+    options.metricsIntervalS = args.getUint("metrics-interval-s", 5);
+    options.registryDir = args.get("registry");
+    options.registryMaxRuns =
+        static_cast<std::size_t>(args.getUint("registry-max-runs", 256));
+
+    const std::string trace_out = args.get("trace-out");
+    if (!trace_out.empty())
+        obs::TraceRecorder::global().setEnabled(true);
 
     serve::Server server(options);
     std::string error;
@@ -93,6 +119,21 @@ main(int argc, char **argv)
 
     server.serve();
     g_server = nullptr;
+
+    if (!trace_out.empty()) {
+        std::ofstream os(trace_out, std::ios::binary);
+        if (!os) {
+            warn("cannot open trace output file: ", trace_out);
+        } else {
+            obs::TraceRecorder::global().write(os);
+            logStructured(LogLevel::Info, "serve.trace",
+                          "request trace written",
+                          {{"path", trace_out},
+                           {"events",
+                            obs::TraceRecorder::global().eventCount()}});
+        }
+    }
+
     std::cout << "served " << server.completedRequests()
               << " requests; bye" << std::endl;
     return 0;

@@ -200,7 +200,8 @@ ${client} --socket "${serve_sock}" --spec build-ci/smoke-spec-kv.json \
     --quiet --out build-ci/smoke-served-kv.json &
 kv_pid=$!
 wait "${a_pid}" "${b_pid}" "${kv_pid}"
-${client} --socket "${serve_sock}" --stats > build-ci/smoke-serve-stats.json
+${client} --socket "${serve_sock}" --stats --json \
+    > build-ci/smoke-serve-stats.json
 ${client} --socket "${serve_sock}" --shutdown > /dev/null
 wait "${serve_pid}"
 # The standalone truth, through the same spec files.
@@ -233,6 +234,111 @@ print(f"    3 tenants bitwise identical to standalone; coalesced="
       f"{stats['coalesced']}, serve counters: {sorted(serve_keys)}")
 EOF
 
+echo "==> telemetry smoke (flight recorder, run registry, campaign report)"
+# Same three tenants against a fully instrumented daemon: metrics
+# snapshots to JSONL, every run persisted to the registry, request
+# lifecycle spans to a Chrome trace.  Then check the invariants the
+# telemetry promises: histogram counts equal completed requests,
+# quantiles are monotone, and the registry indexes every run.
+telem_sock=build-ci/smoke-telem.sock
+registry_dir=build-ci/smoke-registry
+rm -rf "${registry_dir}"
+rm -f "${telem_sock}" build-ci/smoke-telem-snapshots.jsonl
+CACHELAB_LOG=debug ${serve} --socket "${telem_sock}" --batch-window-ms 20 \
+    --metrics-snapshot build-ci/smoke-telem-snapshots.jsonl \
+    --metrics-interval-s 1 \
+    --registry "${registry_dir}" --registry-max-runs 16 \
+    --trace-out build-ci/smoke-telem-trace.json \
+    > build-ci/smoke-telem-serve.log 2>&1 &
+telem_pid=$!
+for _ in $(seq 100); do
+    grep -q "^listening" build-ci/smoke-telem-serve.log && break
+    sleep 0.1
+done
+grep -q "^listening" build-ci/smoke-telem-serve.log
+for t in a b kv; do
+    ${client} --socket "${telem_sock}" \
+        --spec "build-ci/smoke-spec-${t}.json" \
+        --quiet --out "build-ci/smoke-telem-${t}.json"
+done
+${client} --socket "${telem_sock}" --stats > build-ci/smoke-telem-stats.txt
+${client} --socket "${telem_sock}" --stats --json \
+    > build-ci/smoke-telem-stats.json
+${client} --socket "${telem_sock}" --shutdown > /dev/null
+wait "${telem_pid}"
+grep -q "serve.latency.e2e_ns" build-ci/smoke-telem-stats.txt
+grep -Eq "^debug .* request answered" build-ci/smoke-telem-serve.log
+python3 - "${registry_dir}" <<'EOF'
+import json, os, sys
+registry_dir = sys.argv[1]
+
+# Stats exposition: histogram counts match completed requests and the
+# quantiles are monotone.
+stats = json.load(open("build-ci/smoke-telem-stats.json"))
+assert stats["completed"] == 3, stats
+lat = stats["metrics"]["latencies"]
+for series in ("serve.latency.e2e_ns", "serve.latency.exec_ns",
+               "serve.latency.queue_wait_ns"):
+    assert lat[series]["count"] == 3, (series, lat[series])
+e2e = lat["serve.latency.e2e_ns"]
+assert 0 < e2e["p50_ns"] <= e2e["p90_ns"] <= e2e["p99_ns"] <= e2e["max_ns"]
+
+# Served manifests carry the request-lifecycle timings, and the
+# instrumented daemon's results are bitwise identical to the
+# flags-off daemon's answers from the campaign-serve smoke above.
+for tenant in ("a", "b", "kv"):
+    manifest = json.load(open(f"build-ci/smoke-telem-{tenant}.json"))
+    cfg = manifest["config"]
+    for key in ("serve.timing.queue_wait_ns", "serve.timing.exec_ns"):
+        assert int(cfg[key]) >= 0, (tenant, key, cfg)
+    plain = json.load(open(f"build-ci/smoke-served-{tenant}.json"))
+    assert manifest["results"] == plain["results"], \
+        f"telemetry flags perturbed results for tenant {tenant}"
+
+# Flight recorder: every JSONL line parses, seq increases, and the
+# final line reflects the finished campaign.
+lines = [json.loads(l)
+         for l in open("build-ci/smoke-telem-snapshots.jsonl")]
+assert lines, "no metrics snapshots written"
+assert all(l["schema"] == "cachelab.metrics_snapshot" for l in lines)
+assert [l["seq"] for l in lines] == list(range(1, len(lines) + 1))
+final = lines[-1]["metrics"]["latencies"]["serve.latency.e2e_ns"]
+assert final["count"] == 3, final
+
+# Run registry: every run indexed, outcome ok, manifests on disk with
+# results identical to what the tenants received over the wire.
+index = json.load(open(os.path.join(registry_dir, "index.json")))
+assert index["schema"] == "cachelab.run_registry", index
+runs = index["runs"]
+assert len(runs) == 3, runs
+assert {r["tenant"] for r in runs} == \
+    {"tenant-a", "tenant-b", "tenant-kv"}
+assert all(r["outcome"] == "ok" for r in runs)
+served = {json.load(open(f"build-ci/smoke-telem-{t}.json"))["config"]
+          ["spec_id"]: json.load(open(f"build-ci/smoke-telem-{t}.json"))
+          for t in ("a", "b", "kv")}
+for run in runs:
+    persisted = json.load(
+        open(os.path.join(registry_dir, run["manifest"])))
+    assert persisted["results"] == served[run["tenant"]]["results"], \
+        f"registry manifest diverges for {run['tenant']}"
+
+# Chrome trace: parses, and each completed request contributed a
+# lifecycle span.
+trace = json.load(open("build-ci/smoke-telem-trace.json"))
+spans = [e for e in trace["traceEvents"]
+         if e.get("name") == "request"]
+assert len(spans) == 3, len(spans)
+print(f"    {len(lines)} snapshots, 3 runs registered, "
+      f"{len(spans)} request spans traced, e2e p50 "
+      f"{e2e['p50_ns'] / 1e6:.2f} ms")
+EOF
+build-ci/tools/cachelab_report --registry "${registry_dir}" \
+    > build-ci/smoke-campaign.md
+grep -q "cachelab campaign summary" build-ci/smoke-campaign.md
+grep -q "tenant-kv" build-ci/smoke-campaign.md
+echo "    campaign report rendered from the registry"
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 
@@ -241,7 +347,8 @@ run_config build-ci-asan -DCACHELAB_WERROR=ON \
 # that sweeps hammer from every worker slot.
 echo "==> configure build-ci-tsan (thread sanitizer, concurrency tests)"
 cmake -B build-ci-tsan -S . -DCACHELAB_WERROR=ON -DCACHELAB_SANITIZE=thread
-cmake --build build-ci-tsan -j "${jobs}" --target obs_test thread_pool_test
+cmake --build build-ci-tsan -j "${jobs}" \
+    --target obs_test thread_pool_test telemetry_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
     -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest'
 
