@@ -20,6 +20,7 @@
 #include "sim/sweep.hh"
 #include "trace/analyzer.hh"
 #include "util/json_writer.hh"
+#include "util/logging.hh"
 #include "workload/profiles.hh"
 
 namespace cachelab
@@ -274,6 +275,64 @@ runProbeCostComparison()
     std::cout.flush();
 }
 
+/**
+ * Wall-clock cost of the pluggable policy zoo: the same hot loop per
+ * replacement policy (plus LRU behind the TinyLFU admission filter),
+ * one JSON line each.  The "lru" line is the regression guard for the
+ * enum-to-interface migration — the virtual-dispatch hot path must
+ * stay within noise of the old hard-wired loop — and the others track
+ * the O(assoc)-scan overhead of the scan-based policies.
+ */
+void
+runPolicyCostComparison()
+{
+    const Trace trace = generateTrace(*findTraceProfile("VSPICE"), 250000);
+
+    struct Variant
+    {
+        const char *replacement;
+        const char *admission;
+    };
+    const Variant variants[] = {
+        {"lru", ""},      {"fifo", ""},  {"random", ""}, {"slru", ""},
+        {"lfu", ""},      {"lfuda", ""}, {"2q", ""},     {"arc", ""},
+        {"lru", "tinylfu"},
+    };
+
+    for (const Variant &v : variants) {
+        CacheConfig cfg = table1Config(16384);
+        cfg.associativity = 2;
+        if (auto error = parseReplacementPolicy(v.replacement,
+                                                cfg.replacement))
+            fatal(*error);
+        if (auto error = parseAdmissionPolicy(v.admission, cfg.admission))
+            fatal(*error);
+        Cache cache(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const MemoryRef &ref : trace)
+            cache.access(ref);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall = std::chrono::duration<double>(t1 - t0).count();
+        JsonWriter w(std::cout, JsonWriter::Compact);
+        w.beginObject()
+            .member("bench", "policy_cost")
+            .member("policy", cfg.replacement.toString())
+            .member("admission",
+                    cfg.admission.empty() ? "none"
+                                          : cfg.admission.toString())
+            .member("trace", "VSPICE")
+            .member("refs", static_cast<std::uint64_t>(trace.size()))
+            .member("wall_s", wall)
+            .member("refs_per_s",
+                    wall > 0 ? static_cast<double>(trace.size()) / wall
+                             : 0.0)
+            .member("miss_ratio", cache.stats().missRatio())
+            .endObject();
+        std::cout << "\n";
+    }
+    std::cout.flush();
+}
+
 } // namespace
 } // namespace cachelab
 
@@ -282,6 +341,7 @@ main(int argc, char **argv)
 {
     cachelab::runSweepEngineComparison();
     cachelab::runProbeCostComparison();
+    cachelab::runPolicyCostComparison();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -20,72 +20,17 @@ Cache::Cache(const CacheConfig &config)
 
     const std::uint64_t n = config_.lineCount();
     lines_.assign(n, Line{});
-    next_.assign(n, kInvalid);
-    prev_.assign(n, kInvalid);
-    head_.assign(sets_, kInvalid);
-    tail_.assign(sets_, kInvalid);
     index_.reserve(n * 2);
 
-    // Thread every way of every set onto that set's recency list.
-    for (std::uint64_t set = 0; set < sets_; ++set)
-        for (std::uint64_t way = 0; way < assoc_; ++way)
-            pushMru(set, static_cast<std::uint32_t>(set * assoc_ + way));
+    policy_ = makeReplacementPolicy(config_.replacement);
+    policy_->bind(sets_, static_cast<std::uint32_t>(assoc_), this, &rng_);
+    admission_ = makeAdmissionPolicy(config_.admission);
 }
 
 std::uint64_t
 Cache::setOf(Addr line_addr) const
 {
     return (line_addr / config_.lineBytes) % sets_;
-}
-
-void
-Cache::unlink(std::uint64_t set, std::uint32_t idx)
-{
-    const std::uint32_t p = prev_[idx];
-    const std::uint32_t n = next_[idx];
-    if (p != kInvalid)
-        next_[p] = n;
-    else
-        head_[set] = n;
-    if (n != kInvalid)
-        prev_[n] = p;
-    else
-        tail_[set] = p;
-    prev_[idx] = kInvalid;
-    next_[idx] = kInvalid;
-}
-
-void
-Cache::pushMru(std::uint64_t set, std::uint32_t idx)
-{
-    prev_[idx] = kInvalid;
-    next_[idx] = head_[set];
-    if (head_[set] != kInvalid)
-        prev_[head_[set]] = idx;
-    head_[set] = idx;
-    if (tail_[set] == kInvalid)
-        tail_[set] = idx;
-}
-
-std::uint32_t
-Cache::chooseVictim(std::uint64_t set)
-{
-    const std::uint32_t lru = tail_[set];
-    CACHELAB_ASSERT(lru != kInvalid, "empty recency list in set ", set);
-
-    switch (config_.replacement) {
-      case ReplacementPolicy::LRU:
-      case ReplacementPolicy::FIFO:
-        // Invalid ways are never promoted, so they accumulate at the
-        // LRU end and are consumed before any valid line is evicted.
-        return lru;
-      case ReplacementPolicy::Random:
-        if (!lines_[lru].valid)
-            return lru;
-        return static_cast<std::uint32_t>(set * assoc_ +
-                                          rng_.uniformInt(assoc_));
-    }
-    panic("unreachable replacement policy");
 }
 
 void
@@ -123,17 +68,22 @@ Cache::evict(std::uint32_t idx, bool is_purge)
             probe_->onEvent(event);
         }
     }
+    policy_->onEvict(idx / assoc_, idx, line.lineAddr, is_purge);
     index_.erase(line.lineAddr);
     line.valid = false;
     line.dirty = false;
     --validLines_;
 }
 
-void
+bool
 Cache::install(Addr line_addr, bool prefetched)
 {
     const std::uint64_t set = setOf(line_addr);
-    const std::uint32_t victim = chooseVictim(set);
+    const std::uint32_t victim = policy_->victimWay(set, line_addr);
+    if (admission_ != nullptr &&
+        !admission_->admit(line_addr, lines_[victim].lineAddr,
+                           lines_[victim].valid))
+        return false;
     evict(victim, /*is_purge=*/false);
 
     Line &line = lines_[victim];
@@ -143,8 +93,7 @@ Cache::install(Addr line_addr, bool prefetched)
     index_.emplace(line_addr, victim);
     ++validLines_;
 
-    unlink(set, victim);
-    pushMru(set, victim);
+    policy_->onFill(set, victim, line_addr);
 
     stats_.bytesFromMemory += config_.lineBytes;
     if (prefetched)
@@ -164,23 +113,22 @@ Cache::install(Addr line_addr, bool prefetched)
         event.refIndex = clock_;
         probe_->onEvent(event);
     }
+    return true;
 }
 
 template <bool kProbed>
 bool
 Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
 {
+    if (admission_ != nullptr)
+        admission_->onAccess(line_addr);
+
     const auto it = index_.find(line_addr);
     const bool hit = it != index_.end();
 
     if (hit) {
         const std::uint32_t idx = it->second;
-        if (config_.replacement == ReplacementPolicy::LRU ||
-            config_.replacement == ReplacementPolicy::Random) {
-            const std::uint64_t set = setOf(line_addr);
-            unlink(set, idx);
-            pushMru(set, idx);
-        }
+        policy_->onHit(setOf(line_addr), idx, line_addr);
         if constexpr (kProbed) {
             ++probeMeta_[idx].hitCount;
             CacheEvent event;
@@ -221,7 +169,19 @@ Cache::touchLine(Addr line_addr, AccessKind kind, std::uint32_t size)
         return false;
     }
 
-    install(line_addr, /*prefetched=*/false);
+    if (!install(line_addr, /*prefetched=*/false)) {
+        // Admission rejected the fill: the reference is still served
+        // (and its memory traffic still flows), the line just is not
+        // cached — reads stream the line from memory, writes behave
+        // like a no-allocate store.
+        if (kind == AccessKind::Write) {
+            stats_.bytesToMemory += size;
+            ++stats_.writeThroughs;
+        } else {
+            stats_.bytesFromMemory += config_.lineBytes;
+        }
+        return false;
+    }
     if (kind == AccessKind::Write) {
         if (config_.writePolicy == WritePolicy::CopyBack) {
             lines_[index_.at(line_addr)].dirty = true;
@@ -298,14 +258,10 @@ Cache::purge()
     for (std::uint32_t idx = 0; idx < lines_.size(); ++idx)
         evict(idx, /*is_purge=*/true);
 
-    // Rebuild the recency lists so every set drains in way order again.
-    std::fill(head_.begin(), head_.end(), kInvalid);
-    std::fill(tail_.begin(), tail_.end(), kInvalid);
-    std::fill(next_.begin(), next_.end(), kInvalid);
-    std::fill(prev_.begin(), prev_.end(), kInvalid);
-    for (std::uint64_t set = 0; set < sets_; ++set)
-        for (std::uint64_t way = 0; way < assoc_; ++way)
-            pushMru(set, static_cast<std::uint32_t>(set * assoc_ + way));
+    // Reset the policy so every set drains in way order again.
+    policy_->reset();
+    if (admission_ != nullptr)
+        admission_->reset();
 
     ++stats_.purges;
 }
@@ -322,16 +278,16 @@ Cache::exportState() const
     for (const Line &line : lines_)
         state.lines.push_back({line.lineAddr, line.valid, line.dirty});
     state.recency.reserve(lines_.size());
-    for (std::uint64_t set = 0; set < sets_; ++set)
-        for (std::uint32_t idx = head_[set]; idx != kInvalid;
-             idx = next_[idx])
-            state.recency.push_back(idx);
+    policy_->exportRecency(state.recency);
     CACHELAB_ASSERT(state.recency.size() == lines_.size(),
                     "recency lists cover ", state.recency.size(), " of ",
                     lines_.size(), " ways");
     state.rngState = rng_.state();
     state.clock = clock_;
     state.stats = stats_;
+    state.policyWords = policy_->exportWords();
+    if (admission_ != nullptr)
+        state.admissionWords = admission_->exportWords();
     return state;
 }
 
@@ -374,27 +330,18 @@ Cache::importState(const CacheState &state)
         }
     }
 
-    // Rebuild the per-set recency lists from the snapshot's order.
-    std::fill(head_.begin(), head_.end(), kInvalid);
-    std::fill(tail_.begin(), tail_.end(), kInvalid);
-    std::fill(next_.begin(), next_.end(), kInvalid);
-    std::fill(prev_.begin(), prev_.end(), kInvalid);
-    for (std::uint64_t set = 0; set < sets_; ++set) {
-        std::uint32_t prev = kInvalid;
-        for (std::uint64_t pos = 0; pos < assoc_; ++pos) {
-            const std::uint32_t idx = state.recency[set * assoc_ + pos];
-            CACHELAB_ASSERT(idx / assoc_ == set && next_[idx] == kInvalid &&
-                                prev_[idx] == kInvalid && head_[set] != idx,
-                            "cache state import: recency list of set ", set,
-                            " is not a permutation of its ways");
-            if (prev == kInvalid)
-                head_[set] = idx;
-            else
-                next_[prev] = idx;
-            prev_[idx] = prev;
-            prev = idx;
-        }
-        tail_[set] = prev;
+    // Hand the policy its state back (recency permutation plus any
+    // policy-specific words; validation lives with the policy).
+    policy_->importRecency(state.recency);
+    policy_->importWords(state.policyWords);
+    if (admission_ != nullptr) {
+        if (state.admissionWords.empty())
+            admission_->reset(); // legacy snapshot: cold sketch
+        else
+            admission_->importWords(state.admissionWords);
+    } else if (!state.admissionWords.empty()) {
+        fatal("cache state import: snapshot carries admission state but "
+              "no admission policy is configured");
     }
 
     rng_.setState(state.rngState);

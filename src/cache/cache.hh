@@ -16,10 +16,12 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/config.hh"
+#include "cache/policy.hh"
 #include "cache/probe.hh"
 #include "cache/stats.hh"
 #include "trace/memory_ref.hh"
@@ -78,26 +80,43 @@ struct CacheState
     /**
      * Per-set recency order as way indices, MRU first: entries
      * [set * assoc, (set + 1) * assoc) list every way of @p set
-     * exactly once (invalid ways are on the list too).
+     * exactly once (invalid ways are on the list too).  Scan-based
+     * policies emit the identity permutation here and carry their
+     * real state in policyWords.
      */
     std::vector<std::uint32_t> recency;
 
     std::array<std::uint64_t, 4> rngState{};
     std::uint64_t clock = 0;
     CacheStats stats;
+
+    /**
+     * Extra replacement-policy state beyond the recency permutation
+     * (ReplacementPolicy::exportWords).  Empty for the classic trio,
+     * which keeps their serialized snapshots byte-identical to the
+     * pre-policy-API format.
+     */
+    std::vector<std::uint64_t> policyWords;
+
+    /** Admission-policy state; empty when no admission is configured. */
+    std::vector<std::uint64_t> admissionWords;
 };
 
 /**
  * One cache.
  *
  * Thread-compatible (no internal synchronization): use one instance
- * per simulation thread.
+ * per simulation thread.  Not copyable or movable: the replacement
+ * policy object holds pointers back into this cache.
  */
-class Cache
+class Cache : private PolicyHost
 {
   public:
     /** Construct from a validated configuration. */
     explicit Cache(const CacheConfig &config);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
 
     /**
      * Apply one memory reference.
@@ -153,6 +172,12 @@ class Cache
     /** @return the attached probe, or nullptr (chaining support). */
     CacheProbe *probe() const { return probe_; }
 
+    /**
+     * @return the admission policy, or nullptr when none is
+     * configured (exposes the admitted/rejected counters).
+     */
+    const AdmissionPolicy *admission() const { return admission_.get(); }
+
     /** @return number of access() calls so far (the event clock). */
     std::uint64_t accessClock() const { return clock_; }
 
@@ -193,21 +218,26 @@ class Cache
 
     std::uint64_t setOf(Addr line_addr) const;
 
-    /** Unlink way @p idx from its set's recency list. */
-    void unlink(std::uint64_t set, std::uint32_t idx);
+    // PolicyHost: the policy-facing view of the line array.
+    bool wayValid(std::uint32_t way) const override
+    {
+        return lines_[way].valid;
+    }
 
-    /** Insert way @p idx at the MRU end of its set's recency list. */
-    void pushMru(std::uint64_t set, std::uint32_t idx);
-
-    /** @return way index to fill next in @p set, per the policy. */
-    std::uint32_t chooseVictim(std::uint64_t set);
+    Addr wayLineAddr(std::uint32_t way) const override
+    {
+        return lines_[way].lineAddr;
+    }
 
     /** Evict (and account) the line in way @p idx if valid. */
     void evict(std::uint32_t idx, bool is_purge);
 
-    /** Fetch @p line_addr into its set. @p prefetched selects the
-     *  traffic counter. */
-    void install(Addr line_addr, bool prefetched);
+    /**
+     * Fetch @p line_addr into its set. @p prefetched selects the
+     * traffic counter.  @return false when the admission policy
+     * rejected the fill (nothing was evicted or installed).
+     */
+    bool install(Addr line_addr, bool prefetched);
 
     /**
      * Reference one line.  @return true on hit.  On a write the
@@ -236,10 +266,8 @@ class Cache
 
     std::vector<Line> lines_;       ///< sets * assoc entries
     std::vector<ProbeMeta> probeMeta_; ///< empty until a probe attaches
-    std::vector<std::uint32_t> next_; ///< toward LRU end
-    std::vector<std::uint32_t> prev_; ///< toward MRU end
-    std::vector<std::uint32_t> head_; ///< MRU way per set
-    std::vector<std::uint32_t> tail_; ///< LRU way per set
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::unique_ptr<AdmissionPolicy> admission_; ///< nullptr = admit all
     std::unordered_map<Addr, std::uint32_t> index_; ///< lineAddr -> way
 
     std::uint64_t assoc_;

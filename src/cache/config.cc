@@ -13,20 +13,6 @@ namespace cachelab
 {
 
 std::string
-toString(ReplacementPolicy policy)
-{
-    switch (policy) {
-      case ReplacementPolicy::LRU:
-        return "LRU";
-      case ReplacementPolicy::FIFO:
-        return "FIFO";
-      case ReplacementPolicy::Random:
-        return "random";
-    }
-    return "?";
-}
-
-std::string
 toString(WritePolicy policy)
 {
     switch (policy) {
@@ -88,6 +74,10 @@ CacheConfig::validate() const
         fatal("associativity ", assoc, " is not a power of two");
     if (assoc > lineCount())
         fatal("associativity ", assoc, " exceeds line count ", lineCount());
+    if (auto error = checkReplacementPolicy(replacement))
+        fatal(*error);
+    if (auto error = checkAdmissionPolicy(admission))
+        fatal(*error);
     if (writePolicy == WritePolicy::WriteThrough &&
         writeMiss == WriteMissPolicy::FetchOnWrite) {
         // Legal combination (write-through with allocation); nothing to
@@ -101,9 +91,12 @@ CacheConfig::describe() const
     std::string assoc = associativity == 0
         ? "full"
         : std::to_string(associativity) + "-way";
+    std::string policy = replacement.display();
+    if (!admission.empty())
+        policy += "+" + admission.toString();
     return formatSize(sizeBytes) + "/" + formatSize(lineBytes) + "B/" +
-        assoc + "/" + toString(replacement) + "/" + toString(writePolicy) +
-        "/" + toString(fetchPolicy);
+        assoc + "/" + policy + "/" + toString(writePolicy) + "/" +
+        toString(fetchPolicy);
 }
 
 } // namespace cachelab

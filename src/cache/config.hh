@@ -14,16 +14,10 @@
 #include <cstdint>
 #include <string>
 
+#include "cache/policy.hh"
+
 namespace cachelab
 {
-
-/** Replacement policy within a set. */
-enum class ReplacementPolicy : std::uint8_t
-{
-    LRU,    ///< least recently used (the paper's baseline)
-    FIFO,   ///< evict the oldest-fetched line
-    Random, ///< evict a uniformly random line
-};
 
 /** How writes propagate to memory. */
 enum class WritePolicy : std::uint8_t
@@ -47,7 +41,6 @@ enum class FetchPolicy : std::uint8_t
 };
 
 /** @return display name for each policy value. */
-std::string toString(ReplacementPolicy policy);
 std::string toString(WritePolicy policy);
 std::string toString(WriteMissPolicy policy);
 std::string toString(FetchPolicy policy);
@@ -73,12 +66,23 @@ struct CacheConfig
      */
     std::uint32_t associativity = 0;
 
-    ReplacementPolicy replacement = ReplacementPolicy::LRU;
+    /**
+     * Replacement policy (see cache/policy.hh for the valid names and
+     * their parameters).  Defaults to LRU, the paper's baseline.
+     */
+    PolicySpec replacement;
+
+    /**
+     * Optional admission policy; an empty spec (the default) installs
+     * every missing line, the pre-admission behaviour.
+     */
+    PolicySpec admission{"", {}};
+
     WritePolicy writePolicy = WritePolicy::CopyBack;
     WriteMissPolicy writeMiss = WriteMissPolicy::FetchOnWrite;
     FetchPolicy fetchPolicy = FetchPolicy::Demand;
 
-    /** Seed for the Random replacement policy. */
+    /** Seed for stochastic replacement policies (random). */
     std::uint64_t randomSeed = 1;
 
     /** @return number of lines the cache holds. */
@@ -93,7 +97,12 @@ struct CacheConfig
     /** fatal() if any parameter combination is invalid. */
     void validate() const;
 
-    /** @return compact description, e.g. "16K/16B/full/LRU/CB/demand". */
+    /**
+     * @return compact description, e.g. "16K/16B/full/LRU/copy-back/
+     * demand".  The policy field renders the full parameterized spec
+     * ("slru:probation=0.25", "lru+tinylfu") so sweep rows from
+     * different parameterizations stay distinguishable.
+     */
     std::string describe() const;
 };
 

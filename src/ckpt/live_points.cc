@@ -626,9 +626,9 @@ splitLivePointKey(const std::string &trace_name, std::uint64_t trace_refs,
 void
 requireLivePointEligible(const CacheConfig &config)
 {
-    if (config.replacement != ReplacementPolicy::LRU)
+    if (config.replacement.toString() != "lru" || !config.admission.empty())
         fatal("live points serve only LRU replacement (stack inclusion "
-              "does not hold for ", toString(config.replacement),
+              "does not hold for ", config.describe(),
               ") — use ckpt/state_io exact snapshots instead");
     if (config.fetchPolicy != FetchPolicy::Demand)
         fatal("live points serve only demand fetch (prefetching makes "

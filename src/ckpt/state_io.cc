@@ -18,7 +18,13 @@ namespace cachelab::ckpt
 namespace
 {
 
+// Version 1: the original encoding (no policy-state words).  Version 2
+// appends counted policy/admission word arrays after the statistics
+// blob; it is emitted only when such words exist, so classic-policy
+// snapshots remain byte-identical to version 1 and old readers' files
+// stay loadable.
 constexpr std::uint32_t kStateVersion = 1;
+constexpr std::uint32_t kMaxStateVersion = 2;
 
 void
 writeBytes(std::ostream &os, const void *data, std::size_t n)
@@ -52,13 +58,14 @@ readPod(std::istream &is)
 }
 
 void
-writeMagic(std::ostream &os, const char magic[4])
+writeMagic(std::ostream &os, const char magic[4],
+           std::uint32_t version = kStateVersion)
 {
     writeBytes(os, magic, 4);
-    writePod<std::uint32_t>(os, kStateVersion);
+    writePod<std::uint32_t>(os, version);
 }
 
-void
+std::uint32_t
 expectMagic(std::istream &is, const char magic[4], const char *what)
 {
     char got[4];
@@ -67,9 +74,29 @@ expectMagic(std::istream &is, const char magic[4], const char *what)
         fatal("cache state: expected a ", what, " record (magic ",
               std::string(magic, 4), "), got '", std::string(got, 4), "'");
     const auto version = readPod<std::uint32_t>(is);
-    if (version != kStateVersion)
+    if (version < 1 || version > kMaxStateVersion)
         fatal("cache state: ", what, " record version ", version,
-              " is not the supported version ", kStateVersion);
+              " is not in the supported range 1..", kMaxStateVersion);
+    return version;
+}
+
+void
+writeWords(std::ostream &os, const std::vector<std::uint64_t> &words)
+{
+    writePod<std::uint64_t>(os, words.size());
+    for (std::uint64_t word : words)
+        writePod(os, word);
+}
+
+std::vector<std::uint64_t>
+readWords(std::istream &is)
+{
+    const auto count = readPod<std::uint64_t>(is);
+    std::vector<std::uint64_t> words;
+    words.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        words.push_back(readPod<std::uint64_t>(is));
+    return words;
 }
 
 void
@@ -89,7 +116,9 @@ readStats(std::istream &is)
 void
 writeCacheState(std::ostream &os, const CacheState &state)
 {
-    writeMagic(os, "CKS1");
+    const bool extended =
+        !state.policyWords.empty() || !state.admissionWords.empty();
+    writeMagic(os, "CKS1", extended ? 2 : 1);
     writePod(os, state.sizeBytes);
     writePod(os, state.lineBytes);
     writePod(os, state.sets);
@@ -111,12 +140,16 @@ writeCacheState(std::ostream &os, const CacheState &state)
         writePod(os, word);
     writePod(os, state.clock);
     writeStats(os, state.stats);
+    if (extended) {
+        writeWords(os, state.policyWords);
+        writeWords(os, state.admissionWords);
+    }
 }
 
 CacheState
 readCacheState(std::istream &is)
 {
-    expectMagic(is, "CKS1", "CacheState");
+    const std::uint32_t version = expectMagic(is, "CKS1", "CacheState");
     CacheState state;
     state.sizeBytes = readPod<std::uint64_t>(is);
     state.lineBytes = readPod<std::uint32_t>(is);
@@ -142,6 +175,10 @@ readCacheState(std::istream &is)
         word = readPod<std::uint64_t>(is);
     state.clock = readPod<std::uint64_t>(is);
     state.stats = readStats(is);
+    if (version >= 2) {
+        state.policyWords = readWords(is);
+        state.admissionWords = readWords(is);
+    }
     return state;
 }
 

@@ -31,7 +31,33 @@ namespace cachelab::obs
 namespace
 {
 
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
+
+/** Emit one PolicySpec as the structured {"name", "params"} object. */
+void
+writePolicyJson(JsonWriter &w, const PolicySpec &spec)
+{
+    w.beginObject();
+    w.member("name", spec.name);
+    w.key("params").beginObject();
+    for (const auto &[key, value] : spec.params)
+        w.member(key, value);
+    w.endObject();
+    w.member("canonical", spec.toString());
+    w.endObject();
+}
+
+void
+writeResultTimingJson(JsonWriter &w, const ManifestTiming &timing)
+{
+    w.beginObject();
+    w.member("amat", timing.amat);
+    w.member("total_cycles", timing.totalCycles);
+    w.member("bus_cycles", timing.busCycles);
+    w.member("traffic_limited_refs_per_cycle",
+             timing.trafficLimitedRefsPerCycle);
+    w.endObject();
+}
 
 void
 writeBuildJson(JsonWriter &w, const BuildInfo &build)
@@ -232,6 +258,22 @@ writeManifest(std::ostream &os, const RunManifest &manifest, int indent)
     for (const auto &[key, value] : manifest.config)
         w.member(key, value);
     w.endObject();
+    if (!manifest.replacement.empty()) {
+        w.key("policy");
+        writePolicyJson(w, manifest.replacement);
+        if (!manifest.admission.empty()) {
+            w.key("admission");
+            writePolicyJson(w, manifest.admission);
+        }
+    }
+    if (manifest.timingConfigured) {
+        w.key("timing").beginObject();
+        w.member("hit_cycles", manifest.timingHitCycles);
+        w.member("l2_hit_cycles", manifest.timingL2HitCycles);
+        w.member("memory_cycles", manifest.timingMemoryCycles);
+        w.member("width_bytes", manifest.timingWidthBytes);
+        w.endObject();
+    }
 
     w.key("execution").beginObject();
     w.member("wall_seconds", manifest.wallSeconds);
@@ -263,6 +305,10 @@ writeManifest(std::ostream &os, const RunManifest &manifest, int indent)
         w.member("cache_bytes", result.cacheBytes);
         w.key("stats");
         writeCacheStatsJson(w, result.stats);
+        if (result.timing.configured) {
+            w.key("timing");
+            writeResultTimingJson(w, result.timing);
+        }
         w.endObject();
     }
     w.endArray();

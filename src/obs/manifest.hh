@@ -12,10 +12,20 @@
  * scraping tables.
  *
  * Schema: the top-level object carries
- *   "schema": "cachelab.run_manifest", "schema_version": 1
+ *   "schema": "cachelab.run_manifest", "schema_version": 2
  * and consumers must ignore unknown keys, so the version only bumps on
  * incompatible changes.  Key order is fixed (JsonWriter preserves
  * insertion order), making manifests diffable.
+ *
+ * Version history:
+ *   1 — original layout; the replacement policy appears only inside
+ *       the config section's flat describe() string.
+ *   2 — adds the structured "policy" object ({"name", "params"}, plus
+ *       "admission" when an admission filter is configured) and, when
+ *       a timing model is configured, a "timing" config object and
+ *       per-result "timing" blocks (AMAT, bus cycles, traffic-limited
+ *       throughput).  Readers of v1 manifests still work: every v1
+ *       key is unchanged.
  */
 
 #ifndef CACHELAB_OBS_MANIFEST_HH
@@ -27,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/policy.hh"
 #include "cache/stats.hh"
 #include "sample/sampled_run.hh"
 
@@ -54,12 +65,27 @@ BuildInfo buildInfo();
 /** @return this machine's hostname ("unknown" when unavailable). */
 std::string hostName();
 
+/**
+ * Timing quantities attached to one result when a timing model is
+ * configured (mirrors sim/timing TimingResult; kept as plain doubles
+ * here because obs sits below sim in the link order).
+ */
+struct ManifestTiming
+{
+    bool configured = false; ///< false = emit nothing (legacy output)
+    double amat = 0;
+    double totalCycles = 0;
+    double busCycles = 0;
+    double trafficLimitedRefsPerCycle = 0;
+};
+
 /** One simulated result attached to a manifest. */
 struct ManifestResult
 {
     std::string name;             ///< e.g. "unified", "icache", "sweep"
     std::uint64_t cacheBytes = 0; ///< capacity of this result's cache
     CacheStats stats;
+    ManifestTiming timing;        ///< emitted only when configured
 };
 
 /** One sampled result (estimate + confidence intervals). */
@@ -83,6 +109,26 @@ struct RunManifest
 
     /** Resolved configuration, in presentation order. */
     std::vector<std::pair<std::string, std::string>> config;
+
+    /**
+     * Structured replacement-policy identity, emitted as the schema-2
+     * "policy" object.  An empty name means the producing tool has no
+     * single cache policy (keeps older call sites emitting nothing).
+     */
+    PolicySpec replacement{"", {}};
+
+    /** Admission filter identity; empty = none configured. */
+    PolicySpec admission{"", {}};
+
+    /**
+     * Timing-model parameters ("timing" config object); emitted — like
+     * the per-result blocks — only when a model was configured.
+     */
+    bool timingConfigured = false;
+    double timingHitCycles = 0;
+    double timingL2HitCycles = 0;
+    double timingMemoryCycles = 0;
+    double timingWidthBytes = 0;
 
     std::vector<ManifestResult> results;
     std::vector<ManifestSampledResult> sampledResults;

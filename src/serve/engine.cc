@@ -11,6 +11,7 @@
 #include "cache/cache.hh"
 #include "obs/metrics.hh"
 #include "sim/drive.hh"
+#include "sim/timing.hh"
 #include "util/logging.hh"
 
 namespace cachelab::serve
@@ -169,10 +170,20 @@ buildExperimentManifest(
     manifest.config.insert(manifest.config.end(), extra_config.begin(),
                            extra_config.end());
 
+    manifest.replacement = spec.base.replacement;
+    manifest.admission = spec.base.admission;
+    applyTimingConfig(manifest, spec.timing);
+
     const std::string name = spec.id.empty() ? "sweep" : spec.id;
-    for (const SweepPoint &point : result.points)
-        manifest.results.push_back(
-            obs::ManifestResult{name, point.cacheBytes, point.stats});
+    for (const SweepPoint &point : result.points) {
+        obs::ManifestResult entry{name, point.cacheBytes, point.stats,
+                                  {}};
+        if (spec.timing.enabled())
+            applyTimingResult(entry,
+                              computeTiming(spec.timing, point.stats,
+                                            spec.base.lineBytes));
+        manifest.results.push_back(std::move(entry));
+    }
 
     // The phase profile is process-lifetime state — meaningless as
     // per-request provenance on a long-running server.

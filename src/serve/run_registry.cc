@@ -91,7 +91,8 @@ specIdentityHash(const ExperimentSpec &spec)
     h = fnv1aString(h, spec.input.cacheKey());
     h = fnv1aU64(h, spec.base.lineBytes);
     h = fnv1aU64(h, spec.base.associativity);
-    h = fnv1aU64(h, static_cast<std::uint64_t>(spec.base.replacement));
+    h = fnv1aString(h, spec.base.replacement.toString());
+    h = fnv1aString(h, spec.base.admission.toString());
     h = fnv1aU64(h, static_cast<std::uint64_t>(spec.base.writePolicy));
     h = fnv1aU64(h, static_cast<std::uint64_t>(spec.base.writeMiss));
     h = fnv1aU64(h, static_cast<std::uint64_t>(spec.base.fetchPolicy));
@@ -101,6 +102,8 @@ specIdentityHash(const ExperimentSpec &spec)
         h = fnv1aU64(h, size);
     h = fnv1aU64(h, spec.purgeInterval);
     h = fnv1aU64(h, spec.warmupRefs);
+    h = fnv1aString(h, spec.timing.enabled() ? spec.timing.describe()
+                                             : std::string());
     return h;
 }
 

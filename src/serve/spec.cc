@@ -5,6 +5,7 @@
 
 #include "serve/spec.hh"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -60,6 +61,101 @@ readString(const JsonValue &obj, std::string_view key, std::string &out)
     if (!v->isString())
         return std::string("\"") + std::string(key) + "\" must be a string";
     out = v->asString();
+    return std::nullopt;
+}
+
+std::string
+lowerCopy(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/**
+ * Read a policy member (@p key = "replacement" or "admission"):
+ * either the shared `name:key=value,...` string or the structured
+ * `{"name": ..., "params": {...}}` object form.  Both run through the
+ * same cache/policy validation, so the error carries the valid-name
+ * list.  Absent members leave @p out untouched.
+ */
+std::optional<std::string>
+parsePolicyMember(const JsonValue &doc, std::string_view key,
+                  bool is_admission, PolicySpec &out)
+{
+    const JsonValue *v = doc.find(key);
+    if (v == nullptr)
+        return std::nullopt;
+    if (v->isString()) {
+        const std::string &text = v->asString();
+        if (text.empty() && !is_admission) {
+            out = policySpec("lru"); // legacy: "" picked the default
+            return std::nullopt;
+        }
+        return is_admission ? parseAdmissionPolicy(text, out)
+                            : parseReplacementPolicy(text, out);
+    }
+    if (!v->isObject())
+        return "\"" + std::string(key) +
+               "\" must be a policy string or a "
+               "{\"name\", \"params\"} object";
+    PolicySpec spec;
+    spec.name.clear();
+    if (auto err = readString(*v, "name", spec.name))
+        return err;
+    spec.name = lowerCopy(spec.name);
+    if (is_admission && spec.name == "none")
+        spec.name.clear();
+    if (const JsonValue *params = v->find("params")) {
+        if (!params->isObject())
+            return "\"" + std::string(key) +
+                   "\" \"params\" must be an object";
+        for (const auto &[pkey, pvalue] : params->members()) {
+            if (!pvalue.isNumber())
+                return "\"" + std::string(key) + "\" parameter \"" +
+                       pkey + "\" must be a number";
+            spec.params.emplace_back(lowerCopy(pkey),
+                                     pvalue.asDouble());
+        }
+    }
+    if (auto err = is_admission ? checkAdmissionPolicy(spec)
+                                : checkReplacementPolicy(spec))
+        return err;
+    out = std::move(spec);
+    return std::nullopt;
+}
+
+/** Parse the optional "timing" object (AMAT model parameters). */
+std::optional<std::string>
+parseTimingSpec(const JsonValue &doc, TimingConfig &out)
+{
+    if (!doc.isObject())
+        return "\"timing\" must be an object";
+    TimingConfig timing;
+    timing.configured = true;
+    for (const auto &[key, value] : doc.members()) {
+        if (!value.isNumber())
+            return "timing parameter \"" + key + "\" must be a number";
+        const double parsed = value.asDouble();
+        if (parsed < 0)
+            return "timing parameter \"" + key +
+                   "\" must be non-negative";
+        if (key == "hit_cycles")
+            timing.hitCycles = parsed;
+        else if (key == "l2_hit_cycles")
+            timing.l2HitCycles = parsed;
+        else if (key == "memory_cycles")
+            timing.memoryCycles = parsed;
+        else if (key == "width_bytes")
+            timing.widthBytes = parsed;
+        else
+            return "unknown timing parameter \"" + key +
+                   "\" (valid: hit_cycles, l2_hit_cycles, "
+                   "memory_cycles, width_bytes)";
+    }
+    out = timing;
     return std::nullopt;
 }
 
@@ -151,19 +247,14 @@ parseCacheSpec(const JsonValue &doc, CacheConfig &out)
     if (auto err = readUint(doc, "random_seed", out.randomSeed))
         return err;
 
-    std::string s;
-    if (auto err = readString(doc, "replacement", s))
+    if (auto err =
+            parsePolicyMember(doc, "replacement", false, out.replacement))
         return err;
-    if (s == "lru" || s.empty())
-        out.replacement = ReplacementPolicy::LRU;
-    else if (s == "fifo")
-        out.replacement = ReplacementPolicy::FIFO;
-    else if (s == "random")
-        out.replacement = ReplacementPolicy::Random;
-    else
-        return "unknown replacement \"" + s + "\"";
+    if (auto err =
+            parsePolicyMember(doc, "admission", true, out.admission))
+        return err;
 
-    s.clear();
+    std::string s;
     if (auto err = readString(doc, "write_policy", s))
         return err;
     if (s == "copy-back" || s.empty())
@@ -248,6 +339,10 @@ checkCacheConfig(const CacheConfig &config)
     if (assoc > lines)
         return "associativity " + std::to_string(assoc) +
                " exceeds line count " + std::to_string(lines);
+    if (auto err = checkReplacementPolicy(config.replacement))
+        return err;
+    if (auto err = checkAdmissionPolicy(config.admission))
+        return err;
     return std::nullopt;
 }
 
@@ -379,6 +474,10 @@ parseExperimentSpec(const JsonValue &doc, ExperimentSpec &out)
         return err;
     if (auto err = readUint(doc, "warmup_refs", out.warmupRefs))
         return err;
+
+    if (const JsonValue *timing = doc.find("timing"))
+        if (auto err = parseTimingSpec(*timing, out.timing))
+            return err;
 
     // Every point of the size axis must be a valid configuration.
     for (std::uint64_t size : out.sizes) {

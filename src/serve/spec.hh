@@ -22,7 +22,13 @@
  *     "cache": {
  *       "line_bytes": 16,
  *       "associativity": 0,                  // 0 = fully associative
- *       "replacement": "lru",                // "lru" | "fifo" | "random"
+ *       "replacement": "slru:probation=0.2", // policy string ...
+ *       // ... or the structured form {"name": "slru",
+ *       //                             "params": {"probation": 0.2}};
+ *       // any cache/policy name (lru, fifo, random, slru, lfu,
+ *       // lfuda, 2q, arc); bare "lru" remains the default
+ *       "admission": "tinylfu",              // optional filter; same
+ *                                            // two forms; "none" = off
  *       "write_policy": "copy-back",         // | "write-through"
  *       "write_miss": "fetch-on-write",      // | "no-allocate"
  *       "fetch": "demand",                   // | "prefetch-always"
@@ -30,7 +36,11 @@
  *     },
  *     "sizes": [1024, 4096]                  // or {"lo": 256, "hi": 8192}
  *     "purge_interval": 0,
- *     "warmup_refs": 0
+ *     "warmup_refs": 0,
+ *     "timing": {                            // optional; enables AMAT
+ *       "hit_cycles": 1, "l2_hit_cycles": 10,
+ *       "memory_cycles": 100, "width_bytes": 8
+ *     }
  *   }
  *
  * A "kv" input carries the KvWorkloadParams knobs instead of a name:
@@ -53,6 +63,7 @@
 #include <vector>
 
 #include "cache/config.hh"
+#include "sim/timing.hh"
 #include "trace/source.hh"
 #include "util/json_reader.hh"
 #include "workload/kv_model.hh"
@@ -106,6 +117,7 @@ struct ExperimentSpec
     std::vector<std::uint64_t> sizes;
     std::uint64_t purgeInterval = 0;
     std::uint64_t warmupRefs = 0;
+    TimingConfig timing;     ///< AMAT model; default = not configured
 
     /** The batcher's compatibility key (the input identity). */
     std::string batchKey() const { return input.cacheKey(); }

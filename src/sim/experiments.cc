@@ -27,7 +27,7 @@ table1Config(std::uint64_t size_bytes)
     config.sizeBytes = size_bytes;
     config.lineBytes = 16;
     config.associativity = 0; // fully associative
-    config.replacement = ReplacementPolicy::LRU;
+    config.replacement = policySpec("lru");
     config.writePolicy = WritePolicy::CopyBack;
     config.writeMiss = WriteMissPolicy::FetchOnWrite;
     config.fetchPolicy = FetchPolicy::Demand;

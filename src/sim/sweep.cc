@@ -438,7 +438,7 @@ bool
 sweepSinglePassEligible(const CacheConfig &base, const RunConfig &run)
 {
     return base.associativity == 0 &&
-        base.replacement == ReplacementPolicy::LRU &&
+        base.replacement.toString() == "lru" && base.admission.empty() &&
         base.fetchPolicy == FetchPolicy::Demand &&
         base.writePolicy == WritePolicy::CopyBack &&
         base.writeMiss == WriteMissPolicy::FetchOnWrite &&

@@ -92,7 +92,7 @@ TEST(Cache, LruEvictionOrder)
 TEST(Cache, FifoIgnoresHits)
 {
     CacheConfig c = tinyConfig();
-    c.replacement = ReplacementPolicy::FIFO;
+    c.replacement = policySpec("fifo");
     Cache cache(c);
     for (Addr a : {0x000, 0x010, 0x020, 0x030})
         cache.access(readAt(a));
@@ -105,7 +105,7 @@ TEST(Cache, FifoIgnoresHits)
 TEST(Cache, RandomReplacementFillsInvalidFirst)
 {
     CacheConfig c = tinyConfig();
-    c.replacement = ReplacementPolicy::Random;
+    c.replacement = policySpec("random");
     Cache cache(c);
     for (Addr a : {0x000, 0x010, 0x020, 0x030})
         cache.access(readAt(a));

@@ -106,16 +106,14 @@ TEST(CacheState, MidstreamRestoreContinuesBitwise)
     const Trace trace = testTrace();
     const std::uint64_t half = trace.size() / 2;
 
-    for (ReplacementPolicy repl : {ReplacementPolicy::LRU,
-                                   ReplacementPolicy::FIFO,
-                                   ReplacementPolicy::Random}) {
+    for (const char *repl : {"lru", "fifo", "random"}) {
         for (WritePolicy wp :
              {WritePolicy::CopyBack, WritePolicy::WriteThrough}) {
             for (std::uint32_t assoc : {1u, 2u, 0u}) {
                 CacheConfig config;
                 config.sizeBytes = 4096;
                 config.associativity = assoc;
-                config.replacement = repl;
+                config.replacement = policySpec(repl);
                 config.writePolicy = wp;
 
                 Cache reference(config);
@@ -129,7 +127,7 @@ TEST(CacheState, MidstreamRestoreContinuesBitwise)
 
                 EXPECT_TRUE(statsBitwiseEqual(second.stats(),
                                               reference.stats()))
-                    << toString(repl) << "/" << toString(wp) << "/assoc "
+                    << repl << "/" << toString(wp) << "/assoc "
                     << assoc;
             }
         }
@@ -398,7 +396,7 @@ TEST(LivePoints, RestoreRejectsIneligibleAndMismatchedCaches)
 
     std::uint64_t since_purge = 0;
     CacheConfig fifo = config;
-    fifo.replacement = ReplacementPolicy::FIFO;
+    fifo.replacement = policySpec("fifo");
     Cache fifo_cache(fifo);
     EXPECT_DEATH({ group.restoreInto(fifo_cache, 0, since_purge); },
                  "only LRU");
@@ -645,7 +643,7 @@ TEST(LivePointStore, WriterRejectsIneligibleBaseConfig)
     Trace trace = testTrace();
     ckpt::LivePointWriteSpec spec = unifiedSpec(
         {1024}, sampleTenPercent(WarmingPolicy::Checkpoint));
-    spec.base.replacement = ReplacementPolicy::Random;
+    spec.base.replacement = policySpec("random");
     EXPECT_DEATH({
         ckpt::writeLivePoints(trace, freshDir("lvpt-bad"), spec);
     }, "only LRU");

@@ -102,7 +102,7 @@ TEST(ManifestTest, ManifestCarriesSchemaBuildAndResults)
     manifest.wallSeconds = 0.5;
     manifest.refsProcessed = trace.size();
     manifest.config = {{"mode", "single"}, {"cache", "1K/16B"}};
-    manifest.results.push_back({"unified", 1024, s});
+    manifest.results.push_back({"unified", 1024, s, {}});
     manifest.includeMetrics = false;
     manifest.includeProfile = false;
 
@@ -112,7 +112,7 @@ TEST(ManifestTest, ManifestCarriesSchemaBuildAndResults)
 
     EXPECT_NE(out.find("\"schema\": \"cachelab.run_manifest\""),
               std::string::npos);
-    EXPECT_NE(out.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(out.find("\"tool\": \"manifest_test\""), std::string::npos);
     EXPECT_NE(out.find("\"git\": "), std::string::npos);
     EXPECT_NE(out.find("\"compiler\": "), std::string::npos);

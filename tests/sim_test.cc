@@ -117,7 +117,7 @@ TEST(Experiments, Table1ConfigMatchesPaperBaseline)
     EXPECT_EQ(c.sizeBytes, 16384u);
     EXPECT_EQ(c.lineBytes, 16u);
     EXPECT_EQ(c.associativity, 0u);
-    EXPECT_EQ(c.replacement, ReplacementPolicy::LRU);
+    EXPECT_EQ(c.replacement.toString(), "lru");
     EXPECT_EQ(c.writePolicy, WritePolicy::CopyBack);
     EXPECT_EQ(c.writeMiss, WriteMissPolicy::FetchOnWrite);
     EXPECT_EQ(c.fetchPolicy, FetchPolicy::Demand);

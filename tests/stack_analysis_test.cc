@@ -158,15 +158,13 @@ TEST_P(BeladySeedSweep, OptNeverMissesMoreThanLruFifoRandom)
 
     for (std::uint64_t size : {256u, 1024u, 4096u}) {
         const CacheStats opt = simulateOptimal(t, size, 16);
-        for (ReplacementPolicy policy :
-             {ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
-              ReplacementPolicy::Random}) {
+        for (const char *policy : {"lru", "fifo", "random"}) {
             CacheConfig cfg = table1Config(size);
-            cfg.replacement = policy;
+            cfg.replacement = policySpec(policy);
             Cache cache(cfg);
             const CacheStats s = runTrace(t, cache);
             EXPECT_LE(opt.demandFetches, s.demandFetches)
-                << toString(policy) << " @ " << size;
+                << policy << " @ " << size;
         }
     }
 }

@@ -142,7 +142,7 @@ TEST(SweepEngine, AutoPicksSinglePassOnlyWhenEligible)
     EXPECT_FALSE(sweepSinglePassEligible(prefetch, plain));
 
     CacheConfig fifo = table1;
-    fifo.replacement = ReplacementPolicy::FIFO;
+    fifo.replacement = policySpec("fifo");
     EXPECT_FALSE(sweepSinglePassEligible(fifo, plain));
 
     CacheConfig through = table1;

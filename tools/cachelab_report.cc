@@ -278,7 +278,48 @@ writeReportMd(const std::string &path, const JsonValue &manifest,
             manifestString(manifest, {"provenance", "argv"});
         !argv.empty())
         out << "- command: `" << argv << "`\n";
+    // Schema v2 carries the policy as a structured object; v1
+    // manifests spell it only inside the cache describe() string
+    // already shown above, so these lines simply stay absent.
+    if (const std::string policy =
+            manifestString(manifest, {"policy", "canonical"});
+        !policy.empty())
+        out << "- replacement policy: `" << policy << "`\n";
+    if (const std::string admission =
+            manifestString(manifest, {"admission", "canonical"});
+        !admission.empty())
+        out << "- admission filter: `" << admission << "`\n";
     out << "\n";
+
+    if (const JsonValue *timing = manifest.find("timing");
+        timing != nullptr && timing->isObject()) {
+        out << "## Timing model (AMAT)\n\n";
+        out << "Configured latencies: hit "
+            << timing->at("hit_cycles").asDouble() << ", L2 hit "
+            << timing->at("l2_hit_cycles").asDouble() << ", memory "
+            << timing->at("memory_cycles").asDouble()
+            << " cycles; interface width "
+            << timing->at("width_bytes").asDouble() << " B/cycle.\n\n";
+        if (const JsonValue *results = manifest.find("results");
+            results != nullptr && results->isArray()) {
+            out << "| result | cache | AMAT (cycles/ref) | bus cycles | "
+                   "traffic-limited refs/cycle |\n"
+                   "|---|---:|---:|---:|---:|\n";
+            for (const JsonValue &result : results->items()) {
+                const JsonValue *cycles = result.find("timing");
+                if (cycles == nullptr)
+                    continue;
+                out << "| " << result.at("name").asString() << " | "
+                    << formatSize(result.at("cache_bytes").asUint())
+                    << " | " << cycles->at("amat").asDouble() << " | "
+                    << cycles->at("bus_cycles").asDouble() << " | "
+                    << cycles->at("traffic_limited_refs_per_cycle")
+                           .asDouble()
+                    << " |\n";
+            }
+            out << "\n";
+        }
+    }
 
     if (log.haveTotals) {
         const Interval &t = log.totals;
@@ -522,6 +563,12 @@ main(int argc, char **argv)
     if (const JsonValue *schema = manifest->find("schema");
         schema == nullptr || schema->asString() != "cachelab.run_manifest")
         fatal(manifest_path, ": not a cachelab run manifest");
+    // Both manifest generations are readable: v1 (flat describe()
+    // string only) and v2 (structured policy + optional timing).
+    if (const JsonValue *version = manifest->find("schema_version");
+        version != nullptr && version->isUint() && version->asUint() > 2)
+        fatal(manifest_path, ": manifest schema_version ",
+              version->asUint(), " is newer than this tool (knows 1-2)");
 
     const EventLog log = loadEvents(events_path);
 

@@ -51,6 +51,7 @@
 #include "sim/run.hh"
 #include "sim/sampled.hh"
 #include "sim/sweep.hh"
+#include "sim/timing.hh"
 #include "stats/table.hh"
 #include "trace/io.hh"
 #include "trace/source.hh"
@@ -98,13 +99,25 @@ cache parameters:
   --size BYTES          capacity (default 16384)
   --line BYTES          line size (default 16)
   --assoc N             ways; 0 = fully associative (default 0)
-  --replacement P       lru | fifo | random (default lru)
+  --replacement P       replacement policy, name[:key=value,...]:
+                        lru | fifo | random | slru[:probation=F] |
+                        lfu | lfuda | 2q[:kin=F,kout=F] | arc
+                        (default lru)
+  --admission P         admission filter consulted before installing a
+                        missing line: none | tinylfu[:counters=N,window=N]
+                        (default none)
   --write P             copyback | writethrough (default copyback)
   --write-miss P        allocate | noallocate (default allocate)
   --fetch P             demand | prefetch (default demand)
   --split               split I/D organization (size per side)
   --sector BYTES        sector cache with this sub-block size
   --purge N             purge every N refs (default 0 = never)
+  --timing SPEC         AMAT timing model as key=value list (keys hit,
+                        l2hit, mem in cycles; width in bytes/cycle;
+                        empty = hit=1,l2hit=10,mem=100,width=8).  Adds
+                        AMAT and traffic-limited throughput to the
+                        report, sweep CSV and manifest; unified runs
+                        and plain --sweep only
 
 modes:
   --sweep LO:HI         sweep power-of-two sizes LO..HI
@@ -272,15 +285,13 @@ configFrom(const Args &args)
     cfg.associativity =
         static_cast<std::uint32_t>(args.getUint("assoc", 0));
 
-    const std::string repl = args.get("replacement", "lru");
-    if (repl == "lru")
-        cfg.replacement = ReplacementPolicy::LRU;
-    else if (repl == "fifo")
-        cfg.replacement = ReplacementPolicy::FIFO;
-    else if (repl == "random")
-        cfg.replacement = ReplacementPolicy::Random;
-    else
-        fatal("--replacement: unknown policy '", repl, "'");
+    if (auto error = parseReplacementPolicy(
+            args.get("replacement", "lru"), cfg.replacement))
+        fatal("--replacement: ", *error);
+    if (args.has("admission"))
+        if (auto error = parseAdmissionPolicy(args.get("admission"),
+                                              cfg.admission))
+            fatal("--admission: ", *error);
 
     const std::string write = args.get("write", "copyback");
     if (write == "copyback")
@@ -310,6 +321,18 @@ configFrom(const Args &args)
 
     cfg.validate();
     return cfg;
+}
+
+/** @return the AMAT model the --timing flag describes (or disabled). */
+TimingConfig
+timingFrom(const Args &args)
+{
+    TimingConfig timing;
+    if (!args.has("timing"))
+        return timing;
+    if (auto error = parseTimingConfig(args.get("timing"), timing))
+        fatal("--timing: ", *error);
+    return timing;
 }
 
 /** @return the sampling plan described by the --sample-* flags. */
@@ -879,10 +902,23 @@ template <typename Input>
 int
 runSweep(const Args &args, Input &input, const CacheConfig &base,
          const RunConfig &run, SweepEngine engine,
-         const InstrumentFlags &instr, obs::RunManifest &manifest)
+         const InstrumentFlags &instr, const TimingConfig &timing,
+         obs::RunManifest &manifest)
 {
     const auto [lo, hi] = sweepRange(args);
     const auto sizes = powersOfTwo(lo, hi);
+
+    std::vector<std::string> csv_columns = {"size", "miss_ratio", "imiss",
+                                            "dmiss", "traffic_bytes"};
+    std::vector<std::string> table_columns = {"size", "miss",
+                                              "ifetch miss", "data miss",
+                                              "traffic B/ref"};
+    if (timing.enabled()) {
+        csv_columns.insert(csv_columns.end(),
+                           {"amat", "traffic_limited_refs_per_cycle"});
+        table_columns.insert(table_columns.end(),
+                             {"AMAT", "refs/cycle"});
+    }
 
     std::ofstream csv_file;
     std::unique_ptr<CsvWriter> csv;
@@ -895,17 +931,14 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
             os = &csv_file;
         }
         csv = std::make_unique<CsvWriter>(*os);
-        csv->header({"size", "miss_ratio", "imiss", "dmiss",
-                     "traffic_bytes"});
+        csv->header(csv_columns);
     }
 
     TextTable table("Sweep: " + input.name() + " on " + base.describe() +
                     " (size varied)");
-    table.setHeader({"size", "miss", "ifetch miss", "data miss",
-                     "traffic B/ref"});
-    table.setAlignment({TextTable::Align::Right, TextTable::Align::Right,
-                        TextTable::Align::Right, TextTable::Align::Right,
-                        TextTable::Align::Right});
+    table.setHeader(table_columns);
+    table.setAlignment(std::vector<TextTable::Align>(
+        table_columns.size(), TextTable::Align::Right));
 
     std::unique_ptr<SweepProbeFactory> probes;
     if (args.has("stack-curve")) {
@@ -934,24 +967,41 @@ runSweep(const Args &args, Input &input, const CacheConfig &base,
         }
         const auto points =
             sweepUnified(input, sizes, base, instrumented, engine);
-        for (const SweepPoint &pt : points)
-            manifest.results.push_back({"sweep", pt.cacheBytes, pt.stats});
         for (const SweepPoint &pt : points) {
-            table.addRow(
-                {formatSize(pt.cacheBytes),
-                 formatPercent(pt.stats.missRatio()),
-                 formatPercent(pt.stats.missRatio(AccessKind::IFetch)),
-                 formatPercent(pt.stats.dataMissRatio()),
-                 formatFixed(static_cast<double>(pt.stats.trafficBytes()) /
-                                 static_cast<double>(
-                                     pt.stats.totalAccesses()),
-                             2)});
+            TimingResult cycles;
+            if (timing.enabled())
+                cycles = computeTiming(timing, pt.stats, base.lineBytes);
+
+            obs::ManifestResult entry{"sweep", pt.cacheBytes, pt.stats,
+                                      {}};
+            if (timing.enabled())
+                applyTimingResult(entry, cycles);
+            manifest.results.push_back(std::move(entry));
+
+            std::vector<std::string> row = {
+                formatSize(pt.cacheBytes),
+                formatPercent(pt.stats.missRatio()),
+                formatPercent(pt.stats.missRatio(AccessKind::IFetch)),
+                formatPercent(pt.stats.dataMissRatio()),
+                formatFixed(static_cast<double>(pt.stats.trafficBytes()) /
+                                static_cast<double>(
+                                    pt.stats.totalAccesses()),
+                            2)};
+            if (timing.enabled()) {
+                row.push_back(formatFixed(cycles.amat, 2));
+                row.push_back(
+                    formatFixed(cycles.trafficLimitedRefsPerCycle, 4));
+            }
+            table.addRow(row);
             if (csv) {
                 csv->field(pt.cacheBytes)
                     .field(pt.stats.missRatio(), 6)
                     .field(pt.stats.missRatio(AccessKind::IFetch), 6)
                     .field(pt.stats.dataMissRatio(), 6)
                     .field(pt.stats.trafficBytes());
+                if (timing.enabled())
+                    csv->field(cycles.amat, 4)
+                        .field(cycles.trafficLimitedRefsPerCycle, 6);
                 csv->endRow();
             }
         }
@@ -973,7 +1023,7 @@ template <typename Input>
 int
 runModes(const Args &args, Input &input, const CacheConfig &base,
          const RunConfig &run, bool sampling, const InstrumentFlags &instr,
-         obs::RunManifest &manifest)
+         const TimingConfig &timing, obs::RunManifest &manifest)
 {
     constexpr bool materialized =
         std::is_same_v<std::remove_const_t<Input>, Trace>;
@@ -1018,7 +1068,8 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
             return runSampledSweep(args, input, base, run,
                                    sampleConfigFrom(args), manifest);
         }
-        return runSweep(args, input, base, run, engine, instr, manifest);
+        return runSweep(args, input, base, run, engine, instr, timing,
+                        manifest);
     }
 
     if (sampling && args.has("sector"))
@@ -1053,7 +1104,7 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
                        cache.stats());
             sinks.finish(cache.accessClock(), {{"role", "sector"}});
             manifest.results.push_back(
-                {"sector", cfg.sizeBytes, cache.stats()});
+                {"sector", cfg.sizeBytes, cache.stats(), {}});
             return 0;
         }
     }
@@ -1089,11 +1140,11 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
         dsinks.finish(split.dcache().accessClock(), {{"role", "dcache"}});
         printSinkLines(isinks, "I-cache");
         printSinkLines(dsinks, "D-cache");
-        manifest.results.push_back({"combined", base.sizeBytes, s});
+        manifest.results.push_back({"combined", base.sizeBytes, s, {}});
         manifest.results.push_back(
-            {"icache", base.sizeBytes, split.icache().stats()});
+            {"icache", base.sizeBytes, split.icache().stats(), {}});
         manifest.results.push_back(
-            {"dcache", base.sizeBytes, split.dcache().stats()});
+            {"dcache", base.sizeBytes, split.dcache().stats(), {}});
         return 0;
     }
 
@@ -1116,7 +1167,22 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
     printStats(base.describe() + " on " + input.name(), s);
     sinks.finish(cache.accessClock(), {});
     printSinkLines(sinks, {});
-    manifest.results.push_back({"unified", base.sizeBytes, s});
+    obs::ManifestResult unified{"unified", base.sizeBytes, s, {}};
+    if (timing.enabled()) {
+        const TimingResult cycles = computeTiming(timing, s, base.lineBytes);
+        applyTimingResult(unified, cycles);
+        std::cout << "  AMAT " << formatFixed(cycles.amat, 2)
+                  << " cycles/ref; bus busy "
+                  << formatCount(
+                         static_cast<std::uint64_t>(cycles.busCycles))
+                  << " cycles";
+        if (cycles.trafficLimitedRefsPerCycle > 0)
+            std::cout << "; traffic-limited ceiling "
+                      << formatFixed(cycles.trafficLimitedRefsPerCycle, 3)
+                      << " refs/cycle";
+        std::cout << "\n";
+    }
+    manifest.results.push_back(std::move(unified));
 
     if (args.has("opt")) {
         if constexpr (!materialized) {
@@ -1129,7 +1195,7 @@ runModes(const Args &args, Input &input, const CacheConfig &base,
                       << formatPercent(opt.missRatio()) << " ("
                       << formatCount(opt.demandFetches) << " fetches vs "
                       << formatCount(s.demandFetches) << ")\n";
-            manifest.results.push_back({"opt_bound", base.sizeBytes, opt});
+            manifest.results.push_back({"opt_bound", base.sizeBytes, opt, {}});
         }
     }
     return 0;
@@ -1151,7 +1217,7 @@ runSpecMode(const Args &args, int argc, char **argv)
          {"trace", "profile", "refs", "stream", "sweep", "sample", "opt",
           "sector", "split", "stack-curve", "ckpt", "ckpt-write", "size",
           "line", "assoc", "warmup", "purge", "classify", "events",
-          "set-heatmap"})
+          "set-heatmap", "replacement", "admission", "timing"})
         if (args.has(flag) &&
             !(std::string_view(flag) == "profile" &&
               args.get("profile").empty()))
@@ -1273,7 +1339,15 @@ main(int argc, char **argv)
     run.batchRefs = args.getUint("batch", 0);
 
     const InstrumentFlags instr = instrumentFrom(args);
+    const TimingConfig timing = timingFrom(args);
     const bool sampling = args.has("sample");
+    if (timing.enabled() &&
+        (sampling || args.has("sector") || args.has("split") ||
+         args.has("stack-curve") || args.has("opt") || args.has("ckpt") ||
+         args.has("ckpt-write")))
+        fatal("--timing supports unified runs and plain --sweep only "
+              "(no --sample/--sector/--split/--stack-curve/--opt/"
+              "--ckpt modes)");
     if (sampling && args.has("stack-curve"))
         fatal("--sample and --stack-curve are mutually exclusive");
     if (sampling && args.has("warmup"))
@@ -1359,6 +1433,9 @@ main(int argc, char **argv)
     if (sampling || ckpt_write || ckpt_read)
         manifest.config.emplace_back("sample",
                                      sampleConfigFrom(args).describe());
+    manifest.replacement = base.replacement;
+    manifest.admission = base.admission;
+    applyTimingConfig(manifest, timing);
 
     int rc = 0;
     {
@@ -1374,9 +1451,9 @@ main(int argc, char **argv)
         } else {
             rc = stream
                 ? runModes(args, *source, base, run, sampling, instr,
-                           manifest)
+                           timing, manifest)
                 : runModes(args, static_cast<const Trace &>(*trace), base,
-                           run, sampling, instr, manifest);
+                           run, sampling, instr, timing, manifest);
         }
     }
 

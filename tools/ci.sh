@@ -150,6 +150,58 @@ print(f"    {len(a)} sizes bitwise identical to functional warming;"
       f" key hash {store['key_hash']}")
 EOF
 
+echo "==> policy zoo + timing smoke (sweep per policy, AMAT manifest)"
+# Classic-trio parity: --replacement lru must be byte-identical to the
+# flag-free legacy invocation (same table, same manifest-free stdout),
+# pinning the pluggable-policy hot path to the pre-API behaviour.
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 --replacement lru \
+    > build-ci/smoke-policy-lru.txt 2>/dev/null
+cmp build-ci/smoke-policy-lru.txt build-ci/smoke-plain-a.txt
+# One sweep per policy, CSV out; every new policy must run end to end.
+for policy in fifo random slru slru:probation=0.5 lfu lfuda \
+    2q:kin=0.25,kout=0.5 arc; do
+    ${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+        --replacement "${policy}" \
+        --csv "build-ci/smoke-policy-$(echo "${policy}" | tr ':,=' '___').csv" \
+        > /dev/null 2>&1
+done
+# Admission filter rides along, and unknown names die with the
+# valid-name list rather than a stack trace.
+${sim} --profile ZGREP --refs 50000 --size 4096 \
+    --replacement slru --admission tinylfu:counters=1024 > /dev/null
+if ${sim} --profile ZGREP --refs 1000 --size 4096 \
+    --replacement clock > build-ci/smoke-policy-bad.log 2>&1; then
+    echo "    ERROR: unknown policy was accepted"; exit 1
+fi
+grep -q "lru" build-ci/smoke-policy-bad.log
+# Timing model: an AMAT-bearing manifest with policy provenance.
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+    --replacement arc --timing hit=2,mem=120,width=8 \
+    --metrics-json build-ci/smoke-policy-timing.json > /dev/null
+python3 - build-ci/smoke-policy-timing.json <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))
+assert manifest["schema_version"] == 2, manifest["schema_version"]
+assert manifest["policy"]["name"] == "arc", manifest["policy"]
+assert manifest["timing"]["memory_cycles"] == 120, manifest["timing"]
+results = manifest["results"]
+assert results, "no results"
+for r in results:
+    t = r["timing"]
+    assert t["amat"] > manifest["timing"]["hit_cycles"], t
+    assert t["traffic_limited_refs_per_cycle"] > 0, t
+print(f"    {len(results)} sizes with AMAT "
+      f"{results[0]['timing']['amat']:.2f}..."
+      f"{results[-1]['timing']['amat']:.2f} cycles")
+EOF
+# Flags-off parity: without --timing the manifest must not mention it.
+${sim} --profile ZGREP --refs 50000 --size 4096 \
+    --metrics-json build-ci/smoke-policy-notiming.json > /dev/null
+if grep -q '"amat"' build-ci/smoke-policy-notiming.json; then
+    echo "    ERROR: timing fields leak into flags-off manifests"; exit 1
+fi
+echo "    policy zoo swept; AMAT manifest checked; flags-off clean"
+
 echo "==> campaign-serve smoke (daemon, coalesced tenants, bitwise parity)"
 # Start the daemon, submit two compatible specs plus a KV-workload spec
 # from concurrent clients, and require every served manifest to match a
@@ -348,8 +400,9 @@ run_config build-ci-asan -DCACHELAB_WERROR=ON \
 echo "==> configure build-ci-tsan (thread sanitizer, concurrency tests)"
 cmake -B build-ci-tsan -S . -DCACHELAB_WERROR=ON -DCACHELAB_SANITIZE=thread
 cmake --build build-ci-tsan -j "${jobs}" \
-    --target obs_test thread_pool_test telemetry_test
+    --target obs_test thread_pool_test telemetry_test policy_test \
+    timing_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest'
+    -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest|PolicyZoo|PolicyCheckpoint|TinyLfu|Timing'
 
 echo "==> ci passed (default + address,undefined + thread)"
