@@ -78,8 +78,9 @@ pointsIdentical(const SampledSweepPoint &a, const SampledSweepPoint &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJsonOutput::global().init("bench_checkpoint_fanout", &argc, argv);
     const std::vector<std::uint64_t> sizes = powersOfTwo(kMinSize, kMaxSize);
     const TraceProfile &profile = allTraceProfiles().front();
 
@@ -135,7 +136,7 @@ main()
     for (std::size_t i = 0; i < replay.size() && all_identical; ++i) {
         const bool same = pointsIdentical(replay[i], fanout[i]);
         all_identical = all_identical && same;
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(benchJsonOut(), JsonWriter::Compact);
         w.beginObject()
             .member("cache_bytes", replay[i].cacheBytes)
             .member("replay_miss", replay[i].result.missRatio.mean)
@@ -143,7 +144,7 @@ main()
             .member("intervals", replay[i].result.intervalsMeasured)
             .member("bitwise_identical", same)
             .endObject();
-        std::cout << "\n";
+        benchJsonOut() << "\n";
     }
 
     const double speedup =
@@ -153,7 +154,7 @@ main()
             ? replay_seconds / (write_seconds + fanout_seconds)
             : 0.0;
     {
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(benchJsonOut(), JsonWriter::Compact);
         w.beginObject().key("summary").beginObject();
         w.member("trace", profile.name)
             .member("trace_refs", trace.size())
@@ -169,7 +170,7 @@ main()
             .member("bitwise_identical", all_identical)
             .endObject()
             .endObject();
-        std::cout << "\n";
+        benchJsonOut() << "\n";
     }
 
     std::cout << "\nfan-out speedup over functional replay: " +

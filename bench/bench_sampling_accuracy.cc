@@ -98,8 +98,9 @@ emitVariant(JsonWriter &w, const std::string &label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchJsonOutput::global().init("bench_sampling_accuracy", &argc, argv);
     banner("Sampling accuracy — sampled vs full Table 1 miss ratios",
            "fully associative LRU, 16-byte lines, " +
                formatSize(kCacheBytes) +
@@ -133,7 +134,7 @@ main()
         const double full_miss = full.missRatio();
         {
             // One compact JSON line per trace (schema: DESIGN.md §4d).
-            JsonWriter w(std::cout, JsonWriter::Compact);
+            JsonWriter w(benchJsonOut(), JsonWriter::Compact);
             w.beginObject()
                 .member("trace", profile.name)
                 .member("refs", trace.size())
@@ -144,7 +145,7 @@ main()
             emitVariant(w, "functional", functional, full_miss,
                         functional_seconds, full_seconds);
             w.endObject();
-            std::cout << "\n";
+            benchJsonOut() << "\n";
         }
 
         ++traces;
@@ -163,7 +164,7 @@ main()
     }
 
     {
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(benchJsonOut(), JsonWriter::Compact);
         w.beginObject().key("summary").beginObject();
         w.member("traces", traces)
             .member("warmed_mean_rel_error", warmed_err.mean())
@@ -179,7 +180,7 @@ main()
                         static_cast<double>(traces))
             .endObject()
             .endObject();
-        std::cout << "\n";
+        benchJsonOut() << "\n";
     }
     return 0;
 }

@@ -7,6 +7,8 @@
  * Table 1 alone) practical.
  */
 
+#include "bench_util.hh"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -212,7 +214,7 @@ runSweepEngineComparison()
         if (e.engine == SweepEngine::PerSize && e.jobs == 1)
             serial_wall = wall;
         // One compact JSON line per engine (schema: DESIGN.md §4d).
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(bench::benchJsonOut(), JsonWriter::Compact);
         w.beginObject()
             .member("bench", "sweep_engine")
             .member("engine", e.name)
@@ -225,9 +227,9 @@ runSweepEngineComparison()
                     serial_wall > 0 && wall > 0 ? serial_wall / wall : 1.0)
             .member("misses_64k", points.back().stats.totalMisses())
             .endObject();
-        std::cout << "\n";
+        bench::benchJsonOut() << "\n";
     }
-    std::cout.flush();
+    bench::benchJsonOut().flush();
 }
 
 /**
@@ -258,7 +260,7 @@ runProbeCostComparison()
             cache.access(ref);
         const auto t1 = std::chrono::steady_clock::now();
         const double wall = std::chrono::duration<double>(t1 - t0).count();
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(bench::benchJsonOut(), JsonWriter::Compact);
         w.beginObject()
             .member("bench", "probe_cost")
             .member("probe", instrumented ? "classifier+stats" : "off")
@@ -270,9 +272,9 @@ runProbeCostComparison()
                              : 0.0)
             .member("misses", cache.stats().totalMisses())
             .endObject();
-        std::cout << "\n";
+        bench::benchJsonOut() << "\n";
     }
-    std::cout.flush();
+    bench::benchJsonOut().flush();
 }
 
 /**
@@ -313,7 +315,7 @@ runPolicyCostComparison()
             cache.access(ref);
         const auto t1 = std::chrono::steady_clock::now();
         const double wall = std::chrono::duration<double>(t1 - t0).count();
-        JsonWriter w(std::cout, JsonWriter::Compact);
+        JsonWriter w(bench::benchJsonOut(), JsonWriter::Compact);
         w.beginObject()
             .member("bench", "policy_cost")
             .member("policy", cfg.replacement.toString())
@@ -328,9 +330,9 @@ runPolicyCostComparison()
                              : 0.0)
             .member("miss_ratio", cache.stats().missRatio())
             .endObject();
-        std::cout << "\n";
+        bench::benchJsonOut() << "\n";
     }
-    std::cout.flush();
+    bench::benchJsonOut().flush();
 }
 
 } // namespace
@@ -339,6 +341,9 @@ runPolicyCostComparison()
 int
 main(int argc, char **argv)
 {
+    // Consumes --out before google-benchmark rejects it as unknown.
+    cachelab::bench::BenchJsonOutput::global().init("bench_throughput",
+                                                    &argc, argv);
     cachelab::runSweepEngineComparison();
     cachelab::runProbeCostComparison();
     cachelab::runPolicyCostComparison();

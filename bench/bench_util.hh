@@ -12,21 +12,113 @@
 #define CACHELAB_BENCH_BENCH_UTIL_HH
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/manifest.hh"
 #include "sim/experiments.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "trace/trace.hh"
 #include "util/format.hh"
+#include "util/json_writer.hh"
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/profiles.hh"
 
 namespace cachelab::bench
 {
+
+/**
+ * Machine-joinable JSON-line output for the bench binaries.
+ *
+ * Every binary that emits compact JSON lines routes them through this
+ * sink instead of bare std::cout, which buys two things uniformly:
+ *
+ *  - a common header line (`{"bench":"header","schema":
+ *    "cachelab.bench_line",...}`) carrying the tool name, git SHA and
+ *    hostname, so lines from different binaries/builds can be joined
+ *    with the cachelab_bench harness documents by provenance; and
+ *  - a `--out FILE` flag that diverts the JSON lines to a file,
+ *    keeping stdout purely human-readable.  init() strips the flag
+ *    from argv before google-benchmark ever sees the argument list.
+ *
+ * Call init() first thing in main(); benchJsonOut() is the stream
+ * every JSON line then writes to.
+ */
+class BenchJsonOutput
+{
+  public:
+    static BenchJsonOutput &
+    global()
+    {
+        static BenchJsonOutput instance;
+        return instance;
+    }
+
+    /**
+     * Open the sink and emit the header line.  When @p argc/@p argv
+     * are given, a `--out FILE` pair is consumed (removed from the
+     * vector) so downstream argument parsers never see it.
+     */
+    void
+    init(const std::string &tool, int *argc = nullptr,
+         char **argv = nullptr)
+    {
+        std::string path;
+        if (argc != nullptr && argv != nullptr) {
+            for (int i = 1; i + 1 < *argc; ++i) {
+                if (std::string_view(argv[i]) == "--out") {
+                    path = argv[i + 1];
+                    for (int j = i; j + 2 < *argc; ++j)
+                        argv[j] = argv[j + 2];
+                    *argc -= 2;
+                    argv[*argc] = nullptr;
+                    break;
+                }
+            }
+        }
+        if (!path.empty()) {
+            file_.open(path);
+            if (!file_)
+                fatal("--out: cannot open '", path, "'");
+        }
+        const obs::BuildInfo build = obs::buildInfo();
+        JsonWriter w(stream(), JsonWriter::Compact);
+        w.beginObject()
+            .member("bench", "header")
+            .member("schema", "cachelab.bench_line")
+            .member("schema_version", 1)
+            .member("tool", tool)
+            .member("git", build.gitDescribe)
+            .member("git_sha", build.gitSha)
+            .member("hostname", obs::hostName())
+            .endObject();
+        stream() << "\n";
+    }
+
+    /** The stream JSON lines go to: the --out file, else stdout. */
+    std::ostream &
+    stream()
+    {
+        return file_.is_open() ? static_cast<std::ostream &>(file_)
+                               : std::cout;
+    }
+
+  private:
+    std::ofstream file_;
+};
+
+/** Shorthand for the shared JSON-line sink. */
+inline std::ostream &
+benchJsonOut()
+{
+    return BenchJsonOutput::global().stream();
+}
 
 /**
  * Fan one experiment out over the whole corpus: generate each

@@ -11,6 +11,7 @@
 #endif
 
 #include "obs/metrics.hh"
+#include "obs/perf_counters.hh"
 #include "obs/profile.hh"
 #include "util/json_writer.hh"
 #include "util/thread_pool.hh"
@@ -112,6 +113,39 @@ peakRssBytes()
 #else
     return 0;
 #endif
+}
+
+/** Whole-process getrusage accounting for the manifest (satellite of
+ *  peak_rss_bytes: CPU split + scheduler pressure). */
+struct ResourceUsage
+{
+    double userCpuSeconds = 0.0;
+    double systemCpuSeconds = 0.0;
+    std::uint64_t voluntaryCtxSwitches = 0;
+    std::uint64_t involuntaryCtxSwitches = 0;
+    bool available = false;
+};
+
+ResourceUsage
+resourceUsage()
+{
+    ResourceUsage r;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return r;
+    auto seconds = [](const timeval &tv) {
+        return static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    r.userCpuSeconds = seconds(usage.ru_utime);
+    r.systemCpuSeconds = seconds(usage.ru_stime);
+    r.voluntaryCtxSwitches = static_cast<std::uint64_t>(usage.ru_nvcsw);
+    r.involuntaryCtxSwitches =
+        static_cast<std::uint64_t>(usage.ru_nivcsw);
+    r.available = true;
+#endif
+    return r;
 }
 
 } // namespace
@@ -284,10 +318,20 @@ writeManifest(std::ostream &os, const RunManifest &manifest, int indent)
                      manifest.wallSeconds
                  : 0.0);
     w.member("peak_rss_bytes", peakRssBytes());
+    const ResourceUsage ru = resourceUsage();
+    w.member("user_cpu_seconds", ru.userCpuSeconds);
+    w.member("system_cpu_seconds", ru.systemCpuSeconds);
+    w.member("voluntary_ctx_switches", ru.voluntaryCtxSwitches);
+    w.member("involuntary_ctx_switches", ru.involuntaryCtxSwitches);
     w.key("thread_pool");
     writePoolJson(w, manifest.pool ? *manifest.pool
                                    : ThreadPool::shared());
     w.endObject();
+
+    if (perfEnabled()) {
+        w.key("perf");
+        writePerfJson(w, perfTotals());
+    }
 
     if (manifest.includeProfile) {
         w.key("phases");

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Implementation of the perf_event_open counter group.
+ */
+
+#include "obs/perf_counters.hh"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "util/json_writer.hh"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace cachelab::obs
+{
+
+namespace
+{
+
+std::atomic<bool> gPerfEnabled{false};
+
+/** Process-wide verdicts and totals, written under one mutex. */
+struct PerfStore
+{
+    std::mutex mutex;
+    PerfTotals totals;
+    std::string unavailableReason; ///< first failure; set once
+    std::uint32_t availableMask = 0;
+    bool maskRecorded = false;
+};
+
+PerfStore &
+store()
+{
+    static PerfStore s;
+    return s;
+}
+
+constexpr const char *kCounterNames[kPerfCounterCount] = {
+    "cycles",       "instructions", "task_clock_ns",
+    "llc_loads",    "llc_misses",   "branch_misses",
+};
+
+#ifdef __linux__
+
+/** Event selector for each PerfCounter index. */
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr EventSpec kEvents[kPerfCounterCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+/** read(2) layout under PERF_FORMAT_TOTAL_TIME_ENABLED|_RUNNING. */
+struct ReadFormat
+{
+    std::uint64_t value;
+    std::uint64_t timeEnabled;
+    std::uint64_t timeRunning;
+};
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+/** Human-readable open failure, with the usual suspects called out. */
+std::string
+describeOpenFailure(unsigned counter, int err)
+{
+    std::string why = std::string("perf_event_open: ") +
+                      kCounterNames[counter] + ": " + std::strerror(err);
+    if (err == EACCES || err == EPERM)
+        why += " (check /proc/sys/kernel/perf_event_paranoid)";
+    else if (err == ENOENT)
+        why += " (event not supported; no PMU in this VM/container?)";
+    else if (err == ENOSYS)
+        why += " (kernel built without perf events)";
+    return why;
+}
+
+void
+recordOpenFailure(unsigned counter, int err)
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.unavailableReason.empty())
+        s.unavailableReason = describeOpenFailure(counter, err);
+}
+
+/**
+ * The calling thread's descriptor set.  Opened lazily on the first
+ * sample taken on this thread, closed when the thread exits.  Each
+ * counter opens independently — no group leader — so a host that has
+ * the software clock but no PMU still yields task-clock numbers.
+ */
+struct ThreadCounters
+{
+    int fd[kPerfCounterCount];
+    bool attempted = false;
+
+    ThreadCounters()
+    {
+        for (int &f : fd)
+            f = -1;
+    }
+
+    ~ThreadCounters()
+    {
+        for (int &f : fd) {
+            if (f >= 0)
+                close(f);
+            f = -1;
+        }
+    }
+
+    void
+    openAll()
+    {
+        attempted = true;
+        std::uint32_t mask = 0;
+        for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+            perf_event_attr attr;
+            std::memset(&attr, 0, sizeof(attr));
+            attr.size = sizeof(attr);
+            attr.type = kEvents[c].type;
+            attr.config = kEvents[c].config;
+            attr.disabled = 0; // count from open; scopes take deltas
+            attr.exclude_kernel = 1; // paranoid>=2 forbids kernel counts
+            attr.exclude_hv = 1;
+            attr.inherit = 0; // per-thread: workers open their own
+            attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                               PERF_FORMAT_TOTAL_TIME_RUNNING;
+            const long r = perfEventOpen(&attr, 0, -1, -1, 0);
+            if (r < 0) {
+                recordOpenFailure(c, errno);
+                continue;
+            }
+            fd[c] = static_cast<int>(r);
+            mask |= 1u << c;
+        }
+        PerfStore &s = store();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.maskRecorded) {
+            s.availableMask = mask;
+            s.maskRecorded = true;
+        }
+    }
+};
+
+ThreadCounters &
+threadCounters()
+{
+    thread_local ThreadCounters tc;
+    return tc;
+}
+
+#endif // __linux__
+
+} // namespace
+
+const char *
+perfCounterName(unsigned c)
+{
+    return c < kPerfCounterCount ? kCounterNames[c] : "?";
+}
+
+void
+PerfTotals::accumulate(const PerfSample &delta)
+{
+    validMask = samples ? (validMask & delta.validMask) : delta.validMask;
+    for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+        if (delta.has(c))
+            value[c] += delta.value[c];
+    }
+    ++samples;
+}
+
+void
+setPerfEnabled(bool enabled)
+{
+    gPerfEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+perfEnabled()
+{
+    return gPerfEnabled.load(std::memory_order_relaxed);
+}
+
+void
+resetPerf()
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.totals = PerfTotals{};
+}
+
+PerfSample
+perfReadSample()
+{
+    PerfSample sample;
+    if (!perfEnabled())
+        return sample;
+#ifdef __linux__
+    ThreadCounters &tc = threadCounters();
+    if (!tc.attempted)
+        tc.openAll();
+    for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+        if (tc.fd[c] < 0)
+            continue;
+        ReadFormat data{};
+        const ssize_t n = read(tc.fd[c], &data, sizeof(data));
+        if (n != static_cast<ssize_t>(sizeof(data)))
+            continue;
+        std::uint64_t scaled = data.value;
+        if (data.timeRunning == 0) {
+            // Never scheduled onto the PMU: no information unless the
+            // counter simply has not existed for any time yet.
+            if (data.timeEnabled != 0)
+                continue;
+        } else if (data.timeRunning < data.timeEnabled) {
+            // Multiplexed: extrapolate to the full enabled window.
+            scaled = static_cast<std::uint64_t>(
+                static_cast<double>(data.value) *
+                (static_cast<double>(data.timeEnabled) /
+                 static_cast<double>(data.timeRunning)));
+        }
+        sample.value[c] = scaled;
+        sample.validMask |= 1u << c;
+    }
+#endif
+    return sample;
+}
+
+PerfSample
+perfDelta(const PerfSample &before, const PerfSample &after)
+{
+    PerfSample d;
+    d.validMask = before.validMask & after.validMask;
+    for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+        if (!d.has(c))
+            continue;
+        // Multiplex extrapolation can jitter a hair backwards; clamp.
+        d.value[c] = after.value[c] >= before.value[c]
+                         ? after.value[c] - before.value[c]
+                         : 0;
+    }
+    return d;
+}
+
+void
+perfAccumulateTotals(const PerfSample &delta)
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.totals.accumulate(delta);
+}
+
+PerfTotals
+perfTotals()
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.totals;
+}
+
+std::string
+perfUnavailableReason()
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+#ifndef __linux__
+    if (s.unavailableReason.empty())
+        return "perf_event_open: unsupported platform (Linux only)";
+#endif
+    return s.unavailableReason;
+}
+
+std::uint32_t
+perfAvailableMask()
+{
+    PerfStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.availableMask;
+}
+
+void
+writePerfJson(JsonWriter &w, const PerfTotals &totals)
+{
+    w.beginObject();
+    w.member("available", totals.validMask != 0);
+    const std::string reason = perfUnavailableReason();
+    if (!reason.empty())
+        w.member("unavailable_reason", reason);
+    w.key("counters").beginObject();
+    for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+        if (totals.has(c))
+            w.member(kCounterNames[c], totals.value[c]);
+    }
+    w.endObject();
+    if (totals.hasIpc() || totals.hasLlcMpki() || totals.hasBranchMpki()) {
+        w.key("derived").beginObject();
+        if (totals.hasIpc())
+            w.member("ipc", totals.ipc());
+        if (totals.hasLlcMpki())
+            w.member("llc_mpki", totals.llcMpki());
+        if (totals.hasBranchMpki())
+            w.member("branch_mpki", totals.branchMpki());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+publishPerfMetrics(Registry &registry, const PerfTotals &totals)
+{
+    registry.gauge("perf.available").set(totals.validMask != 0 ? 1.0 : 0.0);
+    for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+        if (totals.has(c)) {
+            registry.gauge(std::string("perf.") + kCounterNames[c])
+                .set(static_cast<double>(totals.value[c]));
+        }
+    }
+    if (totals.hasIpc())
+        registry.gauge("perf.ipc").set(totals.ipc());
+    if (totals.hasLlcMpki())
+        registry.gauge("perf.llc_mpki").set(totals.llcMpki());
+    if (totals.hasBranchMpki())
+        registry.gauge("perf.branch_mpki").set(totals.branchMpki());
+}
+
+} // namespace cachelab::obs

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Hardware performance counters via perf_event_open(2).
+ *
+ * A fixed group of six counters — cycles, instructions, task-clock,
+ * LLC loads, LLC misses, branch misses — read per thread so the phase
+ * profiler (obs/profile) can attribute IPC and MPKI to individual
+ * phases ("simulate", "sweep.single_pass", ...) the same way it
+ * attributes wall time.
+ *
+ * Design rules, in order:
+ *
+ *  1. **Never fatal, never skewing.**  perf availability varies wildly
+ *     (perf_event_paranoid, seccomp, VMs without a PMU, non-Linux).
+ *     Every counter opens independently; the ones that fail are simply
+ *     absent from samples (see PerfSample::validMask) and the first
+ *     failure's cause is kept for reporting
+ *     (perfUnavailableReason()).  A run with zero usable counters
+ *     still succeeds and reports "unavailable".
+ *  2. **Flags-off is free.**  Nothing opens a descriptor or reads a
+ *     counter until setPerfEnabled(true); tools gate that behind
+ *     `--perf`.  With the flag off, output is byte-identical to a
+ *     build without this subsystem.
+ *  3. **Coarse-grained reads only.**  Counters are sampled at
+ *     ProfileScope boundaries (one run / sweep point / interval),
+ *     never per memory reference, so the ~1 µs read(2) cost cannot
+ *     perturb what is being measured.
+ *
+ * Counters are opened per thread (pid=0, cpu=-1) lazily on first
+ * sample, counting from open; scopes work with deltas so the open
+ * time does not matter.  Reads use PERF_FORMAT_TOTAL_TIME_ENABLED /
+ * _RUNNING and scale for kernel multiplexing, which keeps derived
+ * ratios honest when more counters are requested than the PMU has
+ * slots.
+ */
+
+#ifndef CACHELAB_OBS_PERF_COUNTERS_HH
+#define CACHELAB_OBS_PERF_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cachelab
+{
+
+class JsonWriter;
+
+namespace obs
+{
+
+class Registry;
+
+/** Index of each counter in a PerfSample / PerfTotals. */
+enum PerfCounter : unsigned {
+    PerfCycles = 0,
+    PerfInstructions,
+    PerfTaskClock, ///< software clock, ns — works even without a PMU
+    PerfLlcLoads,
+    PerfLlcMisses,
+    PerfBranchMisses,
+    kPerfCounterCount
+};
+
+/** @return the stable snake_case name of counter @p c ("cycles", ...). */
+const char *perfCounterName(unsigned c);
+
+/** One point-in-time reading of the calling thread's counter group. */
+struct PerfSample
+{
+    std::array<std::uint64_t, kPerfCounterCount> value{};
+    std::uint32_t validMask = 0; ///< bit c set when counter c was read
+
+    bool has(unsigned c) const { return (validMask >> c) & 1u; }
+};
+
+/** Accumulated counter deltas with derived ratios. */
+struct PerfTotals
+{
+    std::array<std::uint64_t, kPerfCounterCount> value{};
+    /** Intersection of the accumulated samples' masks: a counter is
+     *  only trustworthy here if every contributing sample carried it. */
+    std::uint32_t validMask = 0;
+    std::uint64_t samples = 0;
+
+    bool has(unsigned c) const { return (validMask >> c) & 1u; }
+
+    /** Fold one scope's delta in (masks intersect, values add). */
+    void accumulate(const PerfSample &delta);
+
+    bool hasIpc() const
+    {
+        return has(PerfInstructions) && has(PerfCycles) &&
+               value[PerfCycles] > 0;
+    }
+    /** Instructions per cycle; call only when hasIpc(). */
+    double ipc() const
+    {
+        return static_cast<double>(value[PerfInstructions]) /
+               static_cast<double>(value[PerfCycles]);
+    }
+
+    bool hasLlcMpki() const
+    {
+        return has(PerfLlcMisses) && has(PerfInstructions) &&
+               value[PerfInstructions] > 0;
+    }
+    /** LLC load misses per thousand instructions; only when hasLlcMpki(). */
+    double llcMpki() const
+    {
+        return 1000.0 * static_cast<double>(value[PerfLlcMisses]) /
+               static_cast<double>(value[PerfInstructions]);
+    }
+
+    bool hasBranchMpki() const
+    {
+        return has(PerfBranchMisses) && has(PerfInstructions) &&
+               value[PerfInstructions] > 0;
+    }
+    /** Branch misses per thousand instructions; only when hasBranchMpki(). */
+    double branchMpki() const
+    {
+        return 1000.0 * static_cast<double>(value[PerfBranchMisses]) /
+               static_cast<double>(value[PerfInstructions]);
+    }
+};
+
+/** Turn perf sampling on or off (off by default; `--perf` in tools). */
+void setPerfEnabled(bool enabled);
+
+/** @return true when scopes sample counters. */
+bool perfEnabled();
+
+/** Drop the accumulated process-wide totals (between benchmark
+ *  repetitions / tests).  Open descriptors and the availability
+ *  verdict are kept — reopening per repetition would be pure
+ *  overhead, and availability cannot change mid-process. */
+void resetPerf();
+
+/** @return @p after − @p before per counter, clamped at 0; a counter
+ *  is valid in the delta only when valid in both samples. */
+PerfSample perfDelta(const PerfSample &before, const PerfSample &after);
+
+/**
+ * Read the calling thread's counters, opening them on first use.
+ * Returns an empty-mask sample when perf is disabled or entirely
+ * unavailable.  Thread-safe: each thread owns its descriptors.
+ */
+PerfSample perfReadSample();
+
+/** Fold an outermost-scope delta into the process-wide totals. */
+void perfAccumulateTotals(const PerfSample &delta);
+
+/** @return process-wide totals accumulated from outermost scopes. */
+PerfTotals perfTotals();
+
+/**
+ * @return why counters are missing: empty while fully available (or
+ * never attempted), otherwise e.g. "perf_event_open: cycles: No such
+ * file or directory (ENOENT; no PMU?)".  Populated by the first
+ * failed open anywhere in the process.
+ */
+std::string perfUnavailableReason();
+
+/** @return bitmask of counters that opened on the first sampling
+ *  thread; 0 before any sample or when nothing opened. */
+std::uint32_t perfAvailableMask();
+
+/**
+ * Emit @p totals as a JSON object:
+ *   {"available": bool, ["unavailable_reason": ...,]
+ *    "counters": {name: value, ...}, ["derived": {"ipc": ...}]}
+ * Counters absent from the valid mask are omitted rather than written
+ * as zero, so a partially available host cannot masquerade as a fully
+ * counted one.
+ */
+void writePerfJson(JsonWriter &w, const PerfTotals &totals);
+
+/** Mirror @p totals into @p registry as `perf.*` gauges (plus
+ *  `perf.ipc` / `perf.llc_mpki` when derivable). */
+void publishPerfMetrics(Registry &registry, const PerfTotals &totals);
+
+} // namespace obs
+} // namespace cachelab
+
+#endif // CACHELAB_OBS_PERF_COUNTERS_HH

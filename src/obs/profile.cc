@@ -31,7 +31,29 @@ struct Accumulator
     std::uint64_t totalNs = 0;
     std::uint64_t minNs = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t maxNs = 0;
+    PerfTotals perf;
 };
+
+/**
+ * Depth of perf-sampling scopes on this thread.  Only the outermost
+ * scope's delta feeds the process-wide totals: an inner "simulate"
+ * scope's cycles are already inside its enclosing "sweep.point"
+ * delta, and double-counting would inflate whole-run IPC inputs.
+ */
+thread_local int gPerfScopeDepth = 0;
+
+/** Fold @p from into @p into (masks intersect, values/samples add). */
+void
+mergePerfTotals(PerfTotals &into, const PerfTotals &from)
+{
+    if (from.samples == 0)
+        return;
+    into.validMask =
+        into.samples ? (into.validMask & from.validMask) : from.validMask;
+    for (unsigned c = 0; c < kPerfCounterCount; ++c)
+        into.value[c] += from.value[c];
+    into.samples += from.samples;
+}
 
 /**
  * Stable per-thread key: pool workers use their slot (so the report
@@ -84,8 +106,13 @@ resetProfiles()
 }
 
 ProfileScope::ProfileScope(std::string_view phase)
-    : phase_(phase), active_(profilingEnabled())
+    : phase_(phase), active_(profilingEnabled()),
+      perfActive_(active_ && perfEnabled())
 {
+    if (perfActive_) {
+        ++gPerfScopeDepth;
+        perfStart_ = perfReadSample();
+    }
     if (active_)
         start_ = std::chrono::steady_clock::now();
 }
@@ -98,6 +125,12 @@ ProfileScope::~ProfileScope()
     const std::uint64_t ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count());
+    PerfSample delta;
+    if (perfActive_) {
+        delta = perfDelta(perfStart_, perfReadSample());
+        if (--gPerfScopeDepth == 0)
+            perfAccumulateTotals(delta);
+    }
     ProfileStore &s = store();
     std::lock_guard<std::mutex> lock(s.mutex);
     Accumulator &acc = s.rows[{std::string(phase_), threadKey()}];
@@ -105,6 +138,8 @@ ProfileScope::~ProfileScope()
     acc.totalNs += ns;
     acc.minNs = std::min(acc.minNs, ns);
     acc.maxNs = std::max(acc.maxNs, ns);
+    if (perfActive_)
+        acc.perf.accumulate(delta);
 }
 
 std::vector<PhaseProfile>
@@ -122,6 +157,7 @@ profileReport()
             p.minNs = p.threads ? std::min(p.minNs, acc.minNs) : acc.minNs;
             p.maxNs = std::max(p.maxNs, acc.maxNs);
             p.maxThreadNs = std::max(p.maxThreadNs, acc.totalNs);
+            mergePerfTotals(p.perf, acc.perf);
             ++p.threads;
         }
     }
@@ -140,23 +176,43 @@ profileReport()
 std::string
 renderProfileTable(const std::vector<PhaseProfile> &report)
 {
+    const bool perf = perfEnabled();
     TextTable table("Phase profile (per-thread times summed; "
                     "'busiest' bounds the wall clock)");
-    table.setHeader({"phase", "calls", "threads", "total", "busiest",
-                     "mean", "min", "max"});
-    table.setAlignment({TextTable::Align::Left, TextTable::Align::Right,
-                        TextTable::Align::Right, TextTable::Align::Right,
-                        TextTable::Align::Right, TextTable::Align::Right,
-                        TextTable::Align::Right, TextTable::Align::Right});
+    std::vector<std::string> header = {"phase", "calls",   "threads",
+                                       "total", "busiest", "mean",
+                                       "min",   "max"};
+    std::vector<TextTable::Align> align(header.size(),
+                                        TextTable::Align::Right);
+    align[0] = TextTable::Align::Left;
+    if (perf) {
+        header.insert(header.end(), {"ipc", "llc mpki"});
+        align.insert(align.end(),
+                     {TextTable::Align::Right, TextTable::Align::Right});
+    }
+    table.setHeader(header);
+    table.setAlignment(align);
     auto ms = [](std::uint64_t ns) {
         return formatFixed(static_cast<double>(ns) * 1e-6, 3) + " ms";
     };
     for (const PhaseProfile &p : report) {
-        table.addRow({p.phase, std::to_string(p.calls),
-                      std::to_string(p.threads), ms(p.totalNs),
-                      ms(p.maxThreadNs),
-                      ms(p.calls ? p.totalNs / p.calls : 0), ms(p.minNs),
-                      ms(p.maxNs)});
+        std::vector<std::string> row = {
+            p.phase,
+            std::to_string(p.calls),
+            std::to_string(p.threads),
+            ms(p.totalNs),
+            ms(p.maxThreadNs),
+            ms(p.calls ? p.totalNs / p.calls : 0),
+            ms(p.minNs),
+            ms(p.maxNs)};
+        if (perf) {
+            row.push_back(p.perf.hasIpc() ? formatFixed(p.perf.ipc(), 2)
+                                          : "-");
+            row.push_back(p.perf.hasLlcMpki()
+                              ? formatFixed(p.perf.llcMpki(), 2)
+                              : "-");
+        }
+        table.addRow(row);
     }
     return table.render();
 }
@@ -164,6 +220,7 @@ renderProfileTable(const std::vector<PhaseProfile> &report)
 void
 writeProfileJson(JsonWriter &w, const std::vector<PhaseProfile> &report)
 {
+    const bool perf = perfEnabled();
     w.beginArray();
     for (const PhaseProfile &p : report) {
         w.beginObject();
@@ -174,6 +231,18 @@ writeProfileJson(JsonWriter &w, const std::vector<PhaseProfile> &report)
         w.member("busiest_thread_ns", p.maxThreadNs);
         w.member("min_ns", p.minNs);
         w.member("max_ns", p.maxNs);
+        if (perf) {
+            w.key("perf").beginObject();
+            for (unsigned c = 0; c < kPerfCounterCount; ++c) {
+                if (p.perf.has(c))
+                    w.member(perfCounterName(c), p.perf.value[c]);
+            }
+            if (p.perf.hasIpc())
+                w.member("ipc", p.perf.ipc());
+            if (p.perf.hasLlcMpki())
+                w.member("llc_mpki", p.perf.llcMpki());
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();

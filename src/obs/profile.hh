@@ -16,6 +16,13 @@
  * pool thread so the report can show how evenly a sweep's points
  * spread over the pool.  profileReport() merges rows per phase;
  * renderProfileTable() turns that into the `--profile` table.
+ *
+ * When hardware counters are enabled (obs/perf_counters, `--perf`),
+ * each scope additionally samples its thread's counter group at entry
+ * and exit, so every phase row carries IPC and MPKI next to its wall
+ * time, and outermost scopes feed the process-wide perf totals.  With
+ * perf disabled the scope does exactly what it did before — one
+ * relaxed load extra.
  */
 
 #ifndef CACHELAB_OBS_PROFILE_HH
@@ -26,6 +33,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/perf_counters.hh"
 
 namespace cachelab
 {
@@ -58,6 +67,8 @@ class ProfileScope
     std::string_view phase_; ///< callers pass literals; not stored past dtor
     std::chrono::steady_clock::time_point start_;
     bool active_;
+    bool perfActive_;      ///< perfEnabled() at construction
+    PerfSample perfStart_; ///< this thread's counters at entry
 };
 
 /** Merged accounting of one phase across all recording threads. */
@@ -70,6 +81,7 @@ struct PhaseProfile
     std::uint64_t maxNs = 0;
     std::uint64_t maxThreadNs = 0; ///< busiest thread's total (wall bound)
     unsigned threads = 0;          ///< distinct recording threads
+    PerfTotals perf;               ///< counter deltas (empty unless --perf)
 
     double totalSeconds() const { return totalNs * 1e-9; }
 };

@@ -100,6 +100,29 @@ Summary::percentile(double q) const
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    if (n % 2)
+        return samples[n / 2];
+    return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+double
+medianAbsoluteDeviation(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    const double m = median(samples);
+    for (double &x : samples)
+        x = std::abs(x - m);
+    return median(std::move(samples));
+}
+
 void
 RatioOfSums::add(double numerator, double denominator)
 {

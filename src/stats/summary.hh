@@ -81,6 +81,21 @@ class Summary
 };
 
 /**
+ * @return the exact median of @p samples (linear interpolation
+ * between the two middle order statistics for even counts); 0 when
+ * empty.  Takes a copy — callers keep their ordering.
+ */
+double median(std::vector<double> samples);
+
+/**
+ * @return the median absolute deviation of @p samples around their
+ * median; 0 when empty.  The robust spread estimate the bench
+ * harness reports: one cold-cache outlier moves a standard deviation
+ * arbitrarily far but barely moves the MAD.
+ */
+double medianAbsoluteDeviation(std::vector<double> samples);
+
+/**
  * Ratio-of-sums accumulator.
  *
  * The paper is explicit that Table 4's traffic ratios are "the sum of

@@ -125,6 +125,17 @@ TEST(ManifestTest, ManifestCarriesSchemaBuildAndResults)
                            std::to_string(trace.size() * 2)),
               std::string::npos);
     EXPECT_NE(out.find("\"thread_pool\""), std::string::npos);
+    // getrusage-backed resource accounting rides in every manifest
+    // next to peak_rss_bytes.
+    EXPECT_NE(out.find("\"peak_rss_bytes\": "), std::string::npos);
+    EXPECT_NE(out.find("\"user_cpu_seconds\": "), std::string::npos);
+    EXPECT_NE(out.find("\"system_cpu_seconds\": "), std::string::npos);
+    EXPECT_NE(out.find("\"voluntary_ctx_switches\": "), std::string::npos);
+    EXPECT_NE(out.find("\"involuntary_ctx_switches\": "),
+              std::string::npos);
+    // Perf counters were not requested: no "perf" section, keeping
+    // flags-off manifests byte-identical to pre-perf builds.
+    EXPECT_EQ(out.find("\"perf\""), std::string::npos);
     EXPECT_NE(out.find("\"name\": \"unified\""), std::string::npos);
     EXPECT_NE(out.find("\"cache_bytes\": 1024"), std::string::npos);
     EXPECT_NE(out.find("\"demand_fetches\": " +

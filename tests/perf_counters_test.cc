@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the perf_event_open counter group: delta/accumulate
+ * arithmetic, derived-ratio gating, JSON and metrics emission, and the
+ * graceful-degradation contract — disabled reads are empty and free,
+ * an enabled run on a restricted host still succeeds and names why
+ * counters are missing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/perf_counters.hh"
+#include "util/json_writer.hh"
+
+namespace cachelab
+{
+namespace
+{
+
+using obs::kPerfCounterCount;
+using obs::PerfSample;
+using obs::PerfTotals;
+
+/** A sample with every counter in @p mask valid, valued base + c. */
+PerfSample
+sampleWith(std::uint32_t mask, std::uint64_t base)
+{
+    PerfSample s;
+    s.validMask = mask;
+    for (unsigned c = 0; c < kPerfCounterCount; ++c)
+        s.value[c] = base + c;
+    return s;
+}
+
+TEST(PerfCounters, CounterNamesAreStable)
+{
+    // Manifest keys and metric names derive from these; renaming one
+    // silently breaks every downstream consumer.
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfCycles), "cycles");
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfInstructions),
+                 "instructions");
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfTaskClock),
+                 "task_clock_ns");
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfLlcLoads), "llc_loads");
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfLlcMisses), "llc_misses");
+    EXPECT_STREQ(obs::perfCounterName(obs::PerfBranchMisses),
+                 "branch_misses");
+    EXPECT_STREQ(obs::perfCounterName(kPerfCounterCount), "?");
+}
+
+TEST(PerfCounters, DeltaIntersectsMasksAndClampsBackwardJitter)
+{
+    PerfSample before = sampleWith(0b000011, 100);
+    PerfSample after = sampleWith(0b000111, 150);
+    // Multiplex extrapolation can step a counter backwards a hair.
+    after.value[obs::PerfInstructions] = 42;
+
+    const PerfSample d = obs::perfDelta(before, after);
+    // Only counters valid on both sides survive.
+    EXPECT_EQ(d.validMask, 0b000011u);
+    EXPECT_EQ(d.value[obs::PerfCycles], 50u);
+    EXPECT_EQ(d.value[obs::PerfInstructions], 0u); // clamped, not huge
+    EXPECT_FALSE(d.has(obs::PerfTaskClock));
+}
+
+TEST(PerfCounters, TotalsIntersectMasksAcrossSamples)
+{
+    PerfTotals totals;
+    totals.accumulate(sampleWith(0b000111, 10));
+    totals.accumulate(sampleWith(0b000011, 20));
+    EXPECT_EQ(totals.samples, 2u);
+    // Task-clock was missing from the second sample, so it is no
+    // longer trustworthy in the totals.
+    EXPECT_EQ(totals.validMask, 0b000011u);
+    EXPECT_EQ(totals.value[obs::PerfCycles], 30u);
+    EXPECT_EQ(totals.value[obs::PerfInstructions], 32u);
+}
+
+TEST(PerfCounters, DerivedRatiosGateOnTheirInputs)
+{
+    PerfTotals totals;
+    EXPECT_FALSE(totals.hasIpc());
+    EXPECT_FALSE(totals.hasLlcMpki());
+    EXPECT_FALSE(totals.hasBranchMpki());
+
+    totals.validMask = (1u << obs::PerfCycles) |
+                       (1u << obs::PerfInstructions) |
+                       (1u << obs::PerfLlcMisses) |
+                       (1u << obs::PerfBranchMisses);
+    totals.value[obs::PerfCycles] = 1000;
+    totals.value[obs::PerfInstructions] = 2000;
+    totals.value[obs::PerfLlcMisses] = 10;
+    totals.value[obs::PerfBranchMisses] = 4;
+    EXPECT_TRUE(totals.hasIpc());
+    EXPECT_DOUBLE_EQ(totals.ipc(), 2.0);
+    EXPECT_TRUE(totals.hasLlcMpki());
+    EXPECT_DOUBLE_EQ(totals.llcMpki(), 5.0);
+    EXPECT_TRUE(totals.hasBranchMpki());
+    EXPECT_DOUBLE_EQ(totals.branchMpki(), 2.0);
+
+    // Zero denominators never divide.
+    totals.value[obs::PerfCycles] = 0;
+    EXPECT_FALSE(totals.hasIpc());
+    totals.value[obs::PerfInstructions] = 0;
+    EXPECT_FALSE(totals.hasLlcMpki());
+    EXPECT_FALSE(totals.hasBranchMpki());
+}
+
+TEST(PerfCounters, JsonOmitsInvalidCountersAndGatesDerived)
+{
+    PerfTotals totals;
+    totals.validMask =
+        (1u << obs::PerfCycles) | (1u << obs::PerfInstructions);
+    totals.value[obs::PerfCycles] = 500;
+    totals.value[obs::PerfInstructions] = 1500;
+    totals.samples = 1;
+
+    std::ostringstream os;
+    {
+        JsonWriter w(os, JsonWriter::Compact);
+        obs::writePerfJson(w, totals);
+    }
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"available\":true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cycles\":500"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"instructions\":1500"), std::string::npos);
+    // Invalid counters are omitted, not written as zero.
+    EXPECT_EQ(json.find("\"llc_loads\""), std::string::npos) << json;
+    EXPECT_EQ(json.find("\"task_clock_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"derived\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ipc\":3"), std::string::npos) << json;
+    // No misses counted -> no MPKI claimed.
+    EXPECT_EQ(json.find("llc_mpki"), std::string::npos) << json;
+}
+
+TEST(PerfCounters, EmptyTotalsReportUnavailable)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, JsonWriter::Compact);
+        obs::writePerfJson(w, PerfTotals{});
+    }
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"available\":false"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"counters\":{}"), std::string::npos) << json;
+    EXPECT_EQ(json.find("\"derived\""), std::string::npos) << json;
+}
+
+TEST(PerfCounters, PublishedMetricsGateLikeTheJson)
+{
+    PerfTotals totals;
+    totals.validMask =
+        (1u << obs::PerfCycles) | (1u << obs::PerfInstructions);
+    totals.value[obs::PerfCycles] = 100;
+    totals.value[obs::PerfInstructions] = 150;
+    totals.samples = 1;
+
+    obs::Registry registry;
+    obs::publishPerfMetrics(registry, totals);
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    auto gauge = [&](const std::string &name) -> const double * {
+        for (const auto &[n, v] : snap.gauges) {
+            if (n == name)
+                return &v;
+        }
+        return nullptr;
+    };
+    ASSERT_NE(gauge("perf.available"), nullptr);
+    EXPECT_EQ(*gauge("perf.available"), 1.0);
+    ASSERT_NE(gauge("perf.cycles"), nullptr);
+    EXPECT_EQ(*gauge("perf.cycles"), 100.0);
+    ASSERT_NE(gauge("perf.ipc"), nullptr);
+    EXPECT_DOUBLE_EQ(*gauge("perf.ipc"), 1.5);
+    EXPECT_EQ(gauge("perf.llc_mpki"), nullptr);
+    EXPECT_EQ(gauge("perf.task_clock_ns"), nullptr);
+}
+
+TEST(PerfCounters, DisabledReadsReturnEmptySamples)
+{
+    ASSERT_FALSE(obs::perfEnabled());
+    const PerfSample s = obs::perfReadSample();
+    EXPECT_EQ(s.validMask, 0u);
+}
+
+TEST(PerfCounters, ResetClearsTotalsNotTheVerdict)
+{
+    obs::perfAccumulateTotals(sampleWith(0b1, 7));
+    EXPECT_EQ(obs::perfTotals().samples, 1u);
+    obs::resetPerf();
+    const PerfTotals after = obs::perfTotals();
+    EXPECT_EQ(after.samples, 0u);
+    EXPECT_EQ(after.validMask, 0u);
+    EXPECT_EQ(after.value[obs::PerfCycles], 0u);
+}
+
+// The graceful-degradation contract, exercised live: enabling and
+// sampling must never fail, whatever the host allows.  Either some
+// counters opened (mask non-empty) or the first failure's cause is
+// recorded for reporting.  Containers without a PMU take the second
+// branch for the hardware events while the software task-clock still
+// ticks — both outcomes are correct; crashing or hanging is not.
+TEST(PerfCounters, EnabledSamplingSucceedsOrExplainsItself)
+{
+    obs::setPerfEnabled(true);
+    const PerfSample a = obs::perfReadSample();
+    // Burn a little CPU so active counters advance.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        sink = sink + i * i;
+    const PerfSample b = obs::perfReadSample();
+    obs::setPerfEnabled(false);
+
+    EXPECT_TRUE(a.validMask != 0 || !obs::perfUnavailableReason().empty());
+    const PerfSample d = obs::perfDelta(a, b);
+    EXPECT_EQ(d.validMask, a.validMask & b.validMask);
+    if (d.has(obs::PerfTaskClock)) {
+        EXPECT_GT(d.value[obs::PerfTaskClock], 0u);
+    }
+    // Reads only ever come from counters that actually opened.
+    EXPECT_EQ(a.validMask & ~obs::perfAvailableMask(), 0u);
+    EXPECT_EQ(b.validMask & ~obs::perfAvailableMask(), 0u);
+}
+
+} // namespace
+} // namespace cachelab

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "stats/histogram.hh"
 #include "stats/summary.hh"
@@ -126,6 +127,32 @@ TEST(Summary, PercentileAfterMoreSamples)
     EXPECT_DOUBLE_EQ(s.percentile(0.5), 10.0);
     s.add(20.0); // re-sorting must happen after new samples
     EXPECT_DOUBLE_EQ(s.percentile(0.5), 15.0);
+}
+
+TEST(RobustStats, MedianHandlesOddEvenAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    // Even count: mean of the two middle order statistics.
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    // Takes a copy — the caller's ordering is untouched.
+    std::vector<double> xs = {5.0, 1.0, 3.0};
+    median(xs);
+    EXPECT_DOUBLE_EQ(xs[0], 5.0);
+}
+
+TEST(RobustStats, MadShrugsOffOneOutlier)
+{
+    // The bench harness's motivating case: one cold-cache rep.  The
+    // standard deviation explodes; the MAD barely notices.
+    const std::vector<double> xs = {1.0, 1.1, 0.9, 1.0, 50.0};
+    EXPECT_DOUBLE_EQ(median(xs), 1.0);
+    // |x - 1| = {0, 0.1, 0.1, 0, 49} -> median 0.1.
+    EXPECT_DOUBLE_EQ(medianAbsoluteDeviation(xs), 0.1);
+    EXPECT_DOUBLE_EQ(medianAbsoluteDeviation({}), 0.0);
+    // Identical samples have zero spread.
+    EXPECT_DOUBLE_EQ(medianAbsoluteDeviation({2.0, 2.0, 2.0}), 0.0);
 }
 
 TEST(RatioOfSums, IsNotMeanOfRatios)

@@ -12,8 +12,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -97,6 +99,79 @@ TEST(LatencyHistogram, MeanMaxAndResetBehave)
     EXPECT_EQ(snap.count, 0u);
     EXPECT_EQ(snap.maxNs, 0u);
     EXPECT_EQ(snap.usedBuckets(), 0u);
+}
+
+TEST(LatencyHistogram, TopBucketCoversTheUpperHalfOfUint64)
+{
+    // Bucket 64 holds [2^63, 2^64): the largest representable
+    // latencies must land there — not wrap, not fall off the array.
+    LatencyHistogram h;
+    const std::uint64_t huge = std::uint64_t{1} << 63;
+    h.record(huge - 1); // top of bucket 63
+    h.record(huge);     // bottom of bucket 64
+    h.record(std::numeric_limits<std::uint64_t>::max());
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.buckets[63], 1u);
+    EXPECT_EQ(snap.buckets[64], 2u);
+    EXPECT_EQ(snap.count, 3u);
+    EXPECT_EQ(snap.maxNs, std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(snap.usedBuckets(), LatencyHistogram::kBuckets);
+    // Quantiles at the extreme top stay finite and never exceed the
+    // observed maximum.
+    const double p99 = snap.quantileNs(0.99);
+    EXPECT_TRUE(std::isfinite(p99));
+    EXPECT_GT(p99, 0.0);
+    EXPECT_LE(p99, static_cast<double>(snap.maxNs));
+}
+
+TEST(LatencyHistogram, QuantileInterpolationClampsAtTheRecordedMax)
+{
+    // A lone sample at 1000 sits in bucket [512, 1024); naive
+    // interpolation at q = 1 would report the bucket's upper edge
+    // (1024), but the estimator must never exceed the recorded max.
+    LatencyHistogram h;
+    h.record(1000);
+    auto snap = h.snapshot();
+    EXPECT_DOUBLE_EQ(snap.quantileNs(1.0), 1000.0);
+    EXPECT_DOUBLE_EQ(snap.quantileNs(0.5), 1000.0);
+    // Same clamp with company in the bucket: every quantile that
+    // lands in [512, 1024) is capped by the 1000 maximum.
+    h.record(513);
+    snap = h.snapshot();
+    EXPECT_LE(snap.quantileNs(0.99), 1000.0);
+    EXPECT_LE(snap.quantileNs(1.0), 1000.0);
+}
+
+// Named so the CI TSan pass (-R ...|MetricsRegistry|...) covers it:
+// reset() racing record() must stay data-race free, and a quiescent
+// reset must leave the histogram exactly empty.
+TEST(MetricsRegistryLatency, ResetUnderConcurrentRecordsStaysCoherent)
+{
+    obs::Registry registry;
+    LatencyHistogram &h = registry.latency("reset_race_ns");
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 3; ++t) {
+        writers.emplace_back([&h, &stop] {
+            std::uint64_t v = 0;
+            while (!stop.load(std::memory_order_relaxed))
+                h.record(v++ & 0xffff);
+        });
+    }
+    for (int i = 0; i < 200; ++i)
+        h.reset();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread &t : writers)
+        t.join();
+    h.reset();
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.maxNs, 0u);
+    EXPECT_EQ(snap.usedBuckets(), 0u);
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : snap.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, snap.count);
 }
 
 // Named so the CI TSan pass (-R ...|MetricsRegistry|...) covers it.

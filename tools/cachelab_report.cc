@@ -27,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,6 +59,17 @@ campaign mode:
                         run registry (DIR/index.json) to stdout:
                         per-tenant latency table, slowest runs,
                         cache-hit ratios
+
+bench-compare mode (the perf regression gate):
+  --bench-compare BASELINE CURRENT
+                        compare cachelab_bench documents: each side is
+                        one BENCH_<scenario>.json file or a directory
+                        of them; renders a markdown delta table on
+                        stdout and exits non-zero when any scenario's
+                        median wall time slowed beyond the threshold
+  --bench-threshold F   slowdown tolerance as a fraction of the
+                        baseline median (default 0.10 = +10%)
+  --bench-csv FILE      also write the delta table as CSV
 
 options:
   --top N               conflict sets / slowest runs listed (default 8)
@@ -530,6 +542,180 @@ campaignReport(const std::string &dir, std::size_t top_n)
     return 0;
 }
 
+// ---- bench-compare mode: the performance regression gate -----------
+
+/** One cachelab.bench v1 document, reduced to what the gate needs. */
+struct BenchDoc
+{
+    std::string scenario;
+    std::string git;
+    double medianWallS = 0.0;
+    double madWallS = 0.0;
+    double refsPerSecond = 0.0;
+    std::uint64_t workRefs = 0;
+};
+
+BenchDoc
+loadBenchDoc(const std::string &path)
+{
+    std::string err;
+    const std::optional<JsonValue> doc = parseJson(readFile(path), &err);
+    if (!doc)
+        fatal(path, ": ", err);
+    if (const JsonValue *schema = doc->find("schema");
+        schema == nullptr || schema->asString() != "cachelab.bench")
+        fatal(path, ": not a cachelab.bench document");
+    if (const JsonValue *version = doc->find("schema_version");
+        version != nullptr && version->isUint() && version->asUint() > 1)
+        fatal(path, ": bench schema_version ", version->asUint(),
+              " is newer than this tool (knows 1)");
+    BenchDoc out;
+    out.scenario = doc->at("scenario").asString();
+    out.git = manifestString(*doc, {"build", "git"});
+    const JsonValue &stats = doc->at("stats");
+    out.medianWallS = stats.at("median_wall_s").asDouble();
+    out.madWallS = stats.at("mad_wall_s").asDouble();
+    out.refsPerSecond = stats.at("refs_per_s_median").asDouble();
+    out.workRefs = uintField(*doc, "work_refs");
+    return out;
+}
+
+/** @p path is one document or a directory of BENCH_*.json files. */
+std::vector<BenchDoc>
+loadBenchSide(const std::string &path)
+{
+    std::vector<BenchDoc> docs;
+    if (std::filesystem::is_directory(path)) {
+        std::vector<std::string> files;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(path)) {
+            const std::string name = entry.path().filename().string();
+            if (entry.is_regular_file() &&
+                name.rfind("BENCH_", 0) == 0 &&
+                name.size() > 5 + 6 &&
+                name.compare(name.size() - 5, 5, ".json") == 0)
+                files.push_back(entry.path().string());
+        }
+        std::sort(files.begin(), files.end());
+        for (const std::string &file : files)
+            docs.push_back(loadBenchDoc(file));
+        if (docs.empty())
+            fatal(path, ": no BENCH_*.json documents found");
+    } else {
+        docs.push_back(loadBenchDoc(path));
+    }
+    return docs;
+}
+
+const BenchDoc *
+findScenario(const std::vector<BenchDoc> &docs, const std::string &name)
+{
+    for (const BenchDoc &doc : docs) {
+        if (doc.scenario == name)
+            return &doc;
+    }
+    return nullptr;
+}
+
+int
+benchCompare(const std::string &baseline_path,
+             const std::string &current_path, double threshold,
+             const std::string &csv_path)
+{
+    if (threshold <= 0.0)
+        fatal("--bench-threshold must be positive");
+    const std::vector<BenchDoc> baseline = loadBenchSide(baseline_path);
+    const std::vector<BenchDoc> current = loadBenchSide(current_path);
+
+    std::cout << "# cachelab bench comparison\n\n";
+    std::cout << "- baseline: `" << baseline_path << "`";
+    if (!baseline.front().git.empty())
+        std::cout << " (build " << baseline.front().git << ")";
+    std::cout << "\n- current: `" << current_path << "`";
+    if (!current.front().git.empty())
+        std::cout << " (build " << current.front().git << ")";
+    std::cout << "\n- gate: median wall time must not slow by more than "
+              << formatPercent(threshold) << "\n\n";
+
+    std::ofstream csv_out;
+    std::unique_ptr<CsvWriter> csv;
+    if (!csv_path.empty()) {
+        csv_out.open(csv_path);
+        if (!csv_out)
+            fatal("cannot open '", csv_path, "'");
+        csv = std::make_unique<CsvWriter>(csv_out);
+        csv->header({"scenario", "baseline_median_s", "current_median_s",
+                     "delta_fraction", "baseline_mad_s", "current_mad_s",
+                     "status"});
+    }
+
+    std::cout << "| scenario | baseline median | current median | delta | "
+                 "status |\n|---|---:|---:|---:|---|\n";
+    std::vector<std::string> regressions;
+    std::size_t compared = 0;
+    for (const BenchDoc &base : baseline) {
+        const BenchDoc *cur = findScenario(current, base.scenario);
+        if (cur == nullptr) {
+            std::cout << "| " << base.scenario << " | "
+                      << formatFixed(base.medianWallS * 1e3, 3)
+                      << " ms | - | - | missing from current |\n";
+            continue;
+        }
+        ++compared;
+        const double delta =
+            base.medianWallS > 0.0
+                ? (cur->medianWallS - base.medianWallS) / base.medianWallS
+                : 0.0;
+        const bool regressed = delta > threshold;
+        const char *status = regressed ? "**REGRESSION**"
+                             : delta < -threshold ? "improved"
+                                                  : "ok";
+        if (regressed)
+            regressions.push_back(base.scenario);
+        std::cout << "| " << base.scenario << " | "
+                  << formatFixed(base.medianWallS * 1e3, 3) << " ms | "
+                  << formatFixed(cur->medianWallS * 1e3, 3) << " ms | "
+                  << (delta >= 0 ? "+" : "") << formatPercent(delta)
+                  << " | " << status << " |\n";
+        if (csv) {
+            csv->field(base.scenario)
+                .field(base.medianWallS, 9)
+                .field(cur->medianWallS, 9)
+                .field(delta, 6)
+                .field(base.madWallS, 9)
+                .field(cur->madWallS, 9)
+                .field(std::string(regressed ? "regression"
+                                             : delta < -threshold
+                                                   ? "improved"
+                                                   : "ok"));
+            csv->endRow();
+        }
+    }
+    for (const BenchDoc &cur : current) {
+        if (findScenario(baseline, cur.scenario) == nullptr)
+            std::cout << "| " << cur.scenario << " | - | "
+                      << formatFixed(cur.medianWallS * 1e3, 3)
+                      << " ms | - | missing from baseline |\n";
+    }
+    std::cout << "\n";
+    if (compared == 0)
+        fatal("no scenario appears on both sides; nothing to gate");
+    if (csv)
+        inform("wrote delta table to ", csv_path);
+
+    if (!regressions.empty()) {
+        std::cout << "Gate **FAILED**: ";
+        for (std::size_t i = 0; i < regressions.size(); ++i)
+            std::cout << (i ? ", " : "") << regressions[i];
+        std::cout << " slowed beyond " << formatPercent(threshold)
+                  << ".\n";
+        return 1;
+    }
+    std::cout << "Gate passed: " << compared
+              << " scenario(s) within threshold.\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -543,6 +729,18 @@ main(int argc, char **argv)
     }
     const std::size_t top_n =
         static_cast<std::size_t>(args.getUint("top", 8));
+    if (args.has("bench-compare")) {
+        // The parser binds BASELINE to the option; CURRENT lands in
+        // the positional list.
+        const std::string baseline = args.get("bench-compare");
+        if (baseline.empty() || args.positional().empty())
+            fatal("--bench-compare needs BASELINE and CURRENT (each a "
+                  "BENCH_*.json file or a directory of them)\n",
+                  kUsage);
+        return benchCompare(baseline, args.positional().front(),
+                            args.getDouble("bench-threshold", 0.10),
+                            args.get("bench-csv"));
+    }
     if (const std::string registry_dir = args.get("registry");
         !registry_dir.empty())
         return campaignReport(registry_dir, top_n);

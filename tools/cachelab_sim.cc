@@ -43,6 +43,7 @@
 #include "obs/event_stats.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "obs/perf_counters.hh"
 #include "obs/profile.hh"
 #include "obs/progress.hh"
 #include "obs/trace_event.hh"
@@ -184,6 +185,13 @@ observability:
                         chrome://tracing or ui.perfetto.dev)
   --phase-profile       print the per-phase profile table after the
                         run (--profile with no value also works)
+  --perf                sample hardware counters (perf_event_open:
+                        cycles, instructions, task-clock, LLC
+                        loads/misses, branch misses) per phase: adds
+                        IPC and LLC-MPKI columns to the profile table,
+                        a "perf" manifest section, and perf.* metrics;
+                        never fatal — restricted hosts report the
+                        counters as unavailable
   --progress            periodic progress lines (refs done, ETA)
 
 execution:
@@ -1307,9 +1315,14 @@ main(int argc, char **argv)
         (args.has("profile") && args.get("profile").empty());
     const bool want_manifest = args.has("metrics-json");
     const bool want_trace = args.has("trace-out");
+    const bool want_perf = args.has("perf");
     // Phase timings feed the manifest too, so either flag turns the
     // profiler on; the table only prints under --phase-profile.
-    obs::setProfilingEnabled(phase_profile || want_manifest);
+    // --perf rides on the profiler's scopes (that is where counters
+    // are sampled) and prints the table — IPC/MPKI columns are its
+    // primary human-readable surface.
+    obs::setPerfEnabled(want_perf);
+    obs::setProfilingEnabled(phase_profile || want_manifest || want_perf);
     obs::TraceRecorder::global().setEnabled(want_trace);
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -1471,8 +1484,13 @@ main(int argc, char **argv)
                args.get("trace-out"));
     }
 
-    if (phase_profile)
+    if (phase_profile || want_perf)
         std::cout << "\n" << obs::renderProfileTable(obs::profileReport());
+    if (want_perf) {
+        const std::string reason = obs::perfUnavailableReason();
+        if (!reason.empty())
+            inform("perf counters degraded: ", reason);
+    }
 
     if (want_manifest) {
         const double wall =
@@ -1489,6 +1507,8 @@ main(int argc, char **argv)
         // doing it unconditionally would wipe a local pool's totals.
         if (run.jobs == 0)
             obs::publishThreadPool(registry, ThreadPool::shared());
+        if (want_perf)
+            obs::publishPerfMetrics(registry, obs::perfTotals());
 
         if (args.get("metrics-json") == "-") {
             obs::writeManifest(std::cout, manifest);

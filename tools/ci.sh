@@ -391,6 +391,91 @@ grep -q "cachelab campaign summary" build-ci/smoke-campaign.md
 grep -q "tenant-kv" build-ci/smoke-campaign.md
 echo "    campaign report rendered from the registry"
 
+echo "==> perf observability smoke (--perf degraded path, flags-off gating)"
+# Flags off: the manifest carries getrusage accounting but must not
+# grow a "perf" section (byte-identical-to-pre-perf contract).
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 \
+    --metrics-json build-ci/smoke-noperf.json > /dev/null
+# Flags on: the run must succeed even where perf_event_open is
+# forbidden or PMU-less (this container), reporting what it could get
+# and why the rest is missing — never failing the run.
+${sim} --profile ZGREP --refs 50000 --sweep 256:4096 --perf \
+    --metrics-json build-ci/smoke-perf.json > build-ci/smoke-perf.txt
+python3 - build-ci/smoke-noperf.json build-ci/smoke-perf.json <<'EOF'
+import json, sys
+plain, perf = (json.load(open(p)) for p in sys.argv[1:3])
+ex = plain["execution"]
+for key in ("user_cpu_seconds", "system_cpu_seconds",
+            "voluntary_ctx_switches", "involuntary_ctx_switches"):
+    assert key in ex, f"missing rusage key {key}"
+assert "perf" not in plain, "flags-off manifest grew a perf section"
+p = perf["perf"]
+assert isinstance(p["available"], bool), p
+known = {"cycles", "instructions", "task_clock_ns",
+         "llc_loads", "llc_misses", "branch_misses"}
+assert set(p["counters"]) <= known, p["counters"]
+if not p["available"] or set(p["counters"]) < known:
+    assert p.get("unavailable_reason"), \
+        "degraded perf mode must name its cause"
+assert "perf.available" in perf["metrics"]["gauges"], "perf gauges missing"
+got = ", ".join(sorted(p["counters"])) or "none"
+print(f"    perf manifest ok (available={p['available']}; counters: {got})")
+EOF
+
+echo "==> bench harness + regression gate smoke"
+bench_dir=build-ci/smoke-bench
+rm -rf "${bench_dir}"
+mkdir -p "${bench_dir}"
+build-ci/tools/cachelab_bench --scenario throughput --refs 20000 \
+    --reps 1 --warmup 0 --perf --out-dir "${bench_dir}" > /dev/null
+python3 - "${bench_dir}/BENCH_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "cachelab.bench", doc["schema"]
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["scenario"] == "throughput"
+assert doc["provenance"]["git_sha"] and doc["provenance"]["hostname"]
+assert len(doc["samples"]["wall_s"]) == 1
+assert doc["stats"]["median_wall_s"] > 0
+assert "perf" in doc, "--perf bench doc missing its perf section"
+print(f"    BENCH_throughput.json valid: median "
+      f"{doc['stats']['median_wall_s'] * 1e3:.2f} ms")
+EOF
+# The gate must pass against itself...
+build-ci/tools/cachelab_report --bench-compare "${bench_dir}" \
+    "${bench_dir}" > build-ci/smoke-bench-self.md
+grep -q "Gate passed" build-ci/smoke-bench-self.md
+# ...and fail (non-zero) against a synthetically slowed copy.
+slow_dir=build-ci/smoke-bench-slow
+rm -rf "${slow_dir}"
+mkdir -p "${slow_dir}"
+python3 - "${bench_dir}/BENCH_throughput.json" \
+    "${slow_dir}/BENCH_throughput.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["stats"]["median_wall_s"] *= 1.5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+if build-ci/tools/cachelab_report --bench-compare "${bench_dir}" \
+    "${slow_dir}" > build-ci/smoke-bench-slow.md 2>&1; then
+    echo "    ERROR: slowed bench passed the gate"; exit 1
+fi
+grep -q "REGRESSION" build-ci/smoke-bench-slow.md
+echo "    gate: self-compare passed, +50% synthetic regression failed"
+# Legacy bench binaries share the header line + --out plumbing.
+build-ci/bench/bench_throughput --out build-ci/smoke-bench-lines.json \
+    --benchmark_filter='^$' > /dev/null 2>&1
+python3 - build-ci/smoke-bench-lines.json <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+header = lines[0]
+assert header["schema"] == "cachelab.bench_line", header
+assert header["tool"] == "bench_throughput" and header["git_sha"]
+kinds = {l.get("bench") for l in lines[1:]}
+assert {"sweep_engine", "probe_cost", "policy_cost"} <= kinds, kinds
+print(f"    bench_line header + {len(lines) - 1} joinable JSON lines")
+EOF
+
 run_config build-ci-asan -DCACHELAB_WERROR=ON \
     -DCACHELAB_SANITIZE=address,undefined
 
@@ -401,8 +486,8 @@ echo "==> configure build-ci-tsan (thread sanitizer, concurrency tests)"
 cmake -B build-ci-tsan -S . -DCACHELAB_WERROR=ON -DCACHELAB_SANITIZE=thread
 cmake --build build-ci-tsan -j "${jobs}" \
     --target obs_test thread_pool_test telemetry_test policy_test \
-    timing_test
+    timing_test perf_counters_test
 ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
-    -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest|PolicyZoo|PolicyCheckpoint|TinyLfu|Timing'
+    -R 'ThreadPool|MetricsRegistry|JsonWriterTest|PhaseProfiling|TraceEvents|ProgressMeterTest|PolicyZoo|PolicyCheckpoint|TinyLfu|Timing|LatencyHistogram|PerfCounters'
 
 echo "==> ci passed (default + address,undefined + thread)"
